@@ -1,0 +1,69 @@
+//! Error type for the baseline crate.
+
+use std::fmt;
+
+/// Errors produced by the baseline systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The onion system cannot execute this query natively at the server.
+    NotNativelySupported {
+        /// Why (which operation broke the onion model).
+        reason: String,
+    },
+    /// Error from the SQL front end.
+    Sql(sdb_sql::SqlError),
+    /// Error from the engine.
+    Engine(sdb_engine::EngineError),
+    /// Error from storage.
+    Storage(sdb_storage::StorageError),
+    /// Internal invariant violation.
+    Internal {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NotNativelySupported { reason } => {
+                write!(f, "not natively supported by the onion baseline: {reason}")
+            }
+            BaselineError::Sql(e) => write!(f, "SQL error: {e}"),
+            BaselineError::Engine(e) => write!(f, "engine error: {e}"),
+            BaselineError::Storage(e) => write!(f, "storage error: {e}"),
+            BaselineError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<sdb_sql::SqlError> for BaselineError {
+    fn from(e: sdb_sql::SqlError) -> Self {
+        BaselineError::Sql(e)
+    }
+}
+impl From<sdb_engine::EngineError> for BaselineError {
+    fn from(e: sdb_engine::EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+impl From<sdb_storage::StorageError> for BaselineError {
+    fn from(e: sdb_storage::StorageError) -> Self {
+        BaselineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = BaselineError::NotNativelySupported {
+            reason: "cross-column arithmetic".into(),
+        };
+        assert!(e.to_string().contains("cross-column"));
+    }
+}

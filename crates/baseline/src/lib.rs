@@ -1,0 +1,35 @@
+//! # sdb-baseline
+//!
+//! The comparison systems the SDB paper positions itself against (§1):
+//!
+//! * a **CryptDB/MONOMI-style onion system** ([`onion`], [`onion_client`]): each
+//!   operation class gets its own specialised encryption — deterministic encryption
+//!   for equality, order-preserving encoding for comparisons, Paillier for additive
+//!   aggregation — and, crucially, the outputs of one scheme cannot feed another
+//!   (no data interoperability);
+//! * a **coverage analyzer** ([`coverage`]) that classifies, per query, which
+//!   operations over sensitive columns are required and whether the onion approach
+//!   can execute the query natively at the server, versus SDB (decided by actually
+//!   running the SDB rewriter). This regenerates the paper's "CryptDB supports only
+//!   4 of 22 TPC-H queries natively, SDB supports all of them" style comparison
+//!   (experiment E5);
+//! * the **plaintext baseline** is simply [`sdb_engine::SpEngine`] run on
+//!   unencrypted data, used by the overhead benches (E6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod error;
+pub mod onion;
+pub mod onion_client;
+pub mod paillier;
+
+pub use coverage::{analyze_query, CoverageReport, RequiredOperation, SystemSupport};
+pub use error::BaselineError;
+pub use onion::{DetCipher, OpeCipher};
+pub use onion_client::{OnionClient, OnionOutcome};
+pub use paillier::{PaillierCiphertext, PaillierKey};
+
+/// Library result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

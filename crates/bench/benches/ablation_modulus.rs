@@ -1,0 +1,59 @@
+//! Experiment E8 (ablation): how the modulus size affects the cost of the core
+//! secure operators. The paper's prototype fixes 1024-bit primes (2048-bit n);
+//! this sweep shows what that parameter buys and costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use num_bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sdb_crypto::share::{encrypt_value, gen_item_key, KeyUpdateParams};
+use sdb_crypto::{KeyConfig, SignedCodec, SystemKey};
+
+fn modulus_sweep(c: &mut Criterion) {
+    // prime_bits → modulus of ~2×prime_bits. 1024 (the paper's setting) is included
+    // but dominates wall-clock; comment it out for quick runs.
+    let profiles = [
+        ("n=256", KeyConfig { prime_bits: 128, domain_bits: 40, blind_bits: 20 }),
+        ("n=512", KeyConfig { prime_bits: 256, domain_bits: 62, blind_bits: 30 }),
+        ("n=1024", KeyConfig { prime_bits: 512, domain_bits: 62, blind_bits: 30 }),
+    ];
+
+    let mut group = c.benchmark_group("ablation_modulus");
+    for (label, config) in profiles {
+        let mut rng = StdRng::seed_from_u64(0xab1a);
+        let key = SystemKey::generate(&mut rng, config).expect("key generation");
+        let codec = SignedCodec::new(&key);
+        let ck_a = key.gen_column_key(&mut rng);
+        let ck_b = key.gen_column_key(&mut rng);
+        let ck_s = key.gen_aux_column_key(&mut rng);
+        let ck_t = key.gen_column_key(&mut rng);
+        let row = key.gen_row_id(&mut rng);
+        let ik_a = gen_item_key(&key, &ck_a, &row);
+        let ik_b = gen_item_key(&key, &ck_b, &row);
+        let ik_s = gen_item_key(&key, &ck_s, &row);
+        let a_e = encrypt_value(&key, &codec.encode(123_456).unwrap(), &ik_a);
+        let b_e = encrypt_value(&key, &codec.encode(789).unwrap(), &ik_b);
+        let s_e = encrypt_value(&key, &BigUint::from(1u32), &ik_s);
+        let params = KeyUpdateParams::compute(&key, &ck_a, &ck_s, &ck_t).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("item_key_generation", label), &key, |b, key| {
+            b.iter(|| black_box(gen_item_key(key, &ck_a, &row)))
+        });
+        group.bench_with_input(BenchmarkId::new("ee_multiply", label), &key, |b, key| {
+            b.iter(|| black_box((&a_e * &b_e) % key.n()))
+        });
+        group.bench_with_input(BenchmarkId::new("key_update", label), &key, |b, key| {
+            b.iter(|| black_box(params.apply(key.n(), &a_e, &s_e)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = modulus_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment E3 (demo step 2): end-to-end query cost and its breakdown into
+//! client cost (parse + rewrite + decrypt at the proxy) and server cost (execution
+//! at the SP including oracle waits). The paper's qualitative claim: the client
+//! costs are subtle compared with the total cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdb_bench::{sdb_deployment, BENCH_SEED};
+use sdb_workload::{query_by_id, ScaleFactor};
+
+fn cost_breakdown(c: &mut Criterion) {
+    let client = sdb_deployment(ScaleFactor::tiny(), BENCH_SEED);
+    let queries = [1u8, 3, 6, 10, 14];
+
+    let mut group = c.benchmark_group("tpch_query_end_to_end");
+    group.sample_size(10);
+    for id in queries {
+        let template = query_by_id(id).expect("template");
+        group.bench_with_input(BenchmarkId::new("sdb", format!("Q{id}")), &template, |b, t| {
+            b.iter(|| black_box(client.query(t.sql).expect("query")))
+        });
+    }
+    group.finish();
+
+    // Printed breakdown (the demo's table).
+    println!("\n--- E3: client vs server cost breakdown (SF tiny) ---");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>9} {:>10}",
+        "query", "parse", "rewrite", "decrypt", "server", "oracle", "client %"
+    );
+    for id in queries {
+        let template = query_by_id(id).expect("template");
+        let result = client.query(template.sql).expect("query");
+        let client_time = result.client_time();
+        let total = client_time + result.server_stats.total_time;
+        println!(
+            "{:<6} {:>12?} {:>12?} {:>12?} {:>12?} {:>9} {:>9.1}%",
+            format!("Q{id}"),
+            result.client_cost.parse,
+            result.client_cost.rewrite,
+            result.client_cost.decrypt,
+            result.server_stats.total_time,
+            result.server_stats.oracle_round_trips,
+            100.0 * client_time.as_secs_f64() / total.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = cost_breakdown
+}
+criterion_main!(benches);

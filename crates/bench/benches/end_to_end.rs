@@ -1,0 +1,75 @@
+//! Experiment E6 (macro): end-to-end query latency of SDB versus the plaintext
+//! engine and the CryptDB-style onion baseline, on the query shapes all three can
+//! express — plus the shapes only SDB can push to the server (where the onion
+//! baseline's number is the cost of giving up, i.e. shipping rows back).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdb_baseline::OnionClient;
+use sdb_bench::{plaintext_deployment, sdb_deployment, BENCH_SEED};
+use sdb_workload::{generate_table, ScaleFactor, SensitivityProfile};
+
+fn end_to_end(c: &mut Criterion) {
+    let sf = ScaleFactor::tiny();
+    let sdb_client = sdb_deployment(sf, BENCH_SEED);
+    let plaintext = plaintext_deployment(sf, BENCH_SEED);
+    let mut onion = OnionClient::new(BENCH_SEED).expect("onion client");
+    onion
+        .upload_table(&generate_table("lineitem", sf, SensitivityProfile::Financial, BENCH_SEED))
+        .expect("onion upload");
+
+    // Query shapes every system supports natively.
+    let common = [
+        ("equality_filter", "SELECT l_orderkey FROM lineitem WHERE l_quantity = 20.00"),
+        ("range_filter", "SELECT l_orderkey FROM lineitem WHERE l_extendedprice > 5000.00"),
+        ("sum_column", "SELECT SUM(l_extendedprice) AS s FROM lineitem"),
+    ];
+    // The interoperability shape (TPC-H Q6 core): only SDB runs it at the server;
+    // the onion baseline must fall back to the client.
+    let interoperable = (
+        "sum_of_product_with_range",
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+         WHERE l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24.00",
+    );
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (label, sql) in common {
+        group.bench_with_input(BenchmarkId::new("plaintext", label), &sql, |b, sql| {
+            b.iter(|| black_box(plaintext.execute_sql(sql).expect("plaintext")))
+        });
+        group.bench_with_input(BenchmarkId::new("sdb", label), &sql, |b, sql| {
+            b.iter(|| black_box(sdb_client.query(sql).expect("sdb")))
+        });
+        group.bench_with_input(BenchmarkId::new("onion", label), &sql, |b, sql| {
+            b.iter(|| black_box(onion.try_query(sql).expect("onion")))
+        });
+    }
+    let (label, sql) = interoperable;
+    group.bench_with_input(BenchmarkId::new("plaintext", label), &sql, |b, sql| {
+        b.iter(|| black_box(plaintext.execute_sql(sql).expect("plaintext")))
+    });
+    group.bench_with_input(BenchmarkId::new("sdb", label), &sql, |b, sql| {
+        b.iter(|| black_box(sdb_client.query(sql).expect("sdb")))
+    });
+    group.finish();
+
+    // Record whether the onion baseline could run each shape natively.
+    println!("\n--- E6: native support of the benchmarked shapes ---");
+    for (label, sql) in common.iter().chain(std::iter::once(&interoperable)) {
+        let verdict = match onion.try_query(sql) {
+            Ok(outcome) if outcome.is_native() => "native".to_string(),
+            Ok(_) => "requires client".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        println!("  {label:<28} onion: {verdict}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = end_to_end
+}
+criterion_main!(benches);

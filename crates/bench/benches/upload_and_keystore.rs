@@ -1,0 +1,80 @@
+//! Experiment E2 (demo step 1): upload throughput and the key-store / outsourced
+//! data size relationship. Regenerates the demo's "check the size of the key store
+//! and also the content" step: the key store grows with the number of sensitive
+//! *columns*, the SP data grows with the number of *rows*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdb_proxy::{Encryptor, KeyStore, UploadOptions};
+use sdb_workload::{generate_table, ScaleFactor, SensitivityProfile};
+
+fn upload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upload_lineitem");
+    group.sample_size(10);
+
+    for (label, sf) in [("sf=0.01", ScaleFactor::tiny()), ("sf=0.05", ScaleFactor(0.05))] {
+        let table = generate_table("lineitem", sf, SensitivityProfile::Financial, 42);
+        group.bench_with_input(BenchmarkId::new("encrypt_table", label), &table, |b, table| {
+            b.iter(|| {
+                let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
+                black_box(
+                    Encryptor::encrypt_table(&mut keystore, table, UploadOptions::default())
+                        .expect("upload"),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("encrypt_table_4_threads", label),
+            &table,
+            |b, table| {
+                b.iter(|| {
+                    let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
+                    black_box(
+                        Encryptor::encrypt_table(
+                            &mut keystore,
+                            table,
+                            UploadOptions {
+                                deterministic_tags: false,
+                                threads: 4,
+                            },
+                        )
+                        .expect("upload"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // One-off size report (the table the demo shows): printed once so the bench
+    // output doubles as the experiment record.
+    let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
+    println!("\n--- E2: key store vs outsourced data (lineitem, financial profile) ---");
+    println!("{:>9} {:>10} {:>16} {:>16} {:>14}", "rows", "sf", "plaintext bytes", "encrypted bytes", "keystore bytes");
+    for sf in [ScaleFactor::tiny(), ScaleFactor(0.05), ScaleFactor::small()] {
+        let table = generate_table("lineitem", sf, SensitivityProfile::Financial, 42);
+        // A fresh table name per scale so the keystore registers separate keys.
+        let renamed = {
+            let mut t = sdb_storage::Table::new(&format!("lineitem_{}", (sf.0 * 100.0) as u32), table.schema().clone());
+            t.append_batch(&table.scan()).unwrap();
+            t
+        };
+        let upload = Encryptor::encrypt_table(&mut keystore, &renamed, UploadOptions::default()).unwrap();
+        println!(
+            "{:>9} {:>10} {:>16} {:>16} {:>14}",
+            upload.stats.rows,
+            sf.0,
+            upload.stats.plaintext_bytes,
+            upload.stats.encrypted_bytes,
+            upload.stats.keystore_bytes
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = upload
+}
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! The adversarial audit (experiment E4, demo step 3).
+//!
+//! The demo invites an attendee to inspect a memory dump of the SP while queries
+//! run and observe that sensitive data never appears in plaintext. This module is
+//! the automated version of that step: it collects every representation of the
+//! sensitive plaintexts the DO uploaded (raw renderings and the scaled integer
+//! units that actually get encrypted) and scans everything the SP ever holds —
+//! the stored catalog, intermediate and final (encrypted) results, and all wire
+//! traffic — for occurrences.
+
+use std::collections::BTreeSet;
+
+use sdb_storage::{Table, Value};
+
+/// A single place where a sensitive plaintext was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// Which haystack leaked (e.g. "sp-catalog", "wire-traffic").
+    pub location: String,
+    /// The needle that was found.
+    pub needle: String,
+}
+
+/// The outcome of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of distinct sensitive needles checked.
+    pub needles_checked: usize,
+    /// Number of haystacks scanned.
+    pub haystacks_scanned: usize,
+    /// Every leak found (empty = the system behaved as the paper claims).
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// True when no sensitive plaintext was observed anywhere at the SP.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scans SP-visible byte strings for sensitive plaintexts.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryAuditor {
+    needles: BTreeSet<String>,
+}
+
+impl MemoryAuditor {
+    /// Creates an empty auditor.
+    pub fn new() -> Self {
+        MemoryAuditor::default()
+    }
+
+    /// Registers every sensitive value of `table` (per its schema's sensitivity
+    /// markers) as a needle. Short numeric values (fewer than 4 digits) are skipped
+    /// — they would produce meaningless matches against unrelated numbers such as
+    /// row counts — mirroring how the demo audience checks for *their* data, not
+    /// for every small integer.
+    pub fn register_table(&mut self, table: &Table) {
+        let schema = table.schema();
+        let sensitive: Vec<usize> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.sensitivity.is_sensitive())
+            .map(|(i, _)| i)
+            .collect();
+        let batch = table.scan();
+        for row in 0..batch.num_rows() {
+            for &col in &sensitive {
+                self.register_value(batch.column(col).get(row));
+            }
+        }
+    }
+
+    /// Registers one sensitive value.
+    ///
+    /// Numeric values become needles only when they have at least six significant
+    /// digits: shorter numbers (small quantities, sizes, …) collide with unrelated
+    /// public integers such as keys and dates and would drown the audit in false
+    /// positives — exactly as a human inspecting the demo's memory dump would look
+    /// for *their* distinctive figures, not for every small number. Numeric needles
+    /// are matched with digit boundaries (see [`MemoryAuditor::audit`]) so they are
+    /// not "found" inside the long digit strings of ciphertexts.
+    pub fn register_value(&mut self, value: &Value) {
+        const NUMERIC_THRESHOLD: i64 = 100_000;
+        match value {
+            Value::Null => {}
+            Value::Str(s) => {
+                if s.len() >= 3 {
+                    self.needles.insert(s.clone());
+                }
+            }
+            Value::Int(v) => {
+                if v.abs() >= NUMERIC_THRESHOLD {
+                    self.needles.insert(v.to_string());
+                }
+            }
+            Value::Decimal { units, .. } => {
+                if units.abs() >= NUMERIC_THRESHOLD {
+                    self.needles.insert(units.to_string());
+                    self.needles.insert(value.render());
+                }
+            }
+            Value::Date(d) => {
+                self.needles.insert(format!("\"Date\":{d}"));
+            }
+            other => {
+                self.needles.insert(other.render());
+            }
+        }
+    }
+
+    /// Number of registered needles.
+    pub fn needle_count(&self) -> usize {
+        self.needles.len()
+    }
+
+    /// Scans the given named haystacks, returning a report.
+    ///
+    /// Needles that are purely numeric are matched on digit boundaries: a match
+    /// inside a longer run of digits (e.g. somewhere in the decimal expansion of a
+    /// 256-bit ciphertext) does not count, because it carries no information about
+    /// the plaintext. Textual needles use plain substring matching.
+    pub fn audit<'a>(&self, haystacks: impl IntoIterator<Item = (&'a str, &'a str)>) -> AuditReport {
+        let mut report = AuditReport {
+            needles_checked: self.needles.len(),
+            ..Default::default()
+        };
+        for (location, haystack) in haystacks {
+            report.haystacks_scanned += 1;
+            for needle in &self.needles {
+                if contains_needle(haystack, needle) {
+                    report.findings.push(AuditFinding {
+                        location: location.to_string(),
+                        needle: needle.clone(),
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Substring search with digit-boundary handling for numeric needles.
+fn contains_needle(haystack: &str, needle: &str) -> bool {
+    let numeric = needle
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '-' || c == '.');
+    if !numeric {
+        return haystack.contains(needle);
+    }
+    let bytes = haystack.as_bytes();
+    for (position, _) in haystack.match_indices(needle) {
+        let before_ok = position == 0 || {
+            let b = bytes[position - 1];
+            !b.is_ascii_digit() && b != b'.'
+        };
+        let end = position + needle.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !b.is_ascii_digit() && b != b'.'
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_storage::{ColumnDef, DataType, Schema};
+
+    fn table_with_secret() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::sensitive("salary", DataType::Int),
+            ColumnDef::sensitive("codename", DataType::Varchar),
+        ]);
+        let mut t = Table::new("t", schema);
+        t.insert_row(vec![
+            Value::Int(1),
+            Value::Int(987_654),
+            Value::Str("operation condor".into()),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn detects_leaks_and_clean_runs() {
+        let mut auditor = MemoryAuditor::new();
+        auditor.register_table(&table_with_secret());
+        assert!(auditor.needle_count() >= 2);
+
+        let clean = auditor.audit([("sp", "nothing to see here 42")]);
+        assert!(clean.is_clean());
+        assert_eq!(clean.haystacks_scanned, 1);
+
+        let leaky = auditor.audit([
+            ("sp-catalog", "... 987654 ..."),
+            ("wire", "the operation condor files"),
+        ]);
+        assert!(!leaky.is_clean());
+        assert_eq!(leaky.findings.len(), 2);
+        assert_eq!(leaky.findings[0].location, "sp-catalog");
+    }
+
+    #[test]
+    fn small_values_are_not_needles() {
+        let mut auditor = MemoryAuditor::new();
+        auditor.register_value(&Value::Int(5));
+        auditor.register_value(&Value::Str("ab".into()));
+        assert_eq!(auditor.needle_count(), 0);
+        auditor.register_value(&Value::Int(123_456));
+        assert_eq!(auditor.needle_count(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the secret-sharing scheme's algebraic invariants.
+//!
+//! These use a fixed TEST-profile system key (generated once per process) so each
+//! case is cheap, while the *values*, row ids and column keys vary per case.
+
+use num_bigint::BigUint;
+use num_traits::One;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+use sdb_crypto::share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
+use sdb_crypto::{ColumnKey, KeyConfig, SignedCodec, SystemKey};
+
+fn system_key() -> &'static SystemKey {
+    static KEY: OnceLock<SystemKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xabcdef);
+        SystemKey::generate(&mut rng, KeyConfig::TEST).expect("key generation")
+    })
+}
+
+/// Deterministically derives a column key / row id from a seed so proptest can
+/// shrink over the seed.
+fn column_key_from_seed(key: &SystemKey, seed: u64) -> ColumnKey {
+    let mut rng = StdRng::seed_from_u64(seed);
+    key.gen_column_key(&mut rng)
+}
+
+fn aux_key_from_seed(key: &SystemKey, seed: u64) -> ColumnKey {
+    let mut rng = StdRng::seed_from_u64(seed);
+    key.gen_aux_column_key(&mut rng)
+}
+
+fn row_id_from_seed(key: &SystemKey, seed: u64) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    key.gen_row_id(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// D(E(v)) = v for arbitrary in-domain values, keys and row ids.
+    #[test]
+    fn encryption_roundtrip(v in 0u64..u64::MAX / 4, ck_seed in any::<u64>(), r_seed in any::<u64>()) {
+        let key = system_key();
+        let ck = column_key_from_seed(key, ck_seed);
+        let r = row_id_from_seed(key, r_seed);
+        let ik = gen_item_key(key, &ck, &r);
+        let ve = encrypt_value(key, &BigUint::from(v), &ik);
+        prop_assert_eq!(decrypt_value(key, &ve, &ik), BigUint::from(v));
+    }
+
+    /// The EE multiplication protocol is correct for arbitrary operand pairs.
+    #[test]
+    fn ee_multiplication_correct(a in 0u64..1 << 20, b in 0u64..1 << 20,
+                                 ck_a_seed in any::<u64>(), ck_b_seed in any::<u64>(),
+                                 r_seed in any::<u64>()) {
+        let key = system_key();
+        let ck_a = column_key_from_seed(key, ck_a_seed);
+        let ck_b = column_key_from_seed(key, ck_b_seed.wrapping_add(1)); // avoid identical keys
+        let r = row_id_from_seed(key, r_seed);
+
+        let a_e = encrypt_value(key, &BigUint::from(a), &gen_item_key(key, &ck_a, &r));
+        let b_e = encrypt_value(key, &BigUint::from(b), &gen_item_key(key, &ck_b, &r));
+        let c_e = (&a_e * &b_e) % key.n();
+
+        let ck_c = ColumnKeyAlgebra::multiply(key, &ck_a, &ck_b);
+        let ik_c = gen_item_key(key, &ck_c, &r);
+        prop_assert_eq!(decrypt_value(key, &c_e, &ik_c), BigUint::from(a) * BigUint::from(b));
+    }
+
+    /// Key update re-encrypts to the target key for arbitrary source/target keys.
+    #[test]
+    fn key_update_correct(v in 0u64..u64::MAX / 4,
+                          src_seed in any::<u64>(), aux_seed in any::<u64>(),
+                          tgt_seed in any::<u64>(), r_seed in any::<u64>()) {
+        let key = system_key();
+        let ck_src = column_key_from_seed(key, src_seed);
+        let ck_aux = aux_key_from_seed(key, aux_seed);
+        let ck_tgt = column_key_from_seed(key, tgt_seed.wrapping_mul(31).wrapping_add(7));
+        let r = row_id_from_seed(key, r_seed);
+
+        let params = KeyUpdateParams::compute(key, &ck_src, &ck_aux, &ck_tgt).unwrap();
+        let v_e = encrypt_value(key, &BigUint::from(v), &gen_item_key(key, &ck_src, &r));
+        let s_e = encrypt_value(key, &BigUint::one(), &gen_item_key(key, &ck_aux, &r));
+        let v_e_new = params.apply(key.n(), &v_e, &s_e);
+        let ik_tgt = gen_item_key(key, &ck_tgt, &r);
+        prop_assert_eq!(decrypt_value(key, &v_e_new, &ik_tgt), BigUint::from(v));
+    }
+
+    /// EE addition (after key unification) is correct including for signed operands.
+    #[test]
+    fn ee_signed_addition_correct(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000,
+                                  seeds in any::<(u64, u64, u64, u64)>()) {
+        let key = system_key();
+        let codec = SignedCodec::new(key);
+        let (sa, sb, saux, sr) = seeds;
+        let ck_a = column_key_from_seed(key, sa);
+        let ck_b = column_key_from_seed(key, sb.wrapping_add(13));
+        let ck_aux = aux_key_from_seed(key, saux);
+        let ck_t = column_key_from_seed(key, sr.wrapping_mul(7).wrapping_add(3));
+        let r = row_id_from_seed(key, sr);
+
+        let pa = KeyUpdateParams::compute(key, &ck_a, &ck_aux, &ck_t).unwrap();
+        let pb = KeyUpdateParams::compute(key, &ck_b, &ck_aux, &ck_t).unwrap();
+
+        let a_e = encrypt_value(key, &codec.encode(a as i128).unwrap(), &gen_item_key(key, &ck_a, &r));
+        let b_e = encrypt_value(key, &codec.encode(b as i128).unwrap(), &gen_item_key(key, &ck_b, &r));
+        let s_e = encrypt_value(key, &BigUint::one(), &gen_item_key(key, &ck_aux, &r));
+
+        let sum_e = (pa.apply(key.n(), &a_e, &s_e) + pb.apply(key.n(), &b_e, &s_e)) % key.n();
+        let ik_t = gen_item_key(key, &ck_t, &r);
+        let decoded = codec.decode(&decrypt_value(key, &sum_e, &ik_t)).unwrap();
+        prop_assert_eq!(decoded, (a + b) as i128);
+    }
+
+    /// Signed codec: encode/decode roundtrip and sign correctness.
+    #[test]
+    fn signed_codec_roundtrip(v in -(1i128 << 40)..(1i128 << 40)) {
+        let key = system_key();
+        let codec = SignedCodec::new(key);
+        let enc = codec.encode(v).unwrap();
+        prop_assert_eq!(codec.decode(&enc).unwrap(), v);
+        prop_assert_eq!(codec.sign(&enc) as i128, v.signum());
+    }
+
+    /// Blinding by a positive factor preserves sign and zero-ness.
+    #[test]
+    fn blinding_preserves_sign(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000,
+                               blind in 1u64..(1 << 20)) {
+        let key = system_key();
+        let codec = SignedCodec::new(key);
+        let d = codec.encode((a - b) as i128).unwrap();
+        let blinded = (&d * BigUint::from(blind)) % key.n();
+        prop_assert_eq!(codec.sign(&blinded) as i32, (a - b).signum() as i32);
+    }
+
+    /// The row-id cipher roundtrips arbitrary byte strings and rejects tampering.
+    #[test]
+    fn sies_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256), key_seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(key_seed);
+        let cipher = sdb_crypto::SiesCipher::from_master(&mut rng);
+        let ct = cipher.encrypt_bytes(&mut rng, &data);
+        prop_assert_eq!(cipher.decrypt_bytes(&ct).unwrap(), data.clone());
+        if !data.is_empty() {
+            let mut tampered = ct.clone();
+            tampered.body[0] ^= 0xff;
+            prop_assert!(cipher.decrypt_bytes(&tampered).is_err());
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The SP engine facade: catalog + UDF registry + (optional) DO-proxy oracle,
+//! executing SQL text end to end. This is the component that plays the role of
+//! "Spark SQL with the SDB UDFs loaded" in the paper's architecture (Figure 2).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use sdb_sql::{parse_sql, PlanBuilder, Statement};
+use sdb_storage::{Catalog, ColumnDef, RecordBatch, Schema, Table, Value};
+
+use crate::eval::literal_to_value;
+use crate::exec::Executor;
+use crate::secure::OracleRef;
+use crate::stats::ExecutionStats;
+use crate::udf::UdfRegistry;
+use crate::{EngineError, Result};
+
+/// The result of executing one statement at the SP.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The result rows (empty schema/zero rows for DDL/DML statements).
+    pub batch: RecordBatch,
+    /// Execution statistics (the server-side half of the demo's cost breakdown).
+    pub stats: ExecutionStats,
+}
+
+/// The service-provider engine.
+pub struct SpEngine {
+    catalog: Arc<Catalog>,
+    registry: UdfRegistry,
+    oracle: RwLock<Option<OracleRef>>,
+}
+
+impl SpEngine {
+    /// Creates an engine with an empty catalog and the standard SDB UDF set.
+    pub fn new() -> Self {
+        SpEngine {
+            catalog: Arc::new(Catalog::new()),
+            registry: UdfRegistry::with_sdb_udfs(),
+            oracle: RwLock::new(None),
+        }
+    }
+
+    /// Creates an engine around an existing catalog.
+    pub fn with_catalog(catalog: Arc<Catalog>) -> Self {
+        SpEngine {
+            catalog,
+            registry: UdfRegistry::with_sdb_udfs(),
+            oracle: RwLock::new(None),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The UDF registry (e.g. to register extra plain UDFs).
+    pub fn registry_mut(&mut self) -> &mut UdfRegistry {
+        &mut self.registry
+    }
+
+    /// Connects the DO proxy's oracle for interactive protocol steps.
+    pub fn connect_oracle(&self, oracle: OracleRef) {
+        *self.oracle.write() = Some(oracle);
+    }
+
+    /// Disconnects the oracle (plaintext-only operation).
+    pub fn disconnect_oracle(&self) {
+        *self.oracle.write() = None;
+    }
+
+    /// Registers a fully-built table (the upload path used by the proxy).
+    pub fn load_table(&self, table: Table) -> Result<()> {
+        self.catalog.register_table(table)?;
+        Ok(())
+    }
+
+    /// Executes a single SQL statement (SELECT, CREATE TABLE or INSERT).
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let statement = parse_sql(sql)?;
+        let mut output = self.execute_statement(&statement)?;
+        output.stats.total_time = started.elapsed();
+        Ok(output)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_statement(&self, statement: &Statement) -> Result<QueryOutput> {
+        match statement {
+            Statement::Query(query) => {
+                let plan = PlanBuilder::build(query)?;
+                let oracle = self.oracle.read().clone();
+                let executor = Executor::new(&self.catalog, &self.registry, oracle);
+                let batch = executor.execute(&plan)?;
+                Ok(QueryOutput {
+                    stats: executor.stats(),
+                    batch,
+                })
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| ColumnDef {
+                            name: c.name.clone(),
+                            data_type: c.data_type,
+                            sensitivity: if c.sensitive {
+                                sdb_storage::Sensitivity::Sensitive
+                            } else {
+                                sdb_storage::Sensitivity::Public
+                            },
+                        })
+                        .collect(),
+                );
+                self.catalog.create_table(name, schema)?;
+                Ok(QueryOutput {
+                    batch: RecordBatch::empty(Schema::empty()),
+                    stats: ExecutionStats::default(),
+                })
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let handle = self.catalog.table(table)?;
+                let mut guard = handle.write();
+                let schema = guard.schema().clone();
+                for row in rows {
+                    let values = self.insert_row_values(&schema, columns, row)?;
+                    guard.insert_row(values)?;
+                }
+                Ok(QueryOutput {
+                    batch: RecordBatch::empty(Schema::empty()),
+                    stats: ExecutionStats::default(),
+                })
+            }
+        }
+    }
+
+    /// Maps an INSERT row (possibly with an explicit column list) onto the table's
+    /// schema order, filling unspecified columns with NULL.
+    fn insert_row_values(
+        &self,
+        schema: &Schema,
+        columns: &[String],
+        row: &[sdb_sql::Expr],
+    ) -> Result<Vec<Value>> {
+        let literal_of = |e: &sdb_sql::Expr| -> Result<Value> {
+            match e {
+                sdb_sql::Expr::Literal(lit) => Ok(literal_to_value(lit)),
+                sdb_sql::Expr::Unary {
+                    op: sdb_sql::UnaryOp::Neg,
+                    expr,
+                } => match expr.as_ref() {
+                    sdb_sql::Expr::Literal(lit) => match literal_to_value(lit) {
+                        Value::Int(v) => Ok(Value::Int(-v)),
+                        Value::Decimal { units, scale } => Ok(Value::Decimal {
+                            units: -units,
+                            scale,
+                        }),
+                        other => Err(EngineError::Expression {
+                            detail: format!("cannot negate {other:?} in INSERT"),
+                        }),
+                    },
+                    other => Err(EngineError::Expression {
+                        detail: format!("INSERT values must be literals, found {other:?}"),
+                    }),
+                },
+                other => Err(EngineError::Expression {
+                    detail: format!("INSERT values must be literals, found {other:?}"),
+                }),
+            }
+        };
+
+        if columns.is_empty() {
+            if row.len() != schema.len() {
+                return Err(EngineError::Storage(sdb_storage::StorageError::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.len(),
+                }));
+            }
+            return row.iter().map(literal_of).collect();
+        }
+
+        if columns.len() != row.len() {
+            return Err(EngineError::Storage(sdb_storage::StorageError::ArityMismatch {
+                expected: columns.len(),
+                found: row.len(),
+            }));
+        }
+        let mut values = vec![Value::Null; schema.len()];
+        for (col, expr) in columns.iter().zip(row.iter()) {
+            let idx = schema.index_of(col)?;
+            values[idx] = literal_of(expr)?;
+        }
+        Ok(values)
+    }
+}
+
+impl Default for SpEngine {
+    fn default() -> Self {
+        SpEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_dml_query_roundtrip() {
+        let engine = SpEngine::new();
+        engine
+            .execute_sql("CREATE TABLE accounts (id INT, owner VARCHAR(20), balance DECIMAL(10,2) SENSITIVE)")
+            .unwrap();
+        engine
+            .execute_sql("INSERT INTO accounts VALUES (1, 'ann', 10.50), (2, 'bob', 20.00)")
+            .unwrap();
+        engine
+            .execute_sql("INSERT INTO accounts (id, owner) VALUES (3, 'cat')")
+            .unwrap();
+
+        let out = engine
+            .execute_sql("SELECT owner, balance FROM accounts WHERE id <= 2 ORDER BY id")
+            .unwrap();
+        assert_eq!(out.batch.num_rows(), 2);
+        assert_eq!(out.batch.column(0).get(0), &Value::Str("ann".into()));
+        assert!(out.stats.total_time.as_nanos() > 0);
+
+        let out = engine.execute_sql("SELECT COUNT(*) AS n FROM accounts").unwrap();
+        assert_eq!(out.batch.column(0).get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn sensitive_flag_is_recorded_in_schema() {
+        let engine = SpEngine::new();
+        engine
+            .execute_sql("CREATE TABLE t (a INT, b INT SENSITIVE)")
+            .unwrap();
+        let handle = engine.catalog().table("t").unwrap();
+        let table = handle.read();
+        assert!(!table.schema().column("a").unwrap().sensitivity.is_sensitive());
+        assert!(table.schema().column("b").unwrap().sensitivity.is_sensitive());
+    }
+
+    #[test]
+    fn insert_arity_errors() {
+        let engine = SpEngine::new();
+        engine.execute_sql("CREATE TABLE t (a INT, b INT)").unwrap();
+        assert!(engine.execute_sql("INSERT INTO t VALUES (1)").is_err());
+        assert!(engine.execute_sql("INSERT INTO t (a) VALUES (1, 2)").is_err());
+        assert!(engine.execute_sql("INSERT INTO t (a) VALUES (a + 1)").is_err());
+        assert!(engine.execute_sql("INSERT INTO missing VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn negative_literal_insert() {
+        let engine = SpEngine::new();
+        engine.execute_sql("CREATE TABLE t (a INT)").unwrap();
+        engine.execute_sql("INSERT INTO t VALUES (-5)").unwrap();
+        let out = engine.execute_sql("SELECT a FROM t").unwrap();
+        assert_eq!(out.batch.column(0).get(0), &Value::Int(-5));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let engine = SpEngine::new();
+        engine.execute_sql("CREATE TABLE t (a INT)").unwrap();
+        assert!(engine.execute_sql("CREATE TABLE t (a INT)").is_err());
+    }
+}

@@ -1,0 +1,1384 @@
+//! The physical executor: turns logical plans into record batches against a
+//! catalog, invoking scalar UDFs through the registry and the DO-proxy oracle for
+//! the interactive protocol steps.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use num_bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdb_sql::ast::{BinaryOp, Expr, JoinKind, Query};
+use sdb_sql::plan::{AggFunc, AggregateExpr, LogicalPlan, PlanBuilder, ProjectionItem, SortKey};
+use sdb_storage::{Catalog, Column, ColumnDef, DataType, RecordBatch, Schema, Sensitivity, Value};
+
+use crate::eval::{Evaluator, SubqueryResolver};
+use crate::secure::{
+    oracle_fns, parse_biguint_arg, sign_to_bool, OracleRef, OracleRequest, OracleRequestKind,
+    OracleResponse, OracleRow,
+};
+use crate::stats::ExecutionStats;
+use crate::udf::UdfRegistry;
+use crate::{EngineError, Result};
+
+/// Executes logical plans against a catalog.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    registry: &'a UdfRegistry,
+    oracle: Option<OracleRef>,
+    stats: RefCell<ExecutionStats>,
+    rng: RefCell<StdRng>,
+    subquery_cache: RefCell<HashMap<String, RecordBatch>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor. `oracle` is the connection back to the DO proxy for
+    /// interactive protocol steps; pass `None` for plaintext-only workloads.
+    pub fn new(catalog: &'a Catalog, registry: &'a UdfRegistry, oracle: Option<OracleRef>) -> Self {
+        Executor {
+            catalog,
+            registry,
+            oracle,
+            stats: RefCell::new(ExecutionStats::default()),
+            rng: RefCell::new(StdRng::from_entropy()),
+            subquery_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Uses a fixed RNG seed for the comparison-blinding factors (tests only).
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng = RefCell::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Executes a plan to completion.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<RecordBatch> {
+        let batch = self.execute_inner(plan)?;
+        self.stats.borrow_mut().rows_returned = batch.num_rows();
+        Ok(batch)
+    }
+
+    fn execute_inner(&self, plan: &LogicalPlan) -> Result<RecordBatch> {
+        match plan {
+            LogicalPlan::Scan { table, alias } => self.exec_scan(table, alias.as_deref()),
+            LogicalPlan::Filter { input, predicate } => {
+                let batch = self.execute_inner(input)?;
+                self.exec_filter(batch, predicate)
+            }
+            LogicalPlan::Project { input, items } => {
+                let batch = self.execute_inner(input)?;
+                self.exec_project(batch, items)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let left = self.execute_inner(left)?;
+                let right = self.execute_inner(right)?;
+                self.exec_join(left, right, *kind, on.as_ref())
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let batch = self.execute_inner(input)?;
+                self.exec_aggregate(batch, group_by, aggregates)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let batch = self.execute_inner(input)?;
+                self.exec_sort(batch, keys)
+            }
+            LogicalPlan::Distinct { input } => {
+                let batch = self.execute_inner(input)?;
+                self.exec_distinct(batch)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let batch = self.execute_inner(input)?;
+                Ok(batch.limit(*n as usize))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scan
+    // ------------------------------------------------------------------
+
+    fn exec_scan(&self, table: &str, alias: Option<&str>) -> Result<RecordBatch> {
+        let handle = self.catalog.table(table)?;
+        let guard = handle.read();
+        let batch = guard.scan();
+        let visible = alias.unwrap_or(table);
+        self.stats.borrow_mut().rows_scanned += batch.num_rows();
+
+        // Qualify column names with the visible table name so joins and qualified
+        // references resolve; bare references still work through suffix matching.
+        let qualified = Schema::new(
+            batch
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| ColumnDef {
+                    name: format!("{visible}.{}", c.name),
+                    data_type: c.data_type,
+                    sensitivity: c.sensitivity,
+                })
+                .collect(),
+        );
+        RecordBatch::new(qualified, batch.columns().to_vec()).map_err(Into::into)
+    }
+
+    // ------------------------------------------------------------------
+    // Filter
+    // ------------------------------------------------------------------
+
+    fn exec_filter(&self, batch: RecordBatch, predicate: &Expr) -> Result<RecordBatch> {
+        let mut exprs = vec![bind_to_existing_columns(predicate, batch.schema())];
+        let batch = self.resolve_oracle_calls(batch, &mut exprs)?;
+        let predicate = &exprs[0];
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+        let mut mask = Vec::with_capacity(batch.num_rows());
+        for row in 0..batch.num_rows() {
+            mask.push(evaluator.evaluate_predicate(predicate, &batch, row)?);
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+        batch.filter(&mask).map_err(Into::into)
+    }
+
+    // ------------------------------------------------------------------
+    // Project
+    // ------------------------------------------------------------------
+
+    fn exec_project(&self, batch: RecordBatch, items: &[ProjectionItem]) -> Result<RecordBatch> {
+        enum Output {
+            Passthrough(usize),
+            Computed { index: usize, name: String },
+        }
+
+        let original_columns = batch.num_columns();
+        let mut outputs = Vec::new();
+        let mut exprs = Vec::new();
+        for item in items {
+            match item {
+                ProjectionItem::Wildcard => {
+                    for i in 0..original_columns {
+                        outputs.push(Output::Passthrough(i));
+                    }
+                }
+                ProjectionItem::Named { expr, name } => {
+                    outputs.push(Output::Computed {
+                        index: exprs.len(),
+                        name: name.clone(),
+                    });
+                    // Expressions that literally name an input column (e.g. the
+                    // projection of a GROUP BY expression such as `YEAR(d)` above an
+                    // aggregate whose output column is named "YEAR(d)") bind to that
+                    // column instead of being re-evaluated.
+                    exprs.push(bind_to_existing_columns(expr, batch.schema()));
+                }
+            }
+        }
+
+        let batch = self.resolve_oracle_calls(batch, &mut exprs)?;
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+
+        // Evaluate all computed expressions for all rows.
+        let mut computed: Vec<Vec<Value>> = vec![Vec::with_capacity(batch.num_rows()); exprs.len()];
+        for row in 0..batch.num_rows() {
+            for (i, expr) in exprs.iter().enumerate() {
+                computed[i].push(evaluator.evaluate(expr, &batch, row)?);
+            }
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+
+        let mut defs = Vec::new();
+        let mut columns = Vec::new();
+        for output in &outputs {
+            match output {
+                Output::Passthrough(i) => {
+                    defs.push(batch.schema().column_at(*i).clone());
+                    columns.push(batch.column(*i).clone());
+                }
+                Output::Computed { index, name } => {
+                    let values = std::mem::take(&mut computed[*index]);
+                    let def = infer_column_def(name, &exprs[*index], &values, batch.schema());
+                    let column = Column::from_values(def.data_type, values)?;
+                    defs.push(def);
+                    columns.push(column);
+                }
+            }
+        }
+        RecordBatch::new(Schema::new(defs), columns).map_err(Into::into)
+    }
+
+    // ------------------------------------------------------------------
+    // Join
+    // ------------------------------------------------------------------
+
+    fn exec_join(
+        &self,
+        left: RecordBatch,
+        right: RecordBatch,
+        kind: JoinKind,
+        on: Option<&Expr>,
+    ) -> Result<RecordBatch> {
+        let combined_schema = left.schema().join(right.schema());
+
+        // Split the ON condition into hash-joinable equality pairs and a residual
+        // predicate evaluated on the combined rows.
+        let mut left_keys: Vec<Expr> = Vec::new();
+        let mut right_keys: Vec<Expr> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+        if let Some(on) = on {
+            for conjunct in split_conjuncts(on) {
+                match classify_equi_conjunct(&conjunct, left.schema(), right.schema()) {
+                    Some((l, r)) => {
+                        left_keys.push(l);
+                        right_keys.push(r);
+                    }
+                    None => residual.push(conjunct),
+                }
+            }
+        }
+
+        let joined_rows: Vec<Vec<Value>> = if !left_keys.is_empty() {
+            self.hash_join(&left, &right, &left_keys, &right_keys, kind)?
+        } else {
+            self.nested_loop_join(&left, &right, kind, on)?
+        };
+
+        let mut batch = RecordBatch::from_rows(combined_schema, joined_rows)?;
+
+        // Apply residual conjuncts (only relevant when we hash-joined).
+        if !left_keys.is_empty() && !residual.is_empty() {
+            let predicate = residual
+                .into_iter()
+                .reduce(|a, b| Expr::binary(a, BinaryOp::And, b))
+                .expect("non-empty residual");
+            batch = self.exec_filter(batch, &predicate)?;
+        }
+        Ok(batch)
+    }
+
+    fn hash_join(
+        &self,
+        left: &RecordBatch,
+        right: &RecordBatch,
+        left_keys: &[Expr],
+        right_keys: &[Expr],
+        kind: JoinKind,
+    ) -> Result<Vec<Vec<Value>>> {
+        // Resolve oracle calls (e.g. SDB_GROUP_TAG join keys) per side.
+        let mut lk = left_keys.to_vec();
+        let left_batch = self.resolve_oracle_calls(left.clone(), &mut lk)?;
+        let mut rk = right_keys.to_vec();
+        let right_batch = self.resolve_oracle_calls(right.clone(), &mut rk)?;
+
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+        let key_of = |exprs: &[Expr], batch: &RecordBatch, row: usize| -> Result<Option<String>> {
+            let mut parts = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                let v = evaluator.evaluate(e, batch, row)?;
+                if v.is_null() {
+                    return Ok(None); // NULL join keys never match.
+                }
+                parts.push(join_key_component(&v));
+            }
+            Ok(Some(parts.join("\u{1f}")))
+        };
+
+        // Build hash table on the right side.
+        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        for row in 0..right_batch.num_rows() {
+            if let Some(key) = key_of(&rk, &right_batch, row)? {
+                table.entry(key).or_default().push(row);
+            }
+        }
+
+        let right_width = right.num_columns();
+        let mut rows = Vec::new();
+        for lrow in 0..left_batch.num_rows() {
+            let mut matched = false;
+            if let Some(key) = key_of(&lk, &left_batch, lrow)? {
+                if let Some(matches) = table.get(&key) {
+                    for &rrow in matches {
+                        let mut row = left.row(lrow);
+                        row.extend(right.row(rrow));
+                        rows.push(row);
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = left.row(lrow);
+                row.extend(std::iter::repeat(Value::Null).take(right_width));
+                rows.push(row);
+            }
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+        Ok(rows)
+    }
+
+    fn nested_loop_join(
+        &self,
+        left: &RecordBatch,
+        right: &RecordBatch,
+        kind: JoinKind,
+        on: Option<&Expr>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let combined_schema = left.schema().join(right.schema());
+        let right_width = right.num_columns();
+
+        // Pre-resolve oracle calls over the cross product is wasteful; the rewriter
+        // never emits oracle calls inside non-equi ON conditions, so evaluate the
+        // predicate directly (it may still use plain UDFs and subqueries).
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+        let mut rows = Vec::new();
+        for lrow in 0..left.num_rows() {
+            let mut matched = false;
+            for rrow in 0..right.num_rows() {
+                let mut row = left.row(lrow);
+                row.extend(right.row(rrow));
+                let keep = match on {
+                    None => true,
+                    Some(pred) => {
+                        let probe = RecordBatch::from_rows(combined_schema.clone(), vec![row.clone()])?;
+                        evaluator.evaluate_predicate(pred, &probe, 0)?
+                    }
+                };
+                if keep {
+                    rows.push(row);
+                    matched = true;
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut row = left.row(lrow);
+                row.extend(std::iter::repeat(Value::Null).take(right_width));
+                rows.push(row);
+            }
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+        Ok(rows)
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregate
+    // ------------------------------------------------------------------
+
+    fn exec_aggregate(
+        &self,
+        batch: RecordBatch,
+        group_by: &[(Expr, String)],
+        aggregates: &[AggregateExpr],
+    ) -> Result<RecordBatch> {
+        // Resolve oracle calls appearing in grouping expressions or aggregate args.
+        let mut exprs: Vec<Expr> = group_by.iter().map(|(e, _)| e.clone()).collect();
+        let arg_offset = exprs.len();
+        for agg in aggregates {
+            exprs.push(agg.arg.clone().unwrap_or(Expr::Literal(sdb_sql::ast::Literal::Int(1))));
+        }
+        let batch = self.resolve_oracle_calls(batch, &mut exprs)?;
+        let group_exprs = &exprs[..arg_offset];
+        let agg_args = &exprs[arg_offset..];
+
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in 0..batch.num_rows() {
+            let mut key_values = Vec::with_capacity(group_exprs.len());
+            for e in group_exprs {
+                key_values.push(evaluator.evaluate(e, &batch, row)?);
+            }
+            let key: String = key_values
+                .iter()
+                .map(join_key_component)
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push((key_values, vec![row]));
+                }
+            }
+        }
+        // A global aggregate over an empty input still produces one row.
+        if groups.is_empty() && group_exprs.is_empty() {
+            groups.push((vec![], vec![]));
+        }
+
+        // Evaluate aggregate arguments per row per aggregate.
+        let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+        for (key_values, rows) in &groups {
+            let mut out = key_values.clone();
+            for (agg, arg_expr) in aggregates.iter().zip(agg_args.iter()) {
+                let mut values = Vec::with_capacity(rows.len());
+                for &row in rows {
+                    values.push(evaluator.evaluate(arg_expr, &batch, row)?);
+                }
+                out.push(compute_aggregate(agg, rows.len(), values)?);
+            }
+            out_rows.push(out);
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+
+        // Output schema: group columns then aggregate columns.
+        let mut defs = Vec::new();
+        for (i, (_, name)) in group_by.iter().enumerate() {
+            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+            defs.push(infer_column_def(name, &group_exprs[i], &values, batch.schema()));
+        }
+        for (j, agg) in aggregates.iter().enumerate() {
+            let i = group_by.len() + j;
+            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+            // Aggregate outputs take their type from the produced values (SUM over
+            // INT is INT, AVG is DECIMAL(4), encrypted SUM is ENCRYPTED, …).
+            let data_type = values
+                .iter()
+                .find_map(|v| v.data_type())
+                .unwrap_or(DataType::Int);
+            let sensitivity = if data_type.is_encrypted() && data_type != DataType::Tag {
+                Sensitivity::Sensitive
+            } else {
+                Sensitivity::Public
+            };
+            defs.push(ColumnDef {
+                name: agg.name.clone(),
+                data_type,
+                sensitivity,
+            });
+        }
+        RecordBatch::from_rows(Schema::new(defs), out_rows).map_err(Into::into)
+    }
+
+    // ------------------------------------------------------------------
+    // Sort / Distinct
+    // ------------------------------------------------------------------
+
+    fn exec_sort(&self, batch: RecordBatch, keys: &[SortKey]) -> Result<RecordBatch> {
+        let mut exprs: Vec<Expr> = keys
+            .iter()
+            .map(|k| bind_to_existing_columns(&k.expr, batch.schema()))
+            .collect();
+        let batch = self.resolve_oracle_calls(batch, &mut exprs)?;
+        let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+
+        let mut key_values: Vec<Vec<Value>> = Vec::with_capacity(batch.num_rows());
+        for row in 0..batch.num_rows() {
+            let mut kv = Vec::with_capacity(exprs.len());
+            for e in &exprs {
+                kv.push(evaluator.evaluate(e, &batch, row)?);
+            }
+            key_values.push(kv);
+        }
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+
+        let mut order: Vec<usize> = (0..batch.num_rows()).collect();
+        order.sort_by(|&a, &b| {
+            for (i, key) in keys.iter().enumerate() {
+                let ord = key_values[a][i].cmp_total(&key_values[b][i]);
+                let ord = if key.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        batch.reorder(&order).map_err(Into::into)
+    }
+
+    fn exec_distinct(&self, batch: RecordBatch) -> Result<RecordBatch> {
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        let mut mask = Vec::with_capacity(batch.num_rows());
+        for row in 0..batch.num_rows() {
+            let key: String = batch
+                .row(row)
+                .iter()
+                .map(join_key_component)
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            mask.push(seen.insert(key, ()).is_none());
+        }
+        batch.filter(&mask).map_err(Into::into)
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle pre-pass
+    // ------------------------------------------------------------------
+
+    /// Finds oracle-backed pseudo-function calls in `exprs`, resolves each with one
+    /// batched oracle round trip, appends the per-row results to `batch` as virtual
+    /// columns, and rewrites `exprs` to reference those columns.
+    fn resolve_oracle_calls(&self, batch: RecordBatch, exprs: &mut [Expr]) -> Result<RecordBatch> {
+        let mut calls: Vec<Expr> = Vec::new();
+        for e in exprs.iter() {
+            collect_oracle_calls(e, &mut calls);
+        }
+        if calls.is_empty() {
+            return Ok(batch);
+        }
+        let oracle = self.oracle.as_ref().ok_or_else(|| EngineError::OracleUnavailable {
+            operation: calls[0].to_string(),
+        })?;
+
+        let mut batch = batch;
+        for call in calls {
+            let rendered = call.to_string();
+            if batch.schema().index_of(&rendered).is_ok() {
+                continue; // already materialised by an earlier expression
+            }
+            let (name, args) = match &call {
+                Expr::Function { name, args, .. } => (name.to_ascii_uppercase(), args),
+                _ => unreachable!("collect_oracle_calls only returns function nodes"),
+            };
+            let is_cmp = oracle_fns::is_cmp_fn(&name);
+            let expected_arity = if is_cmp { 4 } else { 3 };
+            if args.len() != expected_arity {
+                return Err(EngineError::UdfInvocation {
+                    name: name.clone(),
+                    detail: format!("expected {expected_arity} arguments, found {}", args.len()),
+                });
+            }
+            let handle = literal_string(&args[2]).ok_or_else(|| EngineError::UdfInvocation {
+                name: name.clone(),
+                detail: "third argument must be a string key handle".into(),
+            })?;
+            let modulus = if is_cmp {
+                Some(parse_biguint_arg(
+                    &name,
+                    &literal_string(&args[3]).ok_or_else(|| EngineError::UdfInvocation {
+                        name: name.clone(),
+                        detail: "fourth argument must be the public modulus as a string".into(),
+                    })?,
+                )?)
+            } else {
+                None
+            };
+
+            // Evaluate the share and row-id expressions for every row.
+            let evaluator = Evaluator::new(self.registry).with_subqueries(self);
+            let mut present_rows: Vec<usize> = Vec::new();
+            let mut oracle_rows: Vec<OracleRow> = Vec::new();
+            for row in 0..batch.num_rows() {
+                let share = evaluator.evaluate(&args[0], &batch, row)?;
+                let row_id = evaluator.evaluate(&args[1], &batch, row)?;
+                if share.is_null() || row_id.is_null() {
+                    continue;
+                }
+                let mut share = share.as_encrypted()?.clone();
+                let row_id = row_id.as_encrypted_row_id()?.clone();
+                if let Some(n) = &modulus {
+                    // Blind the difference with a fresh positive factor so the DO
+                    // proxy (and anything watching the channel) learns only signs.
+                    let factor: u64 = self.rng.borrow_mut().gen_range(1..(1u64 << 30));
+                    share = share * BigUint::from(factor) % n;
+                }
+                present_rows.push(row);
+                oracle_rows.push(OracleRow { row_id, share });
+            }
+            self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+
+            let kind = if is_cmp {
+                OracleRequestKind::Sign
+            } else if name == oracle_fns::GROUP_TAG {
+                OracleRequestKind::GroupTag
+            } else {
+                OracleRequestKind::Rank
+            };
+            let request = OracleRequest {
+                kind,
+                handle,
+                rows: oracle_rows,
+            };
+
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.oracle_round_trips += 1;
+                stats.oracle_rows_shipped += request.rows.len();
+                stats.oracle_bytes_shipped += request.approx_size_bytes();
+            }
+            let start = Instant::now();
+            let response = oracle
+                .resolve(request)
+                .map_err(|e| EngineError::OracleProtocol { detail: e })?;
+            self.stats.borrow_mut().oracle_time += start.elapsed();
+
+            if response.len() != present_rows.len() {
+                return Err(EngineError::OracleProtocol {
+                    detail: format!(
+                        "oracle returned {} answers for {} rows",
+                        response.len(),
+                        present_rows.len()
+                    ),
+                });
+            }
+
+            // Scatter the per-row answers into a full-length column (NULL where the
+            // inputs were NULL).
+            let mut values = vec![Value::Null; batch.num_rows()];
+            let data_type = match &response {
+                OracleResponse::Signs(signs) => {
+                    for (pos, sign) in present_rows.iter().zip(signs.iter()) {
+                        values[*pos] = Value::Bool(sign_to_bool(&name, *sign)?);
+                    }
+                    DataType::Bool
+                }
+                OracleResponse::Tags(tags) => {
+                    for (pos, tag) in present_rows.iter().zip(tags.iter()) {
+                        values[*pos] = Value::Tag(*tag);
+                    }
+                    DataType::Tag
+                }
+                OracleResponse::Ranks(ranks) => {
+                    for (pos, rank) in present_rows.iter().zip(ranks.iter()) {
+                        values[*pos] = Value::Int(*rank as i64);
+                    }
+                    DataType::Int
+                }
+            };
+
+            batch = append_virtual_column(&batch, ColumnDef::public(&rendered, data_type), values)?;
+        }
+
+        // Rewrite the expressions to reference the virtual columns.
+        for e in exprs.iter_mut() {
+            *e = replace_oracle_calls(e);
+        }
+        Ok(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subquery resolution
+// ---------------------------------------------------------------------------
+
+impl SubqueryResolver for Executor<'_> {
+    fn scalar(&self, query: &Query) -> Result<Value> {
+        let batch = self.run_subquery(query)?;
+        if batch.num_columns() != 1 {
+            return Err(EngineError::Expression {
+                detail: "scalar subquery must return exactly one column".into(),
+            });
+        }
+        match batch.num_rows() {
+            0 => Ok(Value::Null),
+            1 => Ok(batch.column(0).get(0).clone()),
+            n => Err(EngineError::Expression {
+                detail: format!("scalar subquery returned {n} rows"),
+            }),
+        }
+    }
+
+    fn column(&self, query: &Query) -> Result<Vec<Value>> {
+        let batch = self.run_subquery(query)?;
+        if batch.num_columns() == 0 {
+            return Ok(vec![]);
+        }
+        Ok(batch.column(0).values().to_vec())
+    }
+}
+
+impl Executor<'_> {
+    fn run_subquery(&self, query: &Query) -> Result<RecordBatch> {
+        let key = query.to_string();
+        if let Some(cached) = self.subquery_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let plan = PlanBuilder::build(query)?;
+        // Subqueries share the catalog, registry and oracle but keep their own stats
+        // scratch; the numbers are merged into the parent's totals.
+        let sub = Executor::new(self.catalog, self.registry, self.oracle.clone());
+        let batch = sub.execute(&plan)?;
+        self.stats.borrow_mut().merge(&sub.stats());
+        self.subquery_cache.borrow_mut().insert(key, batch.clone());
+        Ok(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Replaces every subexpression whose rendered text names an existing input column
+/// with a reference to that column. This is how projections and sort keys above an
+/// aggregate re-use the aggregate's group-expression outputs (whose column names are
+/// the rendered expressions, e.g. `YEAR(o.o_orderdate)` or an `SDB_GROUP_TAG(…)`
+/// call) instead of re-evaluating them against a schema that no longer carries the
+/// original inputs.
+fn bind_to_existing_columns(expr: &Expr, schema: &Schema) -> Expr {
+    if !matches!(expr, Expr::Column(_) | Expr::Literal(_))
+        && schema.index_of(&expr.to_string()).is_ok()
+    {
+        return Expr::Column(expr.to_string());
+    }
+    match expr {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bind_to_existing_columns(expr, schema)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(bind_to_existing_columns(left, schema)),
+            op: *op,
+            right: Box::new(bind_to_existing_columns(right, schema)),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            wildcard,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| bind_to_existing_columns(a, schema))
+                .collect(),
+            distinct: *distinct,
+            wildcard: *wildcard,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| Box::new(bind_to_existing_columns(o, schema))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    (
+                        bind_to_existing_columns(w, schema),
+                        bind_to_existing_columns(t, schema),
+                    )
+                })
+                .collect(),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(bind_to_existing_columns(e, schema))),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(bind_to_existing_columns(expr, schema)),
+            low: Box::new(bind_to_existing_columns(low, schema)),
+            high: Box::new(bind_to_existing_columns(high, schema)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(bind_to_existing_columns(expr, schema)),
+            list: list
+                .iter()
+                .map(|e| bind_to_existing_columns(e, schema))
+                .collect(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// If `conjunct` is `left_side_expr = right_side_expr` (in either order), returns
+/// the pair oriented as (left-side key, right-side key).
+fn classify_equi_conjunct(conjunct: &Expr, left: &Schema, right: &Schema) -> Option<(Expr, Expr)> {
+    let Expr::Binary {
+        left: a,
+        op: BinaryOp::Eq,
+        right: b,
+    } = conjunct
+    else {
+        return None;
+    };
+    let side = |e: &Expr| -> Option<bool> {
+        // true = resolves entirely against the left schema, false = right.
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        if cols.is_empty() {
+            return None;
+        }
+        if cols.iter().all(|c| left.index_of(c).is_ok()) {
+            Some(true)
+        } else if cols.iter().all(|c| right.index_of(c).is_ok()) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match (side(a), side(b)) {
+        (Some(true), Some(false)) => Some((a.as_ref().clone(), b.as_ref().clone())),
+        (Some(false), Some(true)) => Some((b.as_ref().clone(), a.as_ref().clone())),
+        _ => None,
+    }
+}
+
+/// Canonical string form of a value used as a join / grouping / distinct key.
+/// Numerics are normalised so `1`, `1.0` and `1.00` agree.
+fn join_key_component(v: &Value) -> String {
+    match v {
+        Value::Null => "\u{0}NULL".to_string(),
+        Value::Int(_) | Value::Decimal { .. } | Value::Date(_) | Value::Bool(_) => v
+            .as_scaled_i128(4)
+            .map(|x| format!("n{x}"))
+            .unwrap_or_else(|_| v.render()),
+        Value::Str(s) => format!("s{s}"),
+        Value::Tag(t) => format!("t{t}"),
+        Value::Encrypted(e) => format!("e{e}"),
+        Value::EncryptedRowId(_) => format!("r{:?}", v),
+    }
+}
+
+fn literal_string(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Literal(sdb_sql::ast::Literal::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn collect_oracle_calls(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Function { name, .. } = expr {
+        if oracle_fns::is_oracle_fn(name) {
+            if !out.iter().any(|e| e.to_string() == expr.to_string()) {
+                out.push(expr.clone());
+            }
+            return; // arguments are evaluated by the pre-pass itself
+        }
+    }
+    match expr {
+        Expr::Unary { expr, .. } => collect_oracle_calls(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_oracle_calls(left, out);
+            collect_oracle_calls(right, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_oracle_calls(a, out);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_oracle_calls(o, out);
+            }
+            for (w, t) in branches {
+                collect_oracle_calls(w, out);
+                collect_oracle_calls(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_oracle_calls(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_oracle_calls(expr, out);
+            collect_oracle_calls(low, out);
+            collect_oracle_calls(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_oracle_calls(expr, out);
+            for e in list {
+                collect_oracle_calls(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Replaces resolved oracle calls with references to their virtual columns.
+fn replace_oracle_calls(expr: &Expr) -> Expr {
+    if let Expr::Function { name, .. } = expr {
+        if oracle_fns::is_oracle_fn(name) {
+            return Expr::Column(expr.to_string());
+        }
+    }
+    match expr {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(replace_oracle_calls(expr)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(replace_oracle_calls(left)),
+            op: *op,
+            right: Box::new(replace_oracle_calls(right)),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            wildcard,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(replace_oracle_calls).collect(),
+            distinct: *distinct,
+            wildcard: *wildcard,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(replace_oracle_calls(o))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (replace_oracle_calls(w), replace_oracle_calls(t)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(replace_oracle_calls(e))),
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(replace_oracle_calls(expr)),
+            low: Box::new(replace_oracle_calls(low)),
+            high: Box::new(replace_oracle_calls(high)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(replace_oracle_calls(expr)),
+            list: list.iter().map(replace_oracle_calls).collect(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn append_virtual_column(
+    batch: &RecordBatch,
+    def: ColumnDef,
+    values: Vec<Value>,
+) -> Result<RecordBatch> {
+    let mut defs = batch.schema().columns().to_vec();
+    defs.push(def.clone());
+    let mut columns = batch.columns().to_vec();
+    // Virtual columns may mix NULLs with typed values; push unchecked since the
+    // values come from the oracle mapping above.
+    let mut column = Column::new(def.data_type);
+    for v in values {
+        column.push_unchecked(v);
+    }
+    columns.push(column);
+    RecordBatch::new(Schema::new(defs), columns).map_err(Into::into)
+}
+
+/// Infers the output column definition for a computed column from its expression
+/// and produced values.
+fn infer_column_def(name: &str, expr: &Expr, values: &[Value], input: &Schema) -> ColumnDef {
+    // A bare column reference keeps its input definition (type and sensitivity).
+    if let Expr::Column(col) = expr {
+        if let Ok(idx) = input.index_of(col) {
+            let def = input.column_at(idx);
+            return ColumnDef {
+                name: name.to_string(),
+                data_type: def.data_type,
+                sensitivity: def.sensitivity,
+            };
+        }
+    }
+    let data_type = values
+        .iter()
+        .find_map(|v| v.data_type())
+        .unwrap_or(DataType::Int);
+    let sensitivity = if data_type.is_encrypted() && data_type != DataType::Tag {
+        Sensitivity::Sensitive
+    } else {
+        Sensitivity::Public
+    };
+    ColumnDef {
+        name: name.to_string(),
+        data_type,
+        sensitivity,
+    }
+}
+
+/// Computes one aggregate over the values of one group.
+fn compute_aggregate(agg: &AggregateExpr, group_size: usize, values: Vec<Value>) -> Result<Value> {
+    let non_null: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
+    let distinct_filter = |vals: Vec<Value>| -> Vec<Value> {
+        if !agg.distinct {
+            return vals;
+        }
+        let mut seen = std::collections::HashSet::new();
+        vals.into_iter()
+            .filter(|v| seen.insert(join_key_component(v)))
+            .collect()
+    };
+
+    match agg.func {
+        AggFunc::Count => {
+            if agg.arg.is_none() {
+                Ok(Value::Int(group_size as i64))
+            } else {
+                Ok(Value::Int(distinct_filter(non_null).len() as i64))
+            }
+        }
+        AggFunc::Sum => {
+            let vals = distinct_filter(non_null);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            if vals.iter().any(|v| matches!(v, Value::Encrypted(_))) {
+                // Encrypted SUM: fold with plain big-integer addition. Each share is
+                // a canonical residue, so the integer sum is congruent to the modular
+                // sum; the proxy reduces modulo n when it decrypts.
+                let mut acc = BigUint::from(0u32);
+                for v in &vals {
+                    acc += v.as_encrypted()?;
+                }
+                return Ok(Value::Encrypted(acc));
+            }
+            let scale = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Decimal { scale, .. } => *scale,
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            let mut acc: i128 = 0;
+            for v in &vals {
+                acc += v.as_scaled_i128(scale).map_err(EngineError::Storage)?;
+            }
+            if scale == 0 {
+                Ok(Value::Int(acc as i64))
+            } else {
+                Ok(Value::Decimal {
+                    units: acc as i64,
+                    scale,
+                })
+            }
+        }
+        AggFunc::Avg => {
+            let vals = distinct_filter(non_null);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc: i128 = 0;
+            for v in &vals {
+                acc += v.as_scaled_i128(4).map_err(EngineError::Storage)?;
+            }
+            Ok(Value::Decimal {
+                units: (acc / vals.len() as i128) as i64,
+                scale: 4,
+            })
+        }
+        AggFunc::Min => Ok(non_null
+            .into_iter()
+            .min_by(|a, b| a.cmp_total(b))
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(non_null
+            .into_iter()
+            .max_by(|a, b| a.cmp_total(b))
+            .unwrap_or(Value::Null)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_sql::{parse_sql, Statement};
+
+    fn setup_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let emp_schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::public("name", DataType::Varchar),
+            ColumnDef::public("dept_id", DataType::Int),
+            ColumnDef::public("salary", DataType::Int),
+        ]);
+        let emp = catalog.create_table("emp", emp_schema).unwrap();
+        {
+            let mut t = emp.write();
+            for (id, name, dept, salary) in [
+                (1, "ann", 10, 100),
+                (2, "bob", 10, 200),
+                (3, "cat", 20, 300),
+                (4, "dan", 20, 400),
+                (5, "eve", 30, 500),
+            ] {
+                t.insert_row(vec![
+                    Value::Int(id),
+                    Value::Str(name.into()),
+                    Value::Int(dept),
+                    Value::Int(salary),
+                ])
+                .unwrap();
+            }
+        }
+        let dept_schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::public("dept_name", DataType::Varchar),
+        ]);
+        let dept = catalog.create_table("dept", dept_schema).unwrap();
+        {
+            let mut t = dept.write();
+            for (id, name) in [(10, "eng"), (20, "ops"), (40, "hr")] {
+                t.insert_row(vec![Value::Int(id), Value::Str(name.into())]).unwrap();
+            }
+        }
+        catalog
+    }
+
+    fn run(catalog: &Catalog, sql: &str) -> RecordBatch {
+        let registry = UdfRegistry::with_sdb_udfs();
+        let executor = Executor::new(catalog, &registry, None);
+        let Statement::Query(q) = parse_sql(sql).unwrap() else {
+            panic!("expected query")
+        };
+        let plan = PlanBuilder::build(&q).unwrap();
+        executor
+            .execute(&plan)
+            .unwrap_or_else(|e| panic!("query failed: {sql}: {e}"))
+    }
+
+    #[test]
+    fn scan_and_project() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT name, salary * 2 AS double_pay FROM emp");
+        assert_eq!(batch.num_rows(), 5);
+        assert_eq!(batch.schema().column_at(1).name, "double_pay");
+        assert_eq!(batch.column(1).get(0), &Value::Int(200));
+    }
+
+    #[test]
+    fn filter_rows() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT name FROM emp WHERE salary > 250 AND dept_id = 20");
+        assert_eq!(batch.num_rows(), 2);
+        let names: Vec<String> = batch
+            .column(0)
+            .values()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["cat", "dan"]);
+    }
+
+    #[test]
+    fn wildcard_select() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT * FROM emp WHERE id = 1");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.num_columns(), 4);
+        assert_eq!(batch.schema().column_at(0).name, "emp.id");
+    }
+
+    #[test]
+    fn inner_join() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT e.name, d.dept_name FROM emp e JOIN dept d ON e.dept_id = d.id ORDER BY e.name",
+        );
+        assert_eq!(batch.num_rows(), 4); // eve's dept 30 has no match
+        assert_eq!(batch.column(1).get(0).as_str().unwrap(), "eng");
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT e.name, d.dept_name FROM emp e LEFT JOIN dept d ON e.dept_id = d.id ORDER BY e.id",
+        );
+        assert_eq!(batch.num_rows(), 5);
+        assert!(batch.column(1).get(4).is_null());
+    }
+
+    #[test]
+    fn implicit_join_with_where() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT e.name FROM emp e, dept d WHERE e.dept_id = d.id AND d.dept_name = 'ops' ORDER BY e.name",
+        );
+        assert_eq!(batch.num_rows(), 2);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT dept_id, COUNT(*) AS c, SUM(salary) AS total, AVG(salary) AS mean, MIN(salary) AS lo, MAX(salary) AS hi FROM emp GROUP BY dept_id ORDER BY dept_id",
+        );
+        assert_eq!(batch.num_rows(), 3);
+        // dept 10: count 2, sum 300, avg 150, min 100, max 200
+        assert_eq!(batch.column(1).get(0), &Value::Int(2));
+        assert_eq!(batch.column(2).get(0), &Value::Int(300));
+        assert_eq!(batch.column(3).get(0), &Value::Decimal { units: 1_500_000, scale: 4 });
+        assert_eq!(batch.column(4).get(0), &Value::Int(100));
+        assert_eq!(batch.column(5).get(0), &Value::Int(200));
+    }
+
+    #[test]
+    fn global_aggregate_and_having() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.column(0).get(0), &Value::Int(5));
+        assert_eq!(batch.column(1).get(0), &Value::Int(1500));
+
+        let batch = run(
+            &catalog,
+            "SELECT dept_id, SUM(salary) AS s FROM emp GROUP BY dept_id HAVING SUM(salary) > 400 ORDER BY s DESC",
+        );
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.column(1).get(0), &Value::Int(700));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp WHERE id > 99");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.column(0).get(0), &Value::Int(0));
+        assert!(batch.column(1).get(0).is_null());
+    }
+
+    #[test]
+    fn order_limit_distinct() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT salary FROM emp ORDER BY salary DESC LIMIT 2");
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.column(0).get(0), &Value::Int(500));
+
+        let batch = run(&catalog, "SELECT DISTINCT dept_id FROM emp ORDER BY dept_id");
+        assert_eq!(batch.num_rows(), 3);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let catalog = setup_catalog();
+        let batch = run(&catalog, "SELECT COUNT(DISTINCT dept_id) AS d FROM emp");
+        assert_eq!(batch.column(0).get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn in_subquery_and_scalar_subquery() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT name FROM emp WHERE dept_id IN (SELECT id FROM dept WHERE dept_name = 'eng')",
+        );
+        assert_eq!(batch.num_rows(), 2);
+
+        let batch = run(
+            &catalog,
+            "SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY name",
+        );
+        assert_eq!(batch.num_rows(), 2); // 400 and 500 above the mean of 300
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT dept_name FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 1000)",
+        );
+        assert_eq!(batch.num_rows(), 0);
+        let batch = run(
+            &catalog,
+            "SELECT dept_name FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 400)",
+        );
+        assert_eq!(batch.num_rows(), 3);
+    }
+
+    #[test]
+    fn case_in_aggregation() {
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT SUM(CASE WHEN dept_id = 10 THEN salary ELSE 0 END) AS eng_total FROM emp",
+        );
+        assert_eq!(batch.column(0).get(0), &Value::Int(300));
+    }
+
+    #[test]
+    fn stats_track_scans_and_rows() {
+        let catalog = setup_catalog();
+        let registry = UdfRegistry::with_sdb_udfs();
+        let executor = Executor::new(&catalog, &registry, None);
+        let Statement::Query(q) = parse_sql("SELECT * FROM emp WHERE salary > 250").unwrap() else {
+            panic!()
+        };
+        let plan = PlanBuilder::build(&q).unwrap();
+        let batch = executor.execute(&plan).unwrap();
+        let stats = executor.stats();
+        assert_eq!(stats.rows_scanned, 5);
+        assert_eq!(stats.rows_returned, batch.num_rows());
+        assert_eq!(stats.oracle_round_trips, 0);
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let catalog = setup_catalog();
+        let registry = UdfRegistry::with_sdb_udfs();
+        let executor = Executor::new(&catalog, &registry, None);
+        let Statement::Query(q) = parse_sql("SELECT * FROM nope").unwrap() else {
+            panic!()
+        };
+        assert!(executor.execute(&PlanBuilder::build(&q).unwrap()).is_err());
+
+        let Statement::Query(q) = parse_sql("SELECT ghost FROM emp").unwrap() else {
+            panic!()
+        };
+        assert!(executor.execute(&PlanBuilder::build(&q).unwrap()).is_err());
+    }
+
+    #[test]
+    fn oracle_required_for_secure_comparison() {
+        let catalog = setup_catalog();
+        // Add an "encrypted" column scenario artificially: a filter that calls an
+        // oracle function must fail without an oracle connected.
+        let registry = UdfRegistry::with_sdb_udfs();
+        let executor = Executor::new(&catalog, &registry, None);
+        let Statement::Query(q) =
+            parse_sql("SELECT name FROM emp WHERE SDB_CMP_GT(salary, id, 'h', '35')").unwrap()
+        else {
+            panic!()
+        };
+        let err = executor.execute(&PlanBuilder::build(&q).unwrap());
+        assert!(matches!(err, Err(EngineError::OracleUnavailable { .. })));
+    }
+}

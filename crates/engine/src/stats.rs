@@ -1,0 +1,109 @@
+//! Execution statistics: the raw numbers behind the demo's cost breakdown
+//! (experiment E3) and the upload accounting (experiment E2).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected while executing one query at the SP.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Rows read from base tables.
+    pub rows_scanned: usize,
+    /// Rows produced by the root operator.
+    pub rows_returned: usize,
+    /// Number of scalar UDF invocations (SDB or plain).
+    pub udf_calls: usize,
+    /// Number of oracle round trips to the DO proxy.
+    pub oracle_round_trips: usize,
+    /// Rows shipped to the oracle across all round trips.
+    pub oracle_rows_shipped: usize,
+    /// Approximate bytes shipped to the oracle.
+    pub oracle_bytes_shipped: usize,
+    /// Wall-clock time spent inside oracle calls (this is *client* work from the
+    /// SP's point of view).
+    #[serde(with = "duration_micros")]
+    pub oracle_time: Duration,
+    /// Total wall-clock execution time at the SP (including oracle waits).
+    #[serde(with = "duration_micros")]
+    pub total_time: Duration,
+}
+
+impl ExecutionStats {
+    /// Time spent purely on server-side work (total minus oracle waits).
+    pub fn server_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.oracle_time)
+    }
+
+    /// Merges another stats record into this one (used when a query executes
+    /// subqueries).
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.udf_calls += other.udf_calls;
+        self.oracle_round_trips += other.oracle_round_trips;
+        self.oracle_rows_shipped += other.oracle_rows_shipped;
+        self.oracle_bytes_shipped += other.oracle_bytes_shipped;
+        self.oracle_time += other.oracle_time;
+    }
+}
+
+mod duration_micros {
+    //! Serialise [`std::time::Duration`] as integer microseconds.
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(d.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let micros = u64::deserialize(d)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_time_subtracts_oracle_time() {
+        let stats = ExecutionStats {
+            total_time: Duration::from_millis(10),
+            oracle_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(stats.server_time(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecutionStats {
+            rows_scanned: 10,
+            oracle_round_trips: 1,
+            ..Default::default()
+        };
+        let b = ExecutionStats {
+            rows_scanned: 5,
+            oracle_round_trips: 2,
+            oracle_rows_shipped: 100,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.oracle_round_trips, 3);
+        assert_eq!(a.oracle_rows_shipped, 100);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let stats = ExecutionStats {
+            rows_scanned: 7,
+            total_time: Duration::from_micros(1234),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ExecutionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

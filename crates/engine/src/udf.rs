@@ -1,0 +1,602 @@
+//! The UDF registry and the built-in scalar functions, including the SDB secure
+//! scalar UDFs.
+//!
+//! The paper's prototype registers its secure operators as Hive UDFs inside Spark
+//! SQL; here they are [`ScalarUdf`] implementations registered in a [`UdfRegistry`]
+//! that the expression evaluator consults. The SDB UDFs operate exclusively on
+//! [`Value::Encrypted`] shares and the public modulus `n` — no key material.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use num_bigint::BigUint;
+use sdb_storage::Value;
+
+use crate::secure::parse_biguint_arg;
+use crate::{EngineError, Result};
+
+/// A scalar user-defined function evaluated row by row.
+pub trait ScalarUdf: Send + Sync {
+    /// The function's upper-case name.
+    fn name(&self) -> &str;
+    /// Evaluates the function on one row's argument values.
+    fn invoke(&self, args: &[Value]) -> Result<Value>;
+}
+
+/// Registry of scalar UDFs, keyed by upper-case name.
+#[derive(Clone)]
+pub struct UdfRegistry {
+    udfs: HashMap<String, Arc<dyn ScalarUdf>>,
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.udfs.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("UdfRegistry").field("udfs", &names).finish()
+    }
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        UdfRegistry {
+            udfs: HashMap::new(),
+        }
+    }
+
+    /// The standard registry: plain scalar helpers plus the full SDB UDF set.
+    /// This is what the paper's "relational engine with a set of SDB UDFs" means.
+    pub fn with_sdb_udfs() -> Self {
+        let mut registry = UdfRegistry::empty();
+        registry.register(Arc::new(YearUdf));
+        registry.register(Arc::new(AbsUdf));
+        registry.register(Arc::new(SdbMultiplyUdf));
+        registry.register(Arc::new(SdbAddUdf));
+        registry.register(Arc::new(SdbKeyUpdateUdf));
+        registry.register(Arc::new(SdbMulPlainUdf));
+        registry.register(Arc::new(SdbAddPlainUdf));
+        registry.register(Arc::new(SdbTagEqUdf));
+        registry
+    }
+
+    /// Registers a UDF (replacing any previous one with the same name).
+    pub fn register(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.udfs.insert(udf.name().to_ascii_uppercase(), udf);
+    }
+
+    /// Looks up a UDF by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn ScalarUdf>> {
+        self.udfs.get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    /// Registered UDF names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.udfs.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl Default for UdfRegistry {
+    fn default() -> Self {
+        UdfRegistry::with_sdb_udfs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain scalar helpers
+// ---------------------------------------------------------------------------
+
+/// `YEAR(date)` — extracts the calendar year from a date value.
+pub struct YearUdf;
+
+impl ScalarUdf for YearUdf {
+    fn name(&self) -> &str {
+        "YEAR"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [arg] = args else {
+            return Err(arity_error("YEAR", 1, args.len()));
+        };
+        match arg {
+            Value::Null => Ok(Value::Null),
+            Value::Date(days) => {
+                let (year, _, _) = sdb_sql::dates::civil_from_days(*days);
+                Ok(Value::Int(i64::from(year)))
+            }
+            other => Err(EngineError::UdfInvocation {
+                name: "YEAR".into(),
+                detail: format!("expected DATE argument, found {other:?}"),
+            }),
+        }
+    }
+}
+
+/// `ABS(x)` — absolute value of an integer or decimal.
+pub struct AbsUdf;
+
+impl ScalarUdf for AbsUdf {
+    fn name(&self) -> &str {
+        "ABS"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [arg] = args else {
+            return Err(arity_error("ABS", 1, args.len()));
+        };
+        match arg {
+            Value::Null => Ok(Value::Null),
+            Value::Int(v) => Ok(Value::Int(v.abs())),
+            Value::Decimal { units, scale } => Ok(Value::Decimal {
+                units: units.abs(),
+                scale: *scale,
+            }),
+            other => Err(EngineError::UdfInvocation {
+                name: "ABS".into(),
+                detail: format!("expected numeric argument, found {other:?}"),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SDB secure scalar UDFs
+// ---------------------------------------------------------------------------
+
+fn encrypted_arg(udf: &str, v: &Value) -> Result<BigUint> {
+    match v {
+        Value::Encrypted(e) => Ok(e.clone()),
+        other => Err(EngineError::UdfInvocation {
+            name: udf.to_string(),
+            detail: format!("expected an encrypted share, found {other:?}"),
+        }),
+    }
+}
+
+fn string_arg<'a>(udf: &str, v: &'a Value) -> Result<&'a str> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(EngineError::UdfInvocation {
+            name: udf.to_string(),
+            detail: format!("expected a string parameter, found {other:?}"),
+        }),
+    }
+}
+
+fn arity_error(name: &str, expected: usize, found: usize) -> EngineError {
+    EngineError::UdfInvocation {
+        name: name.to_string(),
+        detail: format!("expected {expected} arguments, found {found}"),
+    }
+}
+
+/// `SDB_MULTIPLY(a_e, b_e, n)` — the EE multiplication of paper §2.2:
+/// `A_e × B_e mod n`. The proxy separately tracks the result column key
+/// `⟨m_A·m_B, x_A+x_B⟩`.
+pub struct SdbMultiplyUdf;
+
+impl ScalarUdf for SdbMultiplyUdf {
+    fn name(&self) -> &str {
+        "SDB_MULTIPLY"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [a, b, n] = args else {
+            return Err(arity_error("SDB_MULTIPLY", 3, args.len()));
+        };
+        if a.is_null() || b.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = encrypted_arg("SDB_MULTIPLY", a)?;
+        let b = encrypted_arg("SDB_MULTIPLY", b)?;
+        let n = parse_biguint_arg("SDB_MULTIPLY", string_arg("SDB_MULTIPLY", n)?)?;
+        Ok(Value::Encrypted((a * b) % n))
+    }
+}
+
+/// `SDB_ADD(a_e, b_e, n)` — modular addition of two shares that have already been
+/// key-unified (the rewriter guarantees this by wrapping operands in
+/// `SDB_KEY_UPDATE` to a common target key).
+pub struct SdbAddUdf;
+
+impl ScalarUdf for SdbAddUdf {
+    fn name(&self) -> &str {
+        "SDB_ADD"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [a, b, n] = args else {
+            return Err(arity_error("SDB_ADD", 3, args.len()));
+        };
+        if a.is_null() || b.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = encrypted_arg("SDB_ADD", a)?;
+        let b = encrypted_arg("SDB_ADD", b)?;
+        let n = parse_biguint_arg("SDB_ADD", string_arg("SDB_ADD", n)?)?;
+        Ok(Value::Encrypted((a + b) % n))
+    }
+}
+
+/// `SDB_KEY_UPDATE(a_e, s_e, p, q, n)` — re-encrypts a share from its source column
+/// key to a proxy-chosen target key using the auxiliary all-ones column `S`:
+/// `A'_e = A_e · S_e^p · q mod n` (DESIGN.md §2). `p`, `q` and `n` arrive as decimal
+/// strings because they exceed 64-bit integer range.
+pub struct SdbKeyUpdateUdf;
+
+impl ScalarUdf for SdbKeyUpdateUdf {
+    fn name(&self) -> &str {
+        "SDB_KEY_UPDATE"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [a, s, p, q, n] = args else {
+            return Err(arity_error("SDB_KEY_UPDATE", 5, args.len()));
+        };
+        if a.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = encrypted_arg("SDB_KEY_UPDATE", a)?;
+        let s = encrypted_arg("SDB_KEY_UPDATE", s)?;
+        let p = parse_biguint_arg("SDB_KEY_UPDATE", string_arg("SDB_KEY_UPDATE", p)?)?;
+        let q = parse_biguint_arg("SDB_KEY_UPDATE", string_arg("SDB_KEY_UPDATE", q)?)?;
+        let n = parse_biguint_arg("SDB_KEY_UPDATE", string_arg("SDB_KEY_UPDATE", n)?)?;
+        let s_pow = s.modpow(&p, &n);
+        Ok(Value::Encrypted((a * s_pow % &n) * q % n))
+    }
+}
+
+/// Encodes a plaintext numeric [`Value`] into `Z_n` at the given fixed-point scale
+/// (negative values wrap to `n − |v|`). Used by the EP ("encrypted ⊗ plain") UDFs,
+/// which operate on plain columns the SP stores in the clear.
+fn encode_plain_operand(udf: &str, value: &Value, scale: &Value, n: &BigUint) -> Result<BigUint> {
+    let scale = match scale {
+        Value::Int(s) if (0..=18).contains(s) => *s as u8,
+        other => {
+            return Err(EngineError::UdfInvocation {
+                name: udf.to_string(),
+                detail: format!("scale argument must be an integer in 0..=18, found {other:?}"),
+            })
+        }
+    };
+    let units = value
+        .as_scaled_i128(scale)
+        .map_err(EngineError::Storage)?;
+    let magnitude = BigUint::from(units.unsigned_abs());
+    if units >= 0 {
+        Ok(magnitude % n)
+    } else {
+        Ok(n - (magnitude % n))
+    }
+}
+
+/// `SDB_MUL_PLAIN(a_e, plain, scale, n)` — EP multiplication by a *per-row plain*
+/// operand: `C_e = A_e · enc(plain) mod n` with the column key unchanged, because
+/// `D(C_e, ik_A) = plain · a`.
+pub struct SdbMulPlainUdf;
+
+impl ScalarUdf for SdbMulPlainUdf {
+    fn name(&self) -> &str {
+        "SDB_MUL_PLAIN"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [a, plain, scale, n] = args else {
+            return Err(arity_error("SDB_MUL_PLAIN", 4, args.len()));
+        };
+        if a.is_null() || plain.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = encrypted_arg("SDB_MUL_PLAIN", a)?;
+        let n = parse_biguint_arg("SDB_MUL_PLAIN", string_arg("SDB_MUL_PLAIN", n)?)?;
+        let operand = encode_plain_operand("SDB_MUL_PLAIN", plain, scale, &n)?;
+        Ok(Value::Encrypted(a * operand % n))
+    }
+}
+
+/// `SDB_ADD_PLAIN(a_e, plain, scale, s_e, n)` — EP addition with a per-row plain
+/// operand. The rewriter first key-updates `A` to the auxiliary column `S`'s key, so
+/// `A_e` and `S_e` share item keys; then
+/// `C_e = A_e + enc(plain)·S_e mod n` decrypts to `a + plain` under `ck_S`.
+pub struct SdbAddPlainUdf;
+
+impl ScalarUdf for SdbAddPlainUdf {
+    fn name(&self) -> &str {
+        "SDB_ADD_PLAIN"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [a, plain, scale, s, n] = args else {
+            return Err(arity_error("SDB_ADD_PLAIN", 5, args.len()));
+        };
+        if a.is_null() || plain.is_null() {
+            return Ok(Value::Null);
+        }
+        let a = encrypted_arg("SDB_ADD_PLAIN", a)?;
+        let s = encrypted_arg("SDB_ADD_PLAIN", s)?;
+        let n = parse_biguint_arg("SDB_ADD_PLAIN", string_arg("SDB_ADD_PLAIN", n)?)?;
+        let operand = encode_plain_operand("SDB_ADD_PLAIN", plain, scale, &n)?;
+        Ok(Value::Encrypted((a + operand * s) % n))
+    }
+}
+
+/// `SDB_TAG_EQ(tag_column, 'tag')` — equality against a deterministic tag the proxy
+/// computed for a literal (sensitive VARCHAR equality predicates).
+pub struct SdbTagEqUdf;
+
+impl ScalarUdf for SdbTagEqUdf {
+    fn name(&self) -> &str {
+        "SDB_TAG_EQ"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let [tag, expected] = args else {
+            return Err(arity_error("SDB_TAG_EQ", 2, args.len()));
+        };
+        if tag.is_null() {
+            return Ok(Value::Null);
+        }
+        let tag = match tag {
+            Value::Tag(t) => *t,
+            other => {
+                return Err(EngineError::UdfInvocation {
+                    name: "SDB_TAG_EQ".into(),
+                    detail: format!("first argument must be a TAG column, found {other:?}"),
+                })
+            }
+        };
+        let expected: u64 = string_arg("SDB_TAG_EQ", expected)?
+            .parse()
+            .map_err(|_| EngineError::UdfInvocation {
+                name: "SDB_TAG_EQ".into(),
+                detail: "second argument must be a decimal tag string".into(),
+            })?;
+        Ok(Value::Bool(tag == expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdb_crypto::share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
+    use sdb_crypto::{KeyConfig, SystemKey};
+    use sdb_sql::dates::days_from_civil;
+
+    #[test]
+    fn registry_lookup_and_names() {
+        let registry = UdfRegistry::with_sdb_udfs();
+        assert!(registry.get("sdb_multiply").is_some());
+        assert!(registry.get("SDB_KEY_UPDATE").is_some());
+        assert!(registry.get("NOPE").is_none());
+        assert!(registry.names().contains(&"SDB_ADD".to_string()));
+        let debug = format!("{registry:?}");
+        assert!(debug.contains("SDB_MULTIPLY"));
+    }
+
+    #[test]
+    fn year_udf() {
+        let udf = YearUdf;
+        let d = days_from_civil(1995, 7, 4);
+        assert_eq!(udf.invoke(&[Value::Date(d)]).unwrap(), Value::Int(1995));
+        assert_eq!(udf.invoke(&[Value::Null]).unwrap(), Value::Null);
+        assert!(udf.invoke(&[Value::Int(5)]).is_err());
+        assert!(udf.invoke(&[]).is_err());
+    }
+
+    #[test]
+    fn abs_udf() {
+        let udf = AbsUdf;
+        assert_eq!(udf.invoke(&[Value::Int(-5)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            udf.invoke(&[Value::Decimal { units: -250, scale: 2 }]).unwrap(),
+            Value::Decimal { units: 250, scale: 2 }
+        );
+        assert!(udf.invoke(&[Value::Str("x".into())]).is_err());
+    }
+
+    /// End-to-end check of the three SDB UDFs against the crypto layer: what the
+    /// SP computes through UDFs decrypts to the right answer with the proxy's keys.
+    #[test]
+    fn sdb_udfs_match_protocols() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let key = SystemKey::generate(&mut rng, KeyConfig::TEST).unwrap();
+        let n_str = Value::Str(key.n().to_string());
+
+        let ck_a = key.gen_column_key(&mut rng);
+        let ck_b = key.gen_column_key(&mut rng);
+        let ck_s = key.gen_aux_column_key(&mut rng);
+        let ck_t = key.gen_column_key(&mut rng);
+        let r = key.gen_row_id(&mut rng);
+
+        let a = BigUint::from(21u32);
+        let b = BigUint::from(2u32);
+        let a_e = encrypt_value(&key, &a, &gen_item_key(&key, &ck_a, &r));
+        let b_e = encrypt_value(&key, &b, &gen_item_key(&key, &ck_b, &r));
+        let s_e = encrypt_value(&key, &BigUint::from(1u32), &gen_item_key(&key, &ck_s, &r));
+
+        // Multiplication.
+        let mult = SdbMultiplyUdf
+            .invoke(&[
+                Value::Encrypted(a_e.clone()),
+                Value::Encrypted(b_e.clone()),
+                n_str.clone(),
+            ])
+            .unwrap();
+        let ck_c = ColumnKeyAlgebra::multiply(&key, &ck_a, &ck_b);
+        match mult {
+            Value::Encrypted(c_e) => {
+                assert_eq!(
+                    decrypt_value(&key, &c_e, &gen_item_key(&key, &ck_c, &r)),
+                    BigUint::from(42u32)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Key update then addition.
+        let pa = KeyUpdateParams::compute(&key, &ck_a, &ck_s, &ck_t).unwrap();
+        let pb = KeyUpdateParams::compute(&key, &ck_b, &ck_s, &ck_t).unwrap();
+        let a_t = SdbKeyUpdateUdf
+            .invoke(&[
+                Value::Encrypted(a_e),
+                Value::Encrypted(s_e.clone()),
+                Value::Str(pa.p.to_string()),
+                Value::Str(pa.q.to_string()),
+                n_str.clone(),
+            ])
+            .unwrap();
+        let b_t = SdbKeyUpdateUdf
+            .invoke(&[
+                Value::Encrypted(b_e),
+                Value::Encrypted(s_e),
+                Value::Str(pb.p.to_string()),
+                Value::Str(pb.q.to_string()),
+                n_str.clone(),
+            ])
+            .unwrap();
+        let sum = SdbAddUdf.invoke(&[a_t, b_t, n_str]).unwrap();
+        match sum {
+            Value::Encrypted(c_e) => {
+                assert_eq!(
+                    decrypt_value(&key, &c_e, &gen_item_key(&key, &ck_t, &r)),
+                    BigUint::from(23u32)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The EP UDFs: multiply / add an encrypted share with a plain per-row operand.
+    #[test]
+    fn sdb_plain_operand_udfs() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let key = SystemKey::generate(&mut rng, KeyConfig::TEST).unwrap();
+        let n_str = Value::Str(key.n().to_string());
+        let codec = sdb_crypto::SignedCodec::new(&key);
+
+        let ck_a = key.gen_column_key(&mut rng);
+        let ck_s = key.gen_aux_column_key(&mut rng);
+        let r = key.gen_row_id(&mut rng);
+        let a = codec.encode(37).unwrap();
+        let a_e = encrypt_value(&key, &a, &gen_item_key(&key, &ck_a, &r));
+        let s_e = encrypt_value(&key, &BigUint::from(1u32), &gen_item_key(&key, &ck_s, &r));
+
+        // 37 * (-4) = -148, key unchanged.
+        let product = SdbMulPlainUdf
+            .invoke(&[
+                Value::Encrypted(a_e.clone()),
+                Value::Int(-4),
+                Value::Int(0),
+                n_str.clone(),
+            ])
+            .unwrap();
+        match product {
+            Value::Encrypted(c_e) => {
+                let plain = decrypt_value(&key, &c_e, &gen_item_key(&key, &ck_a, &r));
+                assert_eq!(codec.decode(&plain).unwrap(), -148);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Key-update A to S's key, then add plain 5: 37 + 5 = 42 under ck_S.
+        let params = KeyUpdateParams::compute(&key, &ck_a, &ck_s, &ck_s).unwrap();
+        let a_at_s = SdbKeyUpdateUdf
+            .invoke(&[
+                Value::Encrypted(a_e),
+                Value::Encrypted(s_e.clone()),
+                Value::Str(params.p.to_string()),
+                Value::Str(params.q.to_string()),
+                n_str.clone(),
+            ])
+            .unwrap();
+        let sum = SdbAddPlainUdf
+            .invoke(&[a_at_s, Value::Int(5), Value::Int(0), Value::Encrypted(s_e), n_str])
+            .unwrap();
+        match sum {
+            Value::Encrypted(c_e) => {
+                let plain = decrypt_value(&key, &c_e, &gen_item_key(&key, &ck_s, &r));
+                assert_eq!(codec.decode(&plain).unwrap(), 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sdb_tag_eq_udf() {
+        let udf = SdbTagEqUdf;
+        assert_eq!(
+            udf.invoke(&[Value::Tag(12345), Value::Str("12345".into())]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            udf.invoke(&[Value::Tag(12345), Value::Str("999".into())]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(udf.invoke(&[Value::Null, Value::Str("1".into())]).unwrap(), Value::Null);
+        assert!(udf.invoke(&[Value::Int(1), Value::Str("1".into())]).is_err());
+        assert!(udf.invoke(&[Value::Tag(1), Value::Str("abc".into())]).is_err());
+    }
+
+    #[test]
+    fn plain_operand_scale_handling() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let key = SystemKey::generate(&mut rng, KeyConfig::TEST).unwrap();
+        let codec = sdb_crypto::SignedCodec::new(&key);
+        let ck = key.gen_column_key(&mut rng);
+        let r = key.gen_row_id(&mut rng);
+        // Price 12.50 stored sensitive at scale 2 → units 1250.
+        let p_e = encrypt_value(&key, &codec.encode(1250).unwrap(), &gen_item_key(&key, &ck, &r));
+        // Multiply by plain decimal 0.08 at scale 2 → units 8; result units at scale 4.
+        let out = SdbMulPlainUdf
+            .invoke(&[
+                Value::Encrypted(p_e),
+                Value::Decimal { units: 8, scale: 2 },
+                Value::Int(2),
+                Value::Str(key.n().to_string()),
+            ])
+            .unwrap();
+        match out {
+            Value::Encrypted(c_e) => {
+                let plain = decrypt_value(&key, &c_e, &gen_item_key(&key, &ck, &r));
+                // 1250 * 8 = 10000 units at scale 4 = 1.0000 (12.50 * 0.08).
+                assert_eq!(codec.decode(&plain).unwrap(), 10_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invalid scale argument.
+        assert!(SdbMulPlainUdf
+            .invoke(&[
+                Value::Encrypted(BigUint::from(1u32)),
+                Value::Int(1),
+                Value::Int(99),
+                Value::Str(key.n().to_string())
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn sdb_udfs_validate_arguments() {
+        let n = Value::Str("35".into());
+        assert!(SdbMultiplyUdf.invoke(&[Value::Int(1), Value::Int(2), n.clone()]).is_err());
+        assert!(SdbMultiplyUdf.invoke(&[Value::Int(1)]).is_err());
+        assert!(SdbAddUdf
+            .invoke(&[
+                Value::Encrypted(BigUint::from(1u32)),
+                Value::Encrypted(BigUint::from(2u32)),
+                Value::Str("xyz".into())
+            ])
+            .is_err());
+        assert!(SdbKeyUpdateUdf.invoke(&[Value::Null]).is_err());
+        // NULL encrypted operands propagate NULL.
+        assert_eq!(
+            SdbMultiplyUdf
+                .invoke(&[Value::Null, Value::Encrypted(BigUint::from(2u32)), n])
+                .unwrap(),
+            Value::Null
+        );
+    }
+}

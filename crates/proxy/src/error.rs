@@ -1,0 +1,102 @@
+//! Error type for the proxy crate.
+
+use std::fmt;
+
+/// Errors produced by the DO-side proxy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyError {
+    /// Error from the crypto layer.
+    Crypto(sdb_crypto::CryptoError),
+    /// Error from the storage layer.
+    Storage(sdb_storage::StorageError),
+    /// Error from the SQL front end.
+    Sql(sdb_sql::SqlError),
+    /// Error from the engine (client-side post-processing uses the evaluator).
+    Engine(sdb_engine::EngineError),
+    /// The query references a table the proxy has no metadata for.
+    UnknownTable {
+        /// Table name.
+        name: String,
+    },
+    /// The query references a column that cannot be resolved.
+    UnknownColumn {
+        /// Column name as written.
+        name: String,
+    },
+    /// The query uses an operation on sensitive data that SDB cannot push to the SP
+    /// and the proxy does not post-process (records the coverage boundary).
+    UnsupportedSensitiveOperation {
+        /// Human-readable description of the offending construct.
+        detail: String,
+    },
+    /// A decryption step failed (wrong handle, missing row id, malformed result).
+    Decryption {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// A protocol invariant was violated (e.g. the SP asked about a handle that was
+    /// never issued).
+    Protocol {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ProxyError::Storage(e) => write!(f, "storage error: {e}"),
+            ProxyError::Sql(e) => write!(f, "SQL error: {e}"),
+            ProxyError::Engine(e) => write!(f, "engine error: {e}"),
+            ProxyError::UnknownTable { name } => write!(f, "unknown table {name}"),
+            ProxyError::UnknownColumn { name } => write!(f, "unknown column {name}"),
+            ProxyError::UnsupportedSensitiveOperation { detail } => {
+                write!(f, "unsupported operation on sensitive data: {detail}")
+            }
+            ProxyError::Decryption { detail } => write!(f, "decryption error: {detail}"),
+            ProxyError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<sdb_crypto::CryptoError> for ProxyError {
+    fn from(e: sdb_crypto::CryptoError) -> Self {
+        ProxyError::Crypto(e)
+    }
+}
+
+impl From<sdb_storage::StorageError> for ProxyError {
+    fn from(e: sdb_storage::StorageError) -> Self {
+        ProxyError::Storage(e)
+    }
+}
+
+impl From<sdb_sql::SqlError> for ProxyError {
+    fn from(e: sdb_sql::SqlError) -> Self {
+        ProxyError::Sql(e)
+    }
+}
+
+impl From<sdb_engine::EngineError> for ProxyError {
+    fn from(e: sdb_engine::EngineError) -> Self {
+        ProxyError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: ProxyError = sdb_sql::SqlError::Parse { detail: "x".into() }.into();
+        assert!(e.to_string().contains("SQL"));
+        let e = ProxyError::UnsupportedSensitiveOperation {
+            detail: "LIKE on encrypted column".into(),
+        };
+        assert!(e.to_string().contains("LIKE"));
+    }
+}

@@ -1,0 +1,174 @@
+//! DO-side table metadata: the *logical* schema of each uploaded table, which
+//! columns are sensitive, and the fixed-point scales needed to decode decrypted
+//! integers back into application values.
+
+use serde::{Deserialize, Serialize};
+
+use sdb_storage::{DataType, Schema};
+
+use crate::{ProxyError, Result};
+
+/// How a decrypted integer (or an oracle surrogate) decodes back into a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlainType {
+    /// 64-bit integer.
+    Int,
+    /// Fixed-point decimal with the given scale.
+    Decimal(u8),
+    /// Days since the Unix epoch.
+    Date,
+    /// Boolean (0/1).
+    Bool,
+    /// UTF-8 string (only used by SIES-encrypted VARCHAR payloads).
+    Varchar,
+}
+
+impl PlainType {
+    /// The fixed-point scale used when encoding values of this type into `Z_n`.
+    pub fn scale(&self) -> u8 {
+        match self {
+            PlainType::Decimal(s) => *s,
+            _ => 0,
+        }
+    }
+
+    /// Derives the plain type from a logical data type.
+    pub fn from_data_type(dt: DataType) -> Result<PlainType> {
+        match dt {
+            DataType::Int => Ok(PlainType::Int),
+            DataType::Decimal { scale } => Ok(PlainType::Decimal(scale)),
+            DataType::Date => Ok(PlainType::Date),
+            DataType::Bool => Ok(PlainType::Bool),
+            DataType::Varchar => Ok(PlainType::Varchar),
+            other => Err(ProxyError::UnsupportedSensitiveOperation {
+                detail: format!("cannot mark a {other} column sensitive"),
+            }),
+        }
+    }
+}
+
+/// Metadata about one logical column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name (lower-cased).
+    pub name: String,
+    /// Logical data type (what the application sees).
+    pub data_type: DataType,
+    /// Whether the column is protected.
+    pub sensitive: bool,
+}
+
+impl ColumnMeta {
+    /// True for sensitive columns stored under the numeric secret-sharing scheme
+    /// (INT, DECIMAL, DATE, BOOL).
+    pub fn is_numeric_sensitive(&self) -> bool {
+        self.sensitive
+            && matches!(
+                self.data_type,
+                DataType::Int | DataType::Decimal { .. } | DataType::Date | DataType::Bool
+            )
+    }
+
+    /// True for sensitive VARCHAR columns (stored as tag + SIES payload).
+    pub fn is_string_sensitive(&self) -> bool {
+        self.sensitive && self.data_type == DataType::Varchar
+    }
+
+    /// The plain type used for encoding/decoding.
+    pub fn plain_type(&self) -> Result<PlainType> {
+        PlainType::from_data_type(self.data_type)
+    }
+}
+
+/// Metadata about one logical table as the application sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Logical column definitions, in order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableMeta {
+    /// Builds metadata from a logical schema (sensitivity flags taken from the
+    /// schema's [`sdb_storage::Sensitivity`] markers).
+    pub fn from_schema(name: &str, schema: &Schema) -> TableMeta {
+        TableMeta {
+            name: name.to_ascii_lowercase(),
+            columns: schema
+                .columns()
+                .iter()
+                .map(|c| ColumnMeta {
+                    name: c.name.clone(),
+                    data_type: c.data_type,
+                    sensitive: c.sensitivity.is_sensitive(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Looks up a column by bare name.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        let bare = name.rsplit('.').next().unwrap_or(name).to_ascii_lowercase();
+        self.columns.iter().find(|c| c.name == bare)
+    }
+
+    /// Names of sensitive columns.
+    pub fn sensitive_columns(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.sensitive)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// True if any column is sensitive.
+    pub fn has_sensitive(&self) -> bool {
+        self.columns.iter().any(|c| c.sensitive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_storage::ColumnDef;
+
+    fn meta() -> TableMeta {
+        let schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::sensitive("salary", DataType::Decimal { scale: 2 }),
+            ColumnDef::sensitive("notes", DataType::Varchar),
+            ColumnDef::public("dept", DataType::Varchar),
+        ]);
+        TableMeta::from_schema("EMP", &schema)
+    }
+
+    #[test]
+    fn classification() {
+        let m = meta();
+        assert_eq!(m.name, "emp");
+        assert!(m.column("salary").unwrap().is_numeric_sensitive());
+        assert!(!m.column("salary").unwrap().is_string_sensitive());
+        assert!(m.column("notes").unwrap().is_string_sensitive());
+        assert!(!m.column("dept").unwrap().sensitive);
+        assert_eq!(m.sensitive_columns(), vec!["salary", "notes"]);
+        assert!(m.has_sensitive());
+    }
+
+    #[test]
+    fn qualified_lookup_strips_prefix() {
+        let m = meta();
+        assert!(m.column("emp.salary").is_some());
+        assert!(m.column("e.salary").is_some());
+        assert!(m.column("missing").is_none());
+    }
+
+    #[test]
+    fn plain_types() {
+        let m = meta();
+        assert_eq!(m.column("salary").unwrap().plain_type().unwrap(), PlainType::Decimal(2));
+        assert_eq!(PlainType::Decimal(2).scale(), 2);
+        assert_eq!(PlainType::Int.scale(), 0);
+        assert!(PlainType::from_data_type(DataType::Encrypted).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! The result plan: how the proxy turns the SP's encrypted answer back into the
+//! plaintext result the application asked for.
+//!
+//! The rewriter produces one [`ResultPlan`] per query. It names, for every column
+//! the rewritten (server) query returns, an [`Ingredient`] describing its
+//! decryption; and a list of [`OutputColumn`]s describing the final client-visible
+//! columns (either a decrypted ingredient passed through, or an expression the
+//! proxy evaluates client-side over decrypted ingredients — the path used for
+//! divisions, AVG and other post-computations the SP cannot do over shares).
+//! Finally it records the post-processing steps (HAVING / ORDER BY / DISTINCT /
+//! LIMIT) that had to move client-side because they touch sensitive data.
+
+use sdb_sql::ast::Expr;
+
+use crate::meta::PlainType;
+
+/// How one column of the *server* result decrypts into an intermediate plaintext
+/// column (intermediate columns keep the server column's name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ingredient {
+    /// Already plaintext — copy through.
+    Plain,
+    /// An encrypted row id needed to decrypt row-keyed ingredients; dropped from
+    /// the final output.
+    RowId,
+    /// A share encrypted under a row-keyed column key; decrypting row `i` uses the
+    /// row id found in the server column named `row_id_column`.
+    EncryptedRowKeyed {
+        /// Session handle of the column key.
+        handle: String,
+        /// Decoding of the decrypted integer.
+        decode: PlainType,
+        /// Name of the server output column holding this table's encrypted row id.
+        row_id_column: String,
+    },
+    /// A share encrypted under a row-independent key (aggregate results).
+    EncryptedRowIndependent {
+        /// Session handle of the (row-independent) key.
+        handle: String,
+        /// Decoding of the decrypted integer.
+        decode: PlainType,
+    },
+    /// An opaque group tag; the plaintext is recovered from the query session's
+    /// tag map (populated by the oracle while the SP was grouping).
+    SurrogateTag,
+    /// An opaque rank surrogate (MIN/MAX over sensitive data); recovered from the
+    /// session's rank map.
+    SurrogateRank,
+    /// A SIES ciphertext of a sensitive VARCHAR payload.
+    SiesString,
+}
+
+/// One client-visible output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputColumn {
+    /// The column name the application sees.
+    pub name: String,
+    /// How the value is produced.
+    pub source: OutputSource,
+    /// Hidden outputs exist only for client-side post-processing (HAVING, ORDER BY)
+    /// and are dropped before the result is returned.
+    pub hidden: bool,
+}
+
+/// Where an output column's values come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputSource {
+    /// A decrypted intermediate column, referenced by its server column name.
+    Column(String),
+    /// An expression evaluated client-side over the decrypted intermediate columns.
+    Computed(Expr),
+}
+
+/// A client-side sort key over the *output* columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostSortKey {
+    /// Output column name to sort by.
+    pub column: String,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// The full decryption / post-processing plan for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultPlan {
+    /// Per-server-column decryption rules, in server column order. The vector is
+    /// keyed positionally but each entry also records the server column name.
+    pub ingredients: Vec<(String, Ingredient)>,
+    /// The client-visible output columns, in order.
+    pub outputs: Vec<OutputColumn>,
+    /// HAVING predicate that must run client-side (over output columns), if any.
+    pub post_having: Option<Expr>,
+    /// ORDER BY that must run client-side, if any.
+    pub post_sort: Vec<PostSortKey>,
+    /// DISTINCT that must run client-side.
+    pub post_distinct: bool,
+    /// LIMIT that must run client-side (because ORDER BY moved client-side).
+    pub post_limit: Option<u64>,
+}
+
+impl ResultPlan {
+    /// True when the plan involves no decryption and no client-side work beyond
+    /// passing the server result through (fully insensitive queries).
+    pub fn is_passthrough(&self) -> bool {
+        self.ingredients.iter().all(|(_, i)| matches!(i, Ingredient::Plain))
+            && self
+                .outputs
+                .iter()
+                .all(|o| matches!(o.source, OutputSource::Column(_)) && !o.hidden)
+            && self.post_having.is_none()
+            && self.post_sort.is_empty()
+            && !self.post_distinct
+            && self.post_limit.is_none()
+    }
+
+    /// Number of encrypted ingredients (a proxy-side cost indicator).
+    pub fn encrypted_ingredient_count(&self) -> usize {
+        self.ingredients
+            .iter()
+            .filter(|(_, i)| !matches!(i, Ingredient::Plain | Ingredient::RowId))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_detection() {
+        let mut plan = ResultPlan {
+            ingredients: vec![("a".into(), Ingredient::Plain)],
+            outputs: vec![OutputColumn {
+                name: "a".into(),
+                source: OutputSource::Column("a".into()),
+                hidden: false,
+            }],
+            ..Default::default()
+        };
+        assert!(plan.is_passthrough());
+        plan.post_distinct = true;
+        assert!(!plan.is_passthrough());
+    }
+
+    #[test]
+    fn encrypted_ingredient_count_ignores_plain_and_rowid() {
+        let plan = ResultPlan {
+            ingredients: vec![
+                ("a".into(), Ingredient::Plain),
+                ("__rowid_t".into(), Ingredient::RowId),
+                (
+                    "b".into(),
+                    Ingredient::EncryptedRowKeyed {
+                        handle: "h0".into(),
+                        decode: PlainType::Int,
+                        row_id_column: "__rowid_t".into(),
+                    },
+                ),
+                ("c".into(), Ingredient::SurrogateTag),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(plan.encrypted_ingredient_count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The SDB proxy facade: the component the application talks to (paper §2.2).
+//!
+//! Responsibilities, quoted from the paper: storing column keys in its key store;
+//! accepting SQL queries from the application; rewriting the SQL operators that
+//! involve sensitive columns into their corresponding UDFs; receiving encrypted
+//! results and decrypting them; sending the decrypted results back to the
+//! application. The demo's client-cost breakdown (parse + rewrite + decrypt,
+//! experiment E3) is measured here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sdb_crypto::KeyConfig;
+use sdb_sql::{parse_sql, Query, Statement};
+use sdb_storage::{RecordBatch, Table, Value};
+
+use crate::decryptor::Decryptor;
+use crate::encryptor::{EncryptedUpload, Encryptor, UploadOptions};
+use crate::keystore::KeyStore;
+use crate::meta::TableMeta;
+use crate::oracle::ProxyOracle;
+use crate::plan::ResultPlan;
+use crate::rewriter::Rewriter;
+use crate::session::QuerySession;
+use crate::{ProxyError, Result};
+
+/// The client-side cost breakdown of one query (demo step 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCost {
+    /// Time spent parsing the application SQL.
+    pub parse: Duration,
+    /// Time spent rewriting it into the server query.
+    pub rewrite: Duration,
+    /// Time spent decrypting and post-processing the result.
+    pub decrypt: Duration,
+}
+
+impl ClientCost {
+    /// Total client-side time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.rewrite + self.decrypt
+    }
+}
+
+/// A rewritten query, ready to be submitted to the SP.
+#[derive(Clone)]
+pub struct RewrittenQuery {
+    /// The original application SQL.
+    pub original_sql: String,
+    /// The rewritten query as SQL text (what Figure 3 of the paper displays and
+    /// what is submitted to the SP).
+    pub server_sql: String,
+    /// The rewritten query as an AST.
+    pub server_query: Query,
+    /// The decryption / post-processing plan.
+    pub plan: ResultPlan,
+    /// The per-query session shared with the oracle.
+    pub session: Arc<QuerySession>,
+    /// Time spent parsing.
+    pub parse_time: Duration,
+    /// Time spent rewriting.
+    pub rewrite_time: Duration,
+}
+
+impl std::fmt::Debug for RewrittenQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewrittenQuery")
+            .field("original_sql", &self.original_sql)
+            .field("server_sql", &self.server_sql)
+            .field("outputs", &self.plan.outputs.len())
+            .finish()
+    }
+}
+
+/// The data-owner proxy.
+pub struct SdbProxy {
+    keystore: KeyStore,
+    metas: BTreeMap<String, TableMeta>,
+    query_counter: AtomicU64,
+}
+
+impl SdbProxy {
+    /// Creates a proxy with fresh key material under the given parameter profile.
+    /// `seed` makes key generation deterministic for tests and benches.
+    pub fn new(config: KeyConfig, seed: u64) -> Result<Self> {
+        Ok(SdbProxy {
+            keystore: KeyStore::generate(config, seed)?,
+            metas: BTreeMap::new(),
+            query_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The key store (e.g. to inspect its size, demo step 1).
+    pub fn keystore(&self) -> &KeyStore {
+        &self.keystore
+    }
+
+    /// Metadata of the uploaded tables.
+    pub fn table_metas(&self) -> &BTreeMap<String, TableMeta> {
+        &self.metas
+    }
+
+    /// Encrypts a plaintext table for upload (demo step 1). The returned
+    /// [`EncryptedUpload::table`] is what gets shipped to the SP; the proxy keeps
+    /// the keys and the logical metadata.
+    pub fn upload_table(&mut self, table: &Table, options: UploadOptions) -> Result<EncryptedUpload> {
+        let upload = Encryptor::encrypt_table(&mut self.keystore, table, options)?;
+        self.metas.insert(upload.meta.name.clone(), upload.meta.clone());
+        Ok(upload)
+    }
+
+    /// Encrypts logical rows for insertion into an already-uploaded table.
+    pub fn encrypt_rows(&self, table: &str, rows: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
+        let meta = self
+            .metas
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| ProxyError::UnknownTable {
+                name: table.to_string(),
+            })?;
+        let mut rng = self
+            .keystore
+            .derived_rng(0x175e7 ^ self.query_counter.fetch_add(1, Ordering::Relaxed));
+        Encryptor::encrypt_rows(&self.keystore, meta, UploadOptions::default(), rows, &mut rng)
+    }
+
+    /// Parses and rewrites one application SELECT statement (demo step 2).
+    pub fn rewrite(&self, sql: &str) -> Result<RewrittenQuery> {
+        let parse_started = Instant::now();
+        let statement = parse_sql(sql)?;
+        let parse_time = parse_started.elapsed();
+        let Statement::Query(query) = statement else {
+            return Err(ProxyError::UnsupportedSensitiveOperation {
+                detail: "only SELECT statements are rewritten; use upload_table / encrypt_rows for DDL and DML"
+                    .into(),
+            });
+        };
+
+        let rewrite_started = Instant::now();
+        let session = Arc::new(QuerySession::new());
+        let seed = self.query_counter.fetch_add(1, Ordering::Relaxed);
+        let rewriter = Rewriter::new(
+            &self.keystore,
+            &self.metas,
+            session.clone(),
+            self.keystore.derived_rng(0xc0ffee ^ seed),
+        );
+        let output = rewriter.rewrite_query(&query)?;
+        let rewrite_time = rewrite_started.elapsed();
+
+        Ok(RewrittenQuery {
+            original_sql: sql.to_string(),
+            server_sql: output.server_query.to_string(),
+            server_query: output.server_query,
+            plan: output.plan,
+            session,
+            parse_time,
+            rewrite_time,
+        })
+    }
+
+    /// Builds the oracle the SP engine should use while executing this query.
+    pub fn oracle(&self, rewritten: &RewrittenQuery) -> Arc<ProxyOracle> {
+        Arc::new(ProxyOracle::new(&self.keystore, rewritten.session.clone()))
+    }
+
+    /// Decrypts and post-processes the SP's answer, returning the plaintext result
+    /// plus the time spent (the "result decryption time" of the demo breakdown).
+    pub fn decrypt_result(
+        &self,
+        rewritten: &RewrittenQuery,
+        server_result: &RecordBatch,
+    ) -> Result<(RecordBatch, Duration)> {
+        let started = Instant::now();
+        // Empty plan = passthrough (fully insensitive query).
+        if rewritten.plan.ingredients.is_empty() && rewritten.plan.outputs.is_empty() {
+            return Ok((server_result.clone(), started.elapsed()));
+        }
+        let decryptor = Decryptor::new(&self.keystore);
+        let result = decryptor.decrypt(&rewritten.plan, &rewritten.session, server_result)?;
+        Ok((result, started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_storage::{ColumnDef, DataType, Schema};
+
+    fn plaintext_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::sensitive("balance", DataType::Decimal { scale: 2 }),
+        ]);
+        let mut t = Table::new("accounts", schema);
+        for i in 0..5 {
+            t.insert_row(vec![
+                Value::Int(i),
+                Value::Decimal {
+                    units: 1000 + i * 250,
+                    scale: 2,
+                },
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn upload_then_rewrite_and_costs() {
+        let mut proxy = SdbProxy::new(KeyConfig::TEST, 5).unwrap();
+        let upload = proxy
+            .upload_table(&plaintext_table(), UploadOptions::default())
+            .unwrap();
+        assert_eq!(upload.table.num_rows(), 5);
+        assert!(proxy.table_metas().contains_key("accounts"));
+
+        let rewritten = proxy
+            .rewrite("SELECT id, balance FROM accounts WHERE balance > 12.00")
+            .unwrap();
+        assert!(rewritten.server_sql.contains("SDB_CMP_GT"));
+        assert!(rewritten.parse_time.as_nanos() > 0);
+        let cost = ClientCost {
+            parse: rewritten.parse_time,
+            rewrite: rewritten.rewrite_time,
+            decrypt: Duration::from_micros(3),
+        };
+        assert!(cost.total() >= cost.decrypt);
+    }
+
+    #[test]
+    fn rewrite_rejects_non_select() {
+        let proxy = SdbProxy::new(KeyConfig::TEST, 6).unwrap();
+        assert!(proxy.rewrite("INSERT INTO t VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn encrypt_rows_requires_known_table() {
+        let mut proxy = SdbProxy::new(KeyConfig::TEST, 7).unwrap();
+        assert!(proxy.encrypt_rows("ghost", &[vec![Value::Int(1)]]).is_err());
+        proxy
+            .upload_table(&plaintext_table(), UploadOptions::default())
+            .unwrap();
+        let rows = proxy
+            .encrypt_rows(
+                "accounts",
+                &[vec![Value::Int(9), Value::Decimal { units: 77, scale: 2 }]],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Physical row: row_id, sdb_s, id, balance.
+        assert_eq!(rows[0].len(), 4);
+        assert!(matches!(rows[0][3], Value::Encrypted(_)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Date handling without external dependencies.
+//!
+//! Dates are stored as days since 1970-01-01 (the representation of
+//! [`sdb_storage::Value::Date`]). The conversions use the civil-calendar algorithms
+//! popularised by Howard Hinnant, which are exact over the full proleptic Gregorian
+//! calendar.
+
+use crate::{Result, SqlError};
+
+/// Converts a civil date to days since the Unix epoch.
+pub fn days_from_civil(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = i64::from((month + 9) % 12); // March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (i64::from(era) * 146_097 + doe - 719_468) as i32
+}
+
+/// Converts days since the Unix epoch back to a civil date `(year, month, day)`.
+pub fn civil_from_days(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = ((mp + 2) % 12 + 1) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Parses a `'YYYY-MM-DD'` string into days since the epoch.
+pub fn parse_date(s: &str) -> Result<i32> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(SqlError::Parse {
+            detail: format!("invalid date literal '{s}', expected YYYY-MM-DD"),
+        });
+    }
+    let bad = |what: &str| SqlError::Parse {
+        detail: format!("invalid {what} in date literal '{s}'"),
+    };
+    let year: i32 = parts[0].parse().map_err(|_| bad("year"))?;
+    let month: u32 = parts[1].parse().map_err(|_| bad("month"))?;
+    let day: u32 = parts[2].parse().map_err(|_| bad("day"))?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return Err(bad("month/day range"));
+    }
+    Ok(days_from_civil(year, month, day))
+}
+
+/// Formats days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Adds a number of months to a date expressed in days since the epoch, clamping
+/// the day of month (so 1993-01-31 + 1 month = 1993-02-28). Used to expand TPC-H
+/// style `date '1993-10-01' + interval '3' month` bounds at generation time.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = (total.rem_euclid(12) + 1) as u32;
+    let max_day = days_in_month(ny, nm);
+    days_from_civil(ny, nm, d.min(max_day))
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        assert_eq!(civil_from_days(11_017), (2000, 3, 1));
+        // TPC-H date range endpoints.
+        assert_eq!(format_date(days_from_civil(1992, 1, 1)), "1992-01-01");
+        assert_eq!(format_date(days_from_civil(1998, 12, 31)), "1998-12-31");
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        for days in (-40_000..40_000).step_by(37) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        let d = parse_date("1995-03-15").unwrap();
+        assert_eq!(format_date(d), "1995-03-15");
+        assert!(parse_date("1995/03/15").is_err());
+        assert!(parse_date("1995-13-15").is_err());
+        assert!(parse_date("not-a-date").is_err());
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let d = parse_date("1993-10-01").unwrap();
+        assert_eq!(format_date(add_months(d, 3)), "1994-01-01");
+        let d = parse_date("1993-01-31").unwrap();
+        assert_eq!(format_date(add_months(d, 1)), "1993-02-28");
+        let d = parse_date("1996-01-31").unwrap();
+        assert_eq!(format_date(add_months(d, 1)), "1996-02-29");
+        let d = parse_date("1995-06-15").unwrap();
+        assert_eq!(format_date(add_months(d, -7)), "1994-11-15");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the SQL front end.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or planning SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The lexer hit an unexpected character.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The parser found an unexpected token.
+    Parse {
+        /// Description including what was expected and what was found.
+        detail: String,
+    },
+    /// The planner rejected a syntactically valid query.
+    Plan {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A feature the dialect does not support.
+    Unsupported {
+        /// Name of the unsupported feature.
+        feature: String,
+    },
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, detail } => {
+                write!(f, "lex error at byte {position}: {detail}")
+            }
+            SqlError::Parse { detail } => write!(f, "parse error: {detail}"),
+            SqlError::Plan { detail } => write!(f, "planning error: {detail}"),
+            SqlError::Unsupported { feature } => write!(f, "unsupported SQL feature: {feature}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = SqlError::Parse {
+            detail: "expected FROM, found WHERE".into(),
+        };
+        assert!(e.to_string().contains("FROM"));
+        let e = SqlError::Unsupported {
+            feature: "window functions".into(),
+        };
+        assert!(e.to_string().contains("window"));
+    }
+}

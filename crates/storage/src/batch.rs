@@ -1,0 +1,313 @@
+//! Record batches: the unit of data exchanged between physical operators and
+//! shipped over the (simulated) wire between SP and proxy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Column, Result, Schema, StorageError, Value};
+
+/// A batch of rows in columnar layout with an attached schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl RecordBatch {
+    /// Creates a batch from a schema and matching columns.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (def, col) in schema.columns().iter().zip(columns.iter()) {
+            if col.len() != num_rows {
+                return Err(StorageError::Invalid {
+                    detail: format!(
+                        "column {} has {} rows, expected {num_rows}",
+                        def.name,
+                        col.len()
+                    ),
+                });
+            }
+        }
+        Ok(RecordBatch {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        RecordBatch {
+            schema,
+            columns,
+            num_rows: 0,
+        }
+    }
+
+    /// Builds a batch from row-major values (convenient in tests and loaders).
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self> {
+        let mut columns: Vec<Column> = schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        for row in rows {
+            if row.len() != schema.len() {
+                return Err(StorageError::ArityMismatch {
+                    expected: schema.len(),
+                    found: row.len(),
+                });
+            }
+            for (col, value) in columns.iter_mut().zip(row) {
+                col.push(value)?;
+            }
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        Ok(RecordBatch {
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One row as a vector of values (cloned).
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(idx).clone()).collect()
+    }
+
+    /// Iterates rows as value vectors.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.num_rows).map(move |i| self.row(i))
+    }
+
+    /// Keeps only the rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<RecordBatch> {
+        if mask.len() != self.num_rows {
+            return Err(StorageError::Invalid {
+                detail: format!(
+                    "filter mask has {} entries for {} rows",
+                    mask.len(),
+                    self.num_rows
+                ),
+            });
+        }
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        for (i, keep) in mask.iter().enumerate() {
+            if *keep {
+                for (col, src) in columns.iter_mut().zip(self.columns.iter()) {
+                    col.push_unchecked(src.get(i).clone());
+                }
+            }
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows,
+        })
+    }
+
+    /// Selects a subset of columns by index, in the given order.
+    pub fn project(&self, indices: &[usize]) -> RecordBatch {
+        let schema = self.schema.project(indices);
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        RecordBatch {
+            schema,
+            columns,
+            num_rows: self.num_rows,
+        }
+    }
+
+    /// Reorders rows according to `perm` (a permutation of row indices).
+    pub fn reorder(&self, perm: &[usize]) -> Result<RecordBatch> {
+        if perm.len() != self.num_rows {
+            return Err(StorageError::Invalid {
+                detail: "permutation length mismatch".into(),
+            });
+        }
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        for &i in perm {
+            for (col, src) in columns.iter_mut().zip(self.columns.iter()) {
+                col.push_unchecked(src.get(i).clone());
+            }
+        }
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: perm.len(),
+        })
+    }
+
+    /// Takes the first `n` rows.
+    pub fn limit(&self, n: usize) -> RecordBatch {
+        let keep = n.min(self.num_rows);
+        let mask: Vec<bool> = (0..self.num_rows).map(|i| i < keep).collect();
+        self.filter(&mask).expect("mask length matches")
+    }
+
+    /// Appends another batch with an identical schema.
+    pub fn concat(&self, other: &RecordBatch) -> Result<RecordBatch> {
+        if self.schema != other.schema {
+            return Err(StorageError::Invalid {
+                detail: "cannot concat batches with different schemas".into(),
+            });
+        }
+        let mut columns = self.columns.clone();
+        for (col, src) in columns.iter_mut().zip(other.columns.iter()) {
+            for v in src.values() {
+                col.push_unchecked(v.clone());
+            }
+        }
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: self.num_rows + other.num_rows,
+        })
+    }
+
+    /// Rough serialised size in bytes (wire/cost accounting).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType};
+
+    fn sample() -> RecordBatch {
+        let schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::public("name", DataType::Varchar),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(3), Value::Str("c".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let b = sample();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 2);
+        assert_eq!(b.row(1), vec![Value::Int(2), Value::Str("b".into())]);
+        assert_eq!(b.column_by_name("name").unwrap().get(2), &Value::Str("c".into()));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let schema = Schema::new(vec![ColumnDef::public("id", DataType::Int)]);
+        assert!(RecordBatch::from_rows(schema, vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+    }
+
+    #[test]
+    fn mismatched_column_lengths_rejected() {
+        let schema = Schema::new(vec![
+            ColumnDef::public("a", DataType::Int),
+            ColumnDef::public("b", DataType::Int),
+        ]);
+        let c1 = Column::from_values(DataType::Int, vec![Value::Int(1)]).unwrap();
+        let c2 = Column::from_values(DataType::Int, vec![Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(RecordBatch::new(schema, vec![c1, c2]).is_err());
+    }
+
+    #[test]
+    fn filter_project_limit() {
+        let b = sample();
+        let f = b.filter(&[true, false, true]).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(1)[0], Value::Int(3));
+
+        let p = b.project(&[1]);
+        assert_eq!(p.num_columns(), 1);
+        assert_eq!(p.schema().column_at(0).name, "name");
+
+        let l = b.limit(2);
+        assert_eq!(l.num_rows(), 2);
+        assert_eq!(b.limit(99).num_rows(), 3);
+    }
+
+    #[test]
+    fn reorder_and_concat() {
+        let b = sample();
+        let r = b.reorder(&[2, 0, 1]).unwrap();
+        assert_eq!(r.row(0)[0], Value::Int(3));
+        let c = b.concat(&r).unwrap();
+        assert_eq!(c.num_rows(), 6);
+        assert!(b.reorder(&[0]).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let schema = Schema::new(vec![ColumnDef::public("x", DataType::Int)]);
+        let b = RecordBatch::empty(schema);
+        assert_eq!(b.num_rows(), 0);
+        assert_eq!(b.rows().count(), 0);
+    }
+
+    #[test]
+    fn batch_serde_roundtrip() {
+        let b = sample();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: RecordBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,180 @@
+//! The catalog: a thread-safe registry of tables, shared between the storage layer
+//! and the execution engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{Result, Schema, StorageError, Table};
+
+/// A shared handle to a stored table.
+pub type TableHandle = Arc<RwLock<Table>>;
+
+/// Thread-safe table registry.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, TableHandle>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a new empty table, failing if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<TableHandle> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::TableAlreadyExists { name: key });
+        }
+        let handle = Arc::new(RwLock::new(Table::new(&key, schema)));
+        tables.insert(key, handle.clone());
+        Ok(handle)
+    }
+
+    /// Registers an already-populated table, failing if the name is taken.
+    pub fn register_table(&self, table: Table) -> Result<TableHandle> {
+        let key = table.name().to_string();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(StorageError::TableAlreadyExists { name: key });
+        }
+        let handle = Arc::new(RwLock::new(table));
+        tables.insert(key, handle.clone());
+        Ok(handle)
+    }
+
+    /// Replaces (or inserts) a table unconditionally.
+    pub fn register_or_replace(&self, table: Table) -> TableHandle {
+        let key = table.name().to_string();
+        let handle = Arc::new(RwLock::new(table));
+        self.tables.write().insert(key, handle.clone());
+        handle
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<TableHandle> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::TableNotFound { name: key })
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.write().remove(&key).is_none() {
+            return Err(StorageError::TableNotFound { name: key });
+        }
+        Ok(())
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+
+    /// Total approximate storage footprint across all tables.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.read().approx_size_bytes())
+            .sum()
+    }
+
+    /// Snapshot of all tables (cloned), used by persistence.
+    pub fn snapshot(&self) -> Vec<Table> {
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.read().clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::public("id", DataType::Int)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let cat = Catalog::new();
+        cat.create_table("t1", schema()).unwrap();
+        assert!(cat.table("T1").is_ok());
+        assert_eq!(cat.table_names(), vec!["t1"]);
+        assert!(cat.create_table("t1", schema()).is_err());
+        cat.drop_table("t1").unwrap();
+        assert!(cat.table("t1").is_err());
+        assert!(cat.drop_table("t1").is_err());
+    }
+
+    #[test]
+    fn register_and_mutate_through_handle() {
+        let cat = Catalog::new();
+        let handle = cat.create_table("t", schema()).unwrap();
+        handle.write().insert_row(vec![Value::Int(7)]).unwrap();
+        assert_eq!(cat.table("t").unwrap().read().num_rows(), 1);
+    }
+
+    #[test]
+    fn register_or_replace_overwrites() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        let mut replacement = Table::new("t", schema());
+        replacement.insert_row(vec![Value::Int(1)]).unwrap();
+        cat.register_or_replace(replacement);
+        assert_eq!(cat.table("t").unwrap().read().num_rows(), 1);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::thread;
+        let cat = Arc::new(Catalog::new());
+        let handle = cat.create_table("shared", schema()).unwrap();
+        let mut joins = vec![];
+        for i in 0..8 {
+            let h = handle.clone();
+            joins.push(thread::spawn(move || {
+                for j in 0..100 {
+                    h.write().insert_row(vec![Value::Int(i * 100 + j)]).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(handle.read().num_rows(), 800);
+    }
+
+    #[test]
+    fn snapshot_is_deep() {
+        let cat = Catalog::new();
+        let handle = cat.create_table("t", schema()).unwrap();
+        handle.write().insert_row(vec![Value::Int(1)]).unwrap();
+        let snap = cat.snapshot();
+        handle.write().insert_row(vec![Value::Int(2)]).unwrap();
+        assert_eq!(snap[0].num_rows(), 1);
+    }
+}

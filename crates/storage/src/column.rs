@@ -1,0 +1,124 @@
+//! A single column of values plus simple statistics used for storage accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataType, Result, Value};
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    data_type: DataType,
+    values: Vec<Value>,
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        Column {
+            data_type,
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a column from existing values, checking each against the type.
+    pub fn from_values(data_type: DataType, values: Vec<Value>) -> Result<Self> {
+        for v in &values {
+            v.check_type(data_type)?;
+        }
+        Ok(Column { data_type, values })
+    }
+
+    /// The column's declared type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a value after type-checking it.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        value.check_type(self.data_type)?;
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Appends a value without type-checking (used by trusted internal paths).
+    pub fn push_unchecked(&mut self, value: Value) {
+        self.values.push(value);
+    }
+
+    /// The value at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access to all values (engine-internal).
+    pub fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
+
+    /// Rough serialised size in bytes, used for key-store / storage accounting
+    /// (experiment E2).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.values.iter().map(approx_value_size).sum()
+    }
+}
+
+fn approx_value_size(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Int(_) => 8,
+        Value::Decimal { .. } => 9,
+        Value::Str(s) => s.len() + 4,
+        Value::Date(_) => 4,
+        Value::Bool(_) => 1,
+        Value::Encrypted(e) => (e.bits() as usize + 7) / 8 + 4,
+        Value::EncryptedRowId(r) => r.size_bytes(),
+        Value::Tag(_) => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_bigint::BigUint;
+
+    #[test]
+    fn push_type_checks() {
+        let mut c = Column::new(DataType::Int);
+        assert!(c.push(Value::Int(1)).is_ok());
+        assert!(c.push(Value::Null).is_ok());
+        assert!(c.push(Value::Str("no".into())).is_err());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn from_values_validates() {
+        assert!(Column::from_values(DataType::Int, vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(Column::from_values(DataType::Int, vec![Value::Bool(true)]).is_err());
+    }
+
+    #[test]
+    fn size_accounting_counts_encrypted_values_larger() {
+        let plain = Column::from_values(DataType::Int, vec![Value::Int(7); 10]).unwrap();
+        let enc = Column::from_values(
+            DataType::Encrypted,
+            vec![Value::Encrypted(BigUint::from(1u8) << 255u32); 10],
+        )
+        .unwrap();
+        assert!(enc.approx_size_bytes() > plain.approx_size_bytes());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the storage crate.
+
+use std::fmt;
+
+/// Errors produced by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced table does not exist in the catalog.
+    TableNotFound {
+        /// Table name.
+        name: String,
+    },
+    /// A table with the same name already exists.
+    TableAlreadyExists {
+        /// Table name.
+        name: String,
+    },
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound {
+        /// Column name as written by the caller.
+        name: String,
+        /// Table or batch the lookup ran against.
+        context: String,
+    },
+    /// A value's runtime type does not match the column's declared type.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// Row arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided number of values.
+        found: usize,
+    },
+    /// Persistence (save/load) failure.
+    Persistence {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Any other invariant violation.
+    Invalid {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotFound { name } => write!(f, "table not found: {name}"),
+            StorageError::TableAlreadyExists { name } => {
+                write!(f, "table already exists: {name}")
+            }
+            StorageError::ColumnNotFound { name, context } => {
+                write!(f, "column {name} not found in {context}")
+            }
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, found {found}")
+            }
+            StorageError::Persistence { detail } => write!(f, "persistence error: {detail}"),
+            StorageError::Invalid { detail } => write!(f, "invalid operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_context() {
+        let e = StorageError::ColumnNotFound {
+            name: "price".into(),
+            context: "lineitem".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("price") && s.contains("lineitem"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sdb-storage
+//!
+//! The storage substrate of the SDB reproduction: typed values, schemas, columnar
+//! tables, record batches and a catalog. This is the "data store" half of the
+//! service provider that the paper gets for free from Spark SQL — here it is built
+//! from scratch so that the whole system is self-contained (see `DESIGN.md` §4).
+//!
+//! Sensitive columns are stored as [`Value::Encrypted`] residues (the `v_e` shares
+//! of the paper) next to plain insensitive columns, exactly mirroring the paper's
+//! storage layout: *"the SP stores the plain values of insensitive data and the
+//! secret shares of sensitive data"*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod persist;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use batch::RecordBatch;
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::StorageError;
+pub use schema::{ColumnDef, Schema, Sensitivity};
+pub use table::Table;
+pub use value::{DataType, Value};
+
+/// Library result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

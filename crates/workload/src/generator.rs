@@ -1,0 +1,341 @@
+//! Deterministic TPC-H-style data generator.
+//!
+//! The official `dbgen` produces gigabytes per scale factor; this generator keeps
+//! the same shape (table cardinality ratios, value ranges, skew-free uniform
+//! distributions, the 1992–1998 date window) at laptop-friendly sizes: one "unit"
+//! of [`ScaleFactor`] corresponds to 1/1000 of TPC-H SF 1. Everything is seeded, so
+//! benches and tests are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdb_sql::dates::days_from_civil;
+use sdb_storage::{Table, Value};
+
+use crate::schema::{table_names, table_schema, SensitivityProfile};
+
+/// Scale factor: 1.0 ≈ 1/1000 of official TPC-H SF 1 (≈ 6 000 lineitem rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFactor(pub f64);
+
+impl ScaleFactor {
+    /// A tiny scale for unit tests (≈ 60 lineitem rows).
+    pub fn tiny() -> Self {
+        ScaleFactor(0.01)
+    }
+
+    /// A small scale for integration tests and quick benches (≈ 600 lineitem rows).
+    pub fn small() -> Self {
+        ScaleFactor(0.1)
+    }
+
+    fn rows(&self, base: usize) -> usize {
+        ((base as f64) * self.0).round().max(1.0) as usize
+    }
+}
+
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const TYPES: [&str; 6] = [
+    "PROMO BRUSHED COPPER",
+    "PROMO ANODIZED STEEL",
+    "STANDARD POLISHED BRASS",
+    "ECONOMY BURNISHED TIN",
+    "MEDIUM PLATED NICKEL",
+    "LARGE BRUSHED STEEL",
+];
+const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO PKG", "WRAP BAG"];
+
+/// Base cardinalities at scale 1.0 (≈ TPC-H SF 1 ÷ 1000).
+fn base_rows(table: &str) -> usize {
+    match table {
+        "region" => 5,
+        "nation" => 25,
+        "supplier" => 10,
+        "customer" => 150,
+        "part" => 200,
+        "partsupp" => 400,
+        "orders" => 1_500,
+        "lineitem" => 6_000,
+        _ => 0,
+    }
+}
+
+/// Generates one table.
+pub fn generate_table(table: &str, sf: ScaleFactor, profile: SensitivityProfile, seed: u64) -> Table {
+    let schema = table_schema(table, profile);
+    let mut out = Table::new(table, schema);
+    let mut rng = StdRng::seed_from_u64(seed ^ fxhash(table));
+
+    let date_lo = days_from_civil(1992, 1, 1);
+    let date_hi = days_from_civil(1998, 8, 2);
+    let suppliers = sf.rows(base_rows("supplier")) as i64;
+    let customers = sf.rows(base_rows("customer")) as i64;
+    let parts = sf.rows(base_rows("part")) as i64;
+    let orders = sf.rows(base_rows("orders")) as i64;
+
+    match table {
+        "region" => {
+            for (i, name) in REGIONS.iter().enumerate() {
+                out.insert_row(vec![Value::Int(i as i64), Value::Str((*name).into())])
+                    .expect("schema matches");
+            }
+        }
+        "nation" => {
+            for (i, (name, region)) in NATIONS.iter().enumerate() {
+                out.insert_row(vec![
+                    Value::Int(i as i64),
+                    Value::Str((*name).into()),
+                    Value::Int(*region),
+                ])
+                .expect("schema matches");
+            }
+        }
+        "supplier" => {
+            for i in 0..suppliers {
+                out.insert_row(vec![
+                    Value::Int(i + 1),
+                    Value::Str(format!("Supplier#{:06}", i + 1)),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Decimal {
+                        units: rng.gen_range(-99_999..999_999),
+                        scale: 2,
+                    },
+                ])
+                .expect("schema matches");
+            }
+        }
+        "customer" => {
+            for i in 0..customers {
+                out.insert_row(vec![
+                    Value::Int(i + 1),
+                    Value::Str(format!("Customer#{:06}", i + 1)),
+                    Value::Int(rng.gen_range(0..25)),
+                    Value::Decimal {
+                        units: rng.gen_range(-99_999..999_999),
+                        scale: 2,
+                    },
+                    Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+                ])
+                .expect("schema matches");
+            }
+        }
+        "part" => {
+            for i in 0..parts {
+                let size = rng.gen_range(1..51);
+                out.insert_row(vec![
+                    Value::Int(i + 1),
+                    Value::Str(format!("part metallic {}", i + 1)),
+                    Value::Str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+                    Value::Str(TYPES[rng.gen_range(0..TYPES.len())].into()),
+                    Value::Int(size),
+                    Value::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
+                    Value::Decimal {
+                        units: 90_000 + (i % 200) * 100 + size * 10,
+                        scale: 2,
+                    },
+                ])
+                .expect("schema matches");
+            }
+        }
+        "partsupp" => {
+            // Two suppliers per part (the official ratio is four).
+            for part in 0..parts {
+                for s in 0..2 {
+                    out.insert_row(vec![
+                        Value::Int(part + 1),
+                        Value::Int((part + s) % suppliers.max(1) + 1),
+                        Value::Int(rng.gen_range(1..10_000)),
+                        Value::Decimal {
+                            units: rng.gen_range(100..100_000),
+                            scale: 2,
+                        },
+                    ])
+                    .expect("schema matches");
+                }
+            }
+        }
+        "orders" => {
+            for i in 0..orders {
+                let orderdate = rng.gen_range(date_lo..date_hi - 151);
+                out.insert_row(vec![
+                    Value::Int(i + 1),
+                    Value::Int(rng.gen_range(0..customers.max(1)) + 1),
+                    Value::Str(["O", "F", "P"][rng.gen_range(0..3)].into()),
+                    Value::Decimal {
+                        units: rng.gen_range(100_000..50_000_000),
+                        scale: 2,
+                    },
+                    Value::Date(orderdate),
+                    Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
+                    Value::Int(0),
+                ])
+                .expect("schema matches");
+            }
+        }
+        "lineitem" => {
+            // Roughly four lines per order, mirroring TPC-H's 1–7 distribution.
+            let mut linenumber;
+            for order in 0..orders {
+                let lines = rng.gen_range(1..8);
+                linenumber = 1;
+                // Reconstruct the order date deterministically from the orders RNG
+                // is not possible here, so draw a ship window independently — the
+                // queries only rely on dates lying in the 1992–1998 window.
+                for _ in 0..lines {
+                    let quantity = rng.gen_range(100..5_001); // 1.00 – 50.00
+                    let price_per_unit = rng.gen_range(90_000..200_000); // 900.00 – 2000.00
+                    let extendedprice = (quantity * price_per_unit) / 100;
+                    let shipdate = rng.gen_range(date_lo..date_hi - 60);
+                    out.insert_row(vec![
+                        Value::Int(order + 1),
+                        Value::Int(rng.gen_range(0..parts.max(1)) + 1),
+                        Value::Int(rng.gen_range(0..suppliers.max(1)) + 1),
+                        Value::Int(linenumber),
+                        Value::Decimal {
+                            units: quantity,
+                            scale: 2,
+                        },
+                        Value::Decimal {
+                            units: extendedprice,
+                            scale: 2,
+                        },
+                        Value::Decimal {
+                            units: rng.gen_range(0..11),
+                            scale: 2,
+                        },
+                        Value::Decimal {
+                            units: rng.gen_range(0..9),
+                            scale: 2,
+                        },
+                        Value::Str(["R", "A", "N"][rng.gen_range(0..3)].into()),
+                        Value::Str(["O", "F"][rng.gen_range(0..2)].into()),
+                        Value::Date(shipdate),
+                        Value::Date(shipdate + rng.gen_range(-30..31)),
+                        Value::Date(shipdate + rng.gen_range(1..31)),
+                        Value::Str(SHIPMODES[rng.gen_range(0..SHIPMODES.len())].into()),
+                    ])
+                    .expect("schema matches");
+                    linenumber += 1;
+                }
+            }
+        }
+        other => panic!("unknown TPC-H table {other}"),
+    }
+    out
+}
+
+/// Generates all eight tables.
+pub fn generate_all(sf: ScaleFactor, profile: SensitivityProfile, seed: u64) -> Vec<Table> {
+    table_names()
+        .iter()
+        .map(|t| generate_table(t, sf, profile, seed))
+        .collect()
+}
+
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_ratios_follow_scale() {
+        let tables = generate_all(ScaleFactor::tiny(), SensitivityProfile::None, 1);
+        let rows: std::collections::HashMap<&str, usize> = tables
+            .iter()
+            .map(|t| (t.name(), t.num_rows()))
+            .map(|(n, r)| (match n {
+                "region" => "region",
+                "nation" => "nation",
+                "supplier" => "supplier",
+                "customer" => "customer",
+                "part" => "part",
+                "partsupp" => "partsupp",
+                "orders" => "orders",
+                _ => "lineitem",
+            }, r))
+            .collect();
+        assert_eq!(rows["region"], 5);
+        assert_eq!(rows["nation"], 25);
+        assert!(rows["lineitem"] > rows["orders"]);
+        assert!(rows["orders"] > rows["customer"]);
+        // Lineitem averages ~4 lines per order.
+        assert!(rows["lineitem"] >= 2 * rows["orders"]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_table("orders", ScaleFactor::tiny(), SensitivityProfile::None, 42);
+        let b = generate_table("orders", ScaleFactor::tiny(), SensitivityProfile::None, 42);
+        assert_eq!(a.scan(), b.scan());
+        let c = generate_table("orders", ScaleFactor::tiny(), SensitivityProfile::None, 43);
+        assert_ne!(a.scan(), c.scan());
+    }
+
+    #[test]
+    fn values_are_in_tpch_ranges() {
+        let lineitem = generate_table("lineitem", ScaleFactor::tiny(), SensitivityProfile::None, 7);
+        let batch = lineitem.scan();
+        for row in batch.rows() {
+            let quantity = row[4].as_scaled_i128(2).unwrap();
+            assert!((100..=5_000).contains(&quantity));
+            let discount = row[6].as_scaled_i128(2).unwrap();
+            assert!((0..=10).contains(&discount));
+            let shipdate = match row[10] {
+                Value::Date(d) => d,
+                ref other => panic!("unexpected {other:?}"),
+            };
+            assert!(shipdate >= days_from_civil(1992, 1, 1));
+            assert!(shipdate <= days_from_civil(1998, 12, 31));
+        }
+    }
+
+    #[test]
+    fn sensitive_profile_is_carried_into_generated_schema() {
+        let lineitem = generate_table("lineitem", ScaleFactor::tiny(), SensitivityProfile::Financial, 7);
+        assert!(lineitem
+            .schema()
+            .column("l_extendedprice")
+            .unwrap()
+            .sensitivity
+            .is_sensitive());
+    }
+}

@@ -1,0 +1,155 @@
+//! The TPC-H-style schema with a configurable sensitivity profile.
+
+use sdb_storage::{ColumnDef, DataType, Schema};
+
+/// Which columns the data owner marks sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensitivityProfile {
+    /// Nothing sensitive — the plaintext baseline.
+    None,
+    /// The "financial" profile used by the evaluation: every money, quantity and
+    /// account-balance column is sensitive; keys, names, flags and dates stay
+    /// public. This mirrors the motivating DBaaS scenario (protect the business
+    /// numbers, keep join keys usable).
+    Financial,
+}
+
+impl SensitivityProfile {
+    fn sensitive(&self, column: &str) -> bool {
+        match self {
+            SensitivityProfile::None => false,
+            SensitivityProfile::Financial => matches!(
+                column,
+                "l_quantity"
+                    | "l_extendedprice"
+                    | "l_discount"
+                    | "l_tax"
+                    | "o_totalprice"
+                    | "ps_supplycost"
+                    | "ps_availqty"
+                    | "c_acctbal"
+                    | "s_acctbal"
+                    | "p_retailprice"
+            ),
+        }
+    }
+}
+
+/// The eight table names in generation order (respecting foreign-key dependencies).
+pub fn table_names() -> [&'static str; 8] {
+    [
+        "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+    ]
+}
+
+/// Returns the schema of one table under a sensitivity profile.
+pub fn table_schema(table: &str, profile: SensitivityProfile) -> Schema {
+    let columns: Vec<(&str, DataType)> = match table {
+        "region" => vec![("r_regionkey", DataType::Int), ("r_name", DataType::Varchar)],
+        "nation" => vec![
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Varchar),
+            ("n_regionkey", DataType::Int),
+        ],
+        "supplier" => vec![
+            ("s_suppkey", DataType::Int),
+            ("s_name", DataType::Varchar),
+            ("s_nationkey", DataType::Int),
+            ("s_acctbal", DataType::Decimal { scale: 2 }),
+        ],
+        "customer" => vec![
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Varchar),
+            ("c_nationkey", DataType::Int),
+            ("c_acctbal", DataType::Decimal { scale: 2 }),
+            ("c_mktsegment", DataType::Varchar),
+        ],
+        "part" => vec![
+            ("p_partkey", DataType::Int),
+            ("p_name", DataType::Varchar),
+            ("p_brand", DataType::Varchar),
+            ("p_type", DataType::Varchar),
+            ("p_size", DataType::Int),
+            ("p_container", DataType::Varchar),
+            ("p_retailprice", DataType::Decimal { scale: 2 }),
+        ],
+        "partsupp" => vec![
+            ("ps_partkey", DataType::Int),
+            ("ps_suppkey", DataType::Int),
+            ("ps_availqty", DataType::Int),
+            ("ps_supplycost", DataType::Decimal { scale: 2 }),
+        ],
+        "orders" => vec![
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderstatus", DataType::Varchar),
+            ("o_totalprice", DataType::Decimal { scale: 2 }),
+            ("o_orderdate", DataType::Date),
+            ("o_orderpriority", DataType::Varchar),
+            ("o_shippriority", DataType::Int),
+        ],
+        "lineitem" => vec![
+            ("l_orderkey", DataType::Int),
+            ("l_partkey", DataType::Int),
+            ("l_suppkey", DataType::Int),
+            ("l_linenumber", DataType::Int),
+            ("l_quantity", DataType::Decimal { scale: 2 }),
+            ("l_extendedprice", DataType::Decimal { scale: 2 }),
+            ("l_discount", DataType::Decimal { scale: 2 }),
+            ("l_tax", DataType::Decimal { scale: 2 }),
+            ("l_returnflag", DataType::Varchar),
+            ("l_linestatus", DataType::Varchar),
+            ("l_shipdate", DataType::Date),
+            ("l_commitdate", DataType::Date),
+            ("l_receiptdate", DataType::Date),
+            ("l_shipmode", DataType::Varchar),
+        ],
+        other => panic!("unknown TPC-H table {other}"),
+    };
+    Schema::new(
+        columns
+            .into_iter()
+            .map(|(name, data_type)| {
+                if profile.sensitive(name) {
+                    ColumnDef::sensitive(name, data_type)
+                } else {
+                    ColumnDef::public(name, data_type)
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_schemas() {
+        for table in table_names() {
+            let plain = table_schema(table, SensitivityProfile::None);
+            assert!(!plain.is_empty());
+            assert!(plain.sensitive_columns().is_empty());
+        }
+    }
+
+    #[test]
+    fn financial_profile_marks_money_columns() {
+        let lineitem = table_schema("lineitem", SensitivityProfile::Financial);
+        let sensitive = lineitem.sensitive_columns();
+        assert!(sensitive.contains(&"l_extendedprice"));
+        assert!(sensitive.contains(&"l_discount"));
+        assert!(sensitive.contains(&"l_quantity"));
+        assert!(!sensitive.contains(&"l_orderkey"));
+        assert!(!sensitive.contains(&"l_shipdate"));
+
+        let orders = table_schema("orders", SensitivityProfile::Financial);
+        assert!(orders.sensitive_columns().contains(&"o_totalprice"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TPC-H table")]
+    fn unknown_table_panics() {
+        table_schema("widgets", SensitivityProfile::None);
+    }
+}

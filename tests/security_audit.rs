@@ -1,0 +1,135 @@
+//! Experiment E4 (demo step 3): the adversarial view of the service provider.
+//!
+//! The demo lets an attendee take a memory dump of the SP machine while queries run
+//! and observe that sensitive data never appears in the clear. These tests automate
+//! that check over the TPC-H workload and additionally exercise the paper's threat
+//! discussion (§2.3): what an attacker with DB knowledge sees at rest, and what an
+//! attacker with QR knowledge sees on the wire, during a full query workload.
+
+use sdb::{SdbClient, SdbConfig};
+use sdb_storage::Value;
+use sdb_workload::{generate_all, ScaleFactor, SensitivityProfile};
+
+fn loaded_client() -> SdbClient {
+    let mut client = SdbClient::new(SdbConfig::test_profile()).expect("client");
+    for table in generate_all(ScaleFactor::tiny(), SensitivityProfile::Financial, 0xa0d17) {
+        client.stage_table(table).expect("stage");
+    }
+    client.upload_all().expect("upload");
+    client
+}
+
+#[test]
+fn sp_storage_and_wire_traffic_never_contain_sensitive_plaintext() {
+    let client = loaded_client();
+
+    // Run a representative mix of queries so intermediate results, oracle traffic
+    // and rewritten SQL all cross the (recorded) wire.
+    for id in [1u8, 3, 6, 10, 14, 18, 22] {
+        let template = sdb_workload::query_by_id(id).expect("template");
+        client
+            .query(template.sql)
+            .unwrap_or_else(|e| panic!("Q{id} failed: {e}"));
+    }
+
+    let report = client.audit();
+    assert!(report.needles_checked > 30, "expected many sensitive needles");
+    assert!(report.haystacks_scanned >= 2);
+    assert!(
+        report.is_clean(),
+        "sensitive plaintext observed at the SP: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn encrypted_values_are_not_deterministic_across_rows() {
+    // DB-knowledge attacker: equal plaintexts in different rows must not produce
+    // equal ciphertexts (row ids enter item-key derivation), so frequency analysis
+    // over the stored shares yields nothing.
+    let mut client = SdbClient::new(SdbConfig::test_profile()).expect("client");
+    client
+        .execute("CREATE TABLE balances (id INT, amount INT SENSITIVE)")
+        .unwrap();
+    client
+        .execute("INSERT INTO balances VALUES (1, 777777), (2, 777777), (3, 777777)")
+        .unwrap();
+    client.upload_all().unwrap();
+
+    let handle = client.engine().catalog().table("balances").unwrap();
+    let table = handle.read();
+    let batch = table.scan();
+    let column = batch.column_by_name("amount").unwrap();
+    let mut ciphertexts = std::collections::HashSet::new();
+    for i in 0..3 {
+        match column.get(i) {
+            Value::Encrypted(e) => ciphertexts.insert(e.to_string()),
+            other => panic!("expected encrypted share, found {other:?}"),
+        };
+    }
+    assert_eq!(ciphertexts.len(), 3, "equal plaintexts must encrypt differently");
+}
+
+#[test]
+fn cpa_style_insert_does_not_reveal_other_rows() {
+    // CPA-knowledge attacker: she can insert chosen plaintexts (demo: open new bank
+    // accounts) and observe the new ciphertexts. Because every row has a fresh
+    // secret row id, knowing (plaintext, ciphertext) pairs for her rows does not
+    // let her match or recover other rows' values — checked here by confirming that
+    // her known ciphertexts never repeat among the pre-existing rows and that the
+    // audit stays clean after her inserts flow through the normal path.
+    let mut client = SdbClient::new(SdbConfig::test_profile()).expect("client");
+    client
+        .execute("CREATE TABLE accounts (id INT, balance INT SENSITIVE)")
+        .unwrap();
+    client
+        .execute("INSERT INTO accounts VALUES (1, 123456), (2, 654321)")
+        .unwrap();
+    client.upload_all().unwrap();
+
+    // Attacker-chosen plaintext equal to an existing secret value.
+    client.execute("INSERT INTO accounts VALUES (99, 123456)").unwrap();
+
+    let handle = client.engine().catalog().table("accounts").unwrap();
+    let table = handle.read();
+    let batch = table.scan();
+    let column = batch.column_by_name("balance").unwrap();
+    let attacker_row = batch
+        .column_by_name("id")
+        .unwrap()
+        .values()
+        .iter()
+        .position(|v| v == &Value::Int(99))
+        .expect("attacker row present");
+    let attacker_ct = column.get(attacker_row).as_encrypted().unwrap();
+    for i in 0..batch.num_rows() {
+        if i != attacker_row {
+            assert_ne!(
+                column.get(i).as_encrypted().unwrap(),
+                attacker_ct,
+                "an attacker-chosen plaintext must not reproduce another row's ciphertext"
+            );
+        }
+    }
+    assert!(client.audit().is_clean());
+}
+
+#[test]
+fn query_results_decrypt_only_at_the_proxy() {
+    let client = loaded_client();
+    let rewritten = client
+        .rewrite_only("SELECT SUM(l_extendedprice) AS s FROM lineitem")
+        .unwrap();
+    let result = client.run_rewritten(&rewritten).unwrap();
+    // What left the SP was encrypted: the recorded result payload contains the
+    // share, not the decrypted sum.
+    let decrypted_sum = match &result.rows()[0][0] {
+        Value::Decimal { units, .. } => units.to_string(),
+        other => other.render(),
+    };
+    let wire = client.wire().concatenated_payloads();
+    assert!(
+        !wire.contains(&decrypted_sum),
+        "the plaintext aggregate leaked onto the wire"
+    );
+}
