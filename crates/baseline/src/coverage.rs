@@ -290,38 +290,30 @@ fn collect_from_predicate(
             low,
             high,
             ..
-        } => {
-            if sensitive(tested) || sensitive(low) || sensitive(high) {
-                out.insert(RequiredOperation::Order);
-                if !matches!(tested.as_ref(), Expr::Column(_)) {
-                    out.insert(RequiredOperation::ComparisonOfArithmetic);
-                }
+        } if (sensitive(tested) || sensitive(low) || sensitive(high)) => {
+            out.insert(RequiredOperation::Order);
+            if !matches!(tested.as_ref(), Expr::Column(_)) {
+                out.insert(RequiredOperation::ComparisonOfArithmetic);
             }
         }
-        Expr::InList { expr: tested, .. } => {
-            if sensitive(tested) {
-                out.insert(RequiredOperation::Equality);
-            }
+        Expr::InList { expr: tested, .. } if sensitive(tested) => {
+            out.insert(RequiredOperation::Equality);
         }
-        Expr::Like { expr: tested, .. } => {
-            if sensitive(tested) {
-                out.insert(RequiredOperation::Like);
-            }
+        Expr::Like { expr: tested, .. } if sensitive(tested) => {
+            out.insert(RequiredOperation::Like);
         }
-        Expr::InSubquery { expr: tested, query, .. } => {
-            if sensitive(tested) || query_has_sensitive(query) {
-                out.insert(RequiredOperation::Subquery);
-            }
+        Expr::InSubquery {
+            expr: tested,
+            query,
+            ..
+        } if (sensitive(tested) || query_has_sensitive(query)) => {
+            out.insert(RequiredOperation::Subquery);
         }
-        Expr::Exists { query, .. } => {
-            if query_has_sensitive(query) {
-                out.insert(RequiredOperation::Subquery);
-            }
+        Expr::Exists { query, .. } if query_has_sensitive(query) => {
+            out.insert(RequiredOperation::Subquery);
         }
-        Expr::ScalarSubquery(query) => {
-            if query_has_sensitive(query) {
-                out.insert(RequiredOperation::Subquery);
-            }
+        Expr::ScalarSubquery(query) if query_has_sensitive(query) => {
+            out.insert(RequiredOperation::Subquery);
         }
         _ => {}
     }
@@ -337,11 +329,7 @@ fn query_has_sensitive(_query: &Query) -> bool {
     false
 }
 
-fn expr_is_sensitive(
-    expr: &Expr,
-    query: &Query,
-    metas: &BTreeMap<String, TableMeta>,
-) -> bool {
+fn expr_is_sensitive(expr: &Expr, query: &Query, metas: &BTreeMap<String, TableMeta>) -> bool {
     let mut columns = Vec::new();
     expr.referenced_columns(&mut columns);
     // Resolve against the FROM/JOIN tables (by alias or table name).
@@ -350,9 +338,14 @@ fn expr_is_sensitive(
         .iter()
         .chain(query.joins.iter().map(|j| &j.table))
         .filter_map(|t| {
-            metas
-                .get(&t.name.to_ascii_lowercase())
-                .map(|m| (t.alias.clone().unwrap_or_else(|| t.name.to_ascii_lowercase()), m))
+            metas.get(&t.name.to_ascii_lowercase()).map(|m| {
+                (
+                    t.alias
+                        .clone()
+                        .unwrap_or_else(|| t.name.to_ascii_lowercase()),
+                    m,
+                )
+            })
         })
         .collect();
     columns.iter().any(|column| {
@@ -427,7 +420,9 @@ mod tests {
     fn plain_sum_supported_by_both() {
         let f = fixture();
         let report = analyze(&f, "SELECT SUM(price) FROM items");
-        assert!(report.required.contains(&RequiredOperation::AdditiveAggregate));
+        assert!(report
+            .required
+            .contains(&RequiredOperation::AdditiveAggregate));
         assert!(report.onion.is_native());
         assert!(report.sdb.is_native());
     }
@@ -442,12 +437,16 @@ mod tests {
             &f,
             "SELECT SUM(price * qty) AS revenue FROM items WHERE price BETWEEN 1 AND 100",
         );
-        assert!(report.required.contains(&RequiredOperation::AggregateOfArithmetic));
+        assert!(report
+            .required
+            .contains(&RequiredOperation::AggregateOfArithmetic));
         assert!(!report.onion.is_native());
         assert!(report.sdb.is_native(), "SDB verdict: {:?}", report.sdb);
 
         let report = analyze(&f, "SELECT id FROM items WHERE price - qty > 100");
-        assert!(report.required.contains(&RequiredOperation::ComparisonOfArithmetic));
+        assert!(report
+            .required
+            .contains(&RequiredOperation::ComparisonOfArithmetic));
         assert!(!report.onion.is_native());
         assert!(report.sdb.is_native());
 
@@ -488,7 +487,10 @@ mod tests {
     #[test]
     fn group_by_and_order_by_sensitive() {
         let f = fixture();
-        let report = analyze(&f, "SELECT qty, COUNT(*) FROM items GROUP BY qty ORDER BY qty");
+        let report = analyze(
+            &f,
+            "SELECT qty, COUNT(*) FROM items GROUP BY qty ORDER BY qty",
+        );
         assert!(report.required.contains(&RequiredOperation::Equality));
         assert!(report.required.contains(&RequiredOperation::Order));
         assert!(report.onion.is_native());

@@ -70,7 +70,10 @@ impl OpeCipher {
 
     /// Encrypts a signed value (|v| < 2⁶²).
     pub fn encrypt(&self, v: i128) -> u128 {
-        assert!(v.unsigned_abs() < OPE_OFFSET as u128, "value out of OPE domain");
+        assert!(
+            v.unsigned_abs() < OPE_OFFSET as u128,
+            "value out of OPE domain"
+        );
         let shifted = (v + OPE_OFFSET) as u128;
         let noise = u128::from(self.prf.eval(&v.to_le_bytes())) % OPE_GAP;
         shifted * OPE_GAP + noise

@@ -160,8 +160,7 @@ impl OnionClient {
                     plain => {
                         let units = value.as_scaled_i128(plain.scale())?;
                         out.push(Value::EncryptedRowId(sdb_crypto::EncryptedRowId(
-                            self.rnd
-                                .encrypt_bytes(&mut self.rng, &units.to_le_bytes()),
+                            self.rnd.encrypt_bytes(&mut self.rng, &units.to_le_bytes()),
                         )));
                         out.push(Value::Tag(self.det.encrypt_i128(&domain, units)));
                         out.push(Value::Str(pad_ope(self.ope.encrypt(units))));
@@ -228,7 +227,11 @@ impl OnionClient {
             })
     }
 
-    fn column_meta<'a>(&self, meta: &'a TableMeta, expr: &Expr) -> Option<&'a sdb_proxy::meta::ColumnMeta> {
+    fn column_meta<'a>(
+        &self,
+        meta: &'a TableMeta,
+        expr: &Expr,
+    ) -> Option<&'a sdb_proxy::meta::ColumnMeta> {
         match expr {
             Expr::Column(name) => meta.column(name),
             _ => None,
@@ -242,11 +245,11 @@ impl OnionClient {
         if !query.group_by.is_empty() || query.having.is_some() || query.distinct {
             // Grouping/distinct over DET onions is possible in principle; the
             // executable baseline keeps to the shapes the benches need.
-            if query
-                .group_by
-                .iter()
-                .any(|g| self.column_meta(meta, g).map(|c| c.sensitive).unwrap_or(false))
-                || query.having.is_some()
+            if query.group_by.iter().any(|g| {
+                self.column_meta(meta, g)
+                    .map(|c| c.sensitive)
+                    .unwrap_or(false)
+            }) || query.having.is_some()
             {
                 return Err(BaselineError::NotNativelySupported {
                     reason: "grouping over encrypted columns".into(),
@@ -266,18 +269,13 @@ impl OnionClient {
                         reason: "SELECT * over onion-encrypted tables".into(),
                     })
                 }
-                SelectItem::Expr { expr, alias } => {
-                    let name = alias.clone().unwrap_or_else(|| expr.to_string());
-                    match self.rewrite_projection(meta, expr)? {
-                        (server_expr, decrypt) => {
-                            decrypts.push(decrypt);
-                            items.push(SelectItem::Expr {
-                                expr: server_expr,
-                                alias: Some(format!("c{}", items.len())),
-                            });
-                            let _ = name;
-                        }
-                    }
+                SelectItem::Expr { expr, .. } => {
+                    let (server_expr, decrypt) = self.rewrite_projection(meta, expr)?;
+                    decrypts.push(decrypt);
+                    items.push(SelectItem::Expr {
+                        expr: server_expr,
+                        alias: Some(format!("c{}", items.len())),
+                    });
                 }
             }
         }
@@ -313,11 +311,7 @@ impl OnionClient {
         Ok((rewritten.to_string(), decrypts))
     }
 
-    fn rewrite_projection(
-        &self,
-        meta: &TableMeta,
-        expr: &Expr,
-    ) -> Result<(Expr, OnionDecrypt)> {
+    fn rewrite_projection(&self, meta: &TableMeta, expr: &Expr) -> Result<(Expr, OnionDecrypt)> {
         // Bare plain column or expression over plain columns.
         if !self.expr_sensitive(meta, expr) {
             return Ok((expr.clone(), OnionDecrypt::Plain));
@@ -335,11 +329,11 @@ impl OnionClient {
         // Aggregates of a bare sensitive column.
         if let Expr::Function { name, args, .. } = expr {
             if let Some(Expr::Column(_)) = args.first() {
-                let column = self.column_meta(meta, &args[0]).ok_or_else(|| {
-                    BaselineError::Internal {
-                        detail: "unresolved aggregate argument".into(),
-                    }
-                })?;
+                let column =
+                    self.column_meta(meta, &args[0])
+                        .ok_or_else(|| BaselineError::Internal {
+                            detail: "unresolved aggregate argument".into(),
+                        })?;
                 if !column.is_numeric_sensitive() {
                     return Err(BaselineError::NotNativelySupported {
                         reason: "aggregate over an encrypted string".into(),
@@ -370,10 +364,7 @@ impl OnionClient {
                     }
                     "MIN" | "MAX" => {
                         return Ok((
-                            Expr::func(
-                                name,
-                                vec![Expr::col(&format!("{}_ope", column.name))],
-                            ),
+                            Expr::func(name, vec![Expr::col(&format!("{}_ope", column.name))]),
                             OnionDecrypt::Ope { plain },
                         ))
                     }
@@ -405,21 +396,22 @@ impl OnionClient {
                 self.rewrite_predicate(meta, right)?,
             )),
             Expr::Binary { left, op, right } if op.is_comparison() => {
-                let (column, literal, flipped) = match (self.column_meta(meta, left), self.column_meta(meta, right)) {
-                    (Some(c), None) if c.sensitive => (c, right.as_ref(), false),
-                    (None, Some(c)) if c.sensitive => (c, left.as_ref(), true),
-                    (Some(l), Some(r)) if l.sensitive || r.sensitive => {
-                        return Err(BaselineError::NotNativelySupported {
-                            reason: "comparing two encrypted columns".into(),
-                        })
-                    }
-                    _ if self.expr_sensitive(meta, expr) => {
-                        return Err(BaselineError::NotNativelySupported {
-                            reason: format!("comparing a computed encrypted value: {expr}"),
-                        })
-                    }
-                    _ => return Ok(expr.clone()),
-                };
+                let (column, literal, flipped) =
+                    match (self.column_meta(meta, left), self.column_meta(meta, right)) {
+                        (Some(c), None) if c.sensitive => (c, right.as_ref(), false),
+                        (None, Some(c)) if c.sensitive => (c, left.as_ref(), true),
+                        (Some(l), Some(r)) if l.sensitive || r.sensitive => {
+                            return Err(BaselineError::NotNativelySupported {
+                                reason: "comparing two encrypted columns".into(),
+                            })
+                        }
+                        _ if self.expr_sensitive(meta, expr) => {
+                            return Err(BaselineError::NotNativelySupported {
+                                reason: format!("comparing a computed encrypted value: {expr}"),
+                            })
+                        }
+                        _ => return Ok(expr.clone()),
+                    };
                 let Expr::Literal(literal) = literal else {
                     return Err(BaselineError::NotNativelySupported {
                         reason: "comparing an encrypted column with a computed value".into(),
@@ -484,11 +476,19 @@ impl OnionClient {
             } => {
                 let ge = self.rewrite_predicate(
                     meta,
-                    &Expr::binary(tested.as_ref().clone(), BinaryOp::GtEq, low.as_ref().clone()),
+                    &Expr::binary(
+                        tested.as_ref().clone(),
+                        BinaryOp::GtEq,
+                        low.as_ref().clone(),
+                    ),
                 )?;
                 let le = self.rewrite_predicate(
                     meta,
-                    &Expr::binary(tested.as_ref().clone(), BinaryOp::LtEq, high.as_ref().clone()),
+                    &Expr::binary(
+                        tested.as_ref().clone(),
+                        BinaryOp::LtEq,
+                        high.as_ref().clone(),
+                    ),
                 )?;
                 let both = Expr::binary(ge, BinaryOp::And, le);
                 Ok(if *negated {
@@ -529,7 +529,9 @@ impl OnionClient {
                             let bytes = self
                                 .rnd
                                 .decrypt_bytes(&value.as_encrypted_row_id()?.0)
-                                .map_err(|e| BaselineError::Internal { detail: e.to_string() })?;
+                                .map_err(|e| BaselineError::Internal {
+                                    detail: e.to_string(),
+                                })?;
                             decode_rnd(&bytes, *plain)?
                         }
                     }
@@ -537,14 +539,11 @@ impl OnionClient {
                         if value.is_null() {
                             Value::Null
                         } else {
-                            let units = self.ope.decrypt(
-                                value
-                                    .as_str()?
-                                    .parse::<u128>()
-                                    .map_err(|_| BaselineError::Internal {
-                                        detail: "malformed OPE ciphertext".into(),
-                                    })?,
-                            );
+                            let units = self.ope.decrypt(value.as_str()?.parse::<u128>().map_err(
+                                |_| BaselineError::Internal {
+                                    detail: "malformed OPE ciphertext".into(),
+                                },
+                            )?);
                             units_to_value(units, *plain)
                         }
                     }
@@ -709,7 +708,10 @@ mod tests {
             table
                 .insert_row(vec![
                     Value::Int(id),
-                    Value::Decimal { units: price, scale: 2 },
+                    Value::Decimal {
+                        units: price,
+                        scale: 2,
+                    },
                     Value::Int(qty),
                     Value::Str(note.into()),
                 ])
@@ -736,14 +738,23 @@ mod tests {
         assert!(names.contains(&"price_hom"));
         assert!(names.contains(&"qty_rnd"));
         let json = serde_json::to_string(&table.scan()).unwrap();
-        assert!(!json.contains("9900"), "plaintext price leaked to the onion server");
+        assert!(
+            !json.contains("9900"),
+            "plaintext price leaked to the onion server"
+        );
     }
 
     #[test]
     fn equality_and_range_filters_work() {
         let client = fixture();
-        match client.try_query("SELECT id FROM items WHERE qty = 10").unwrap() {
-            OnionOutcome::Supported { batch, rewritten_sql } => {
+        match client
+            .try_query("SELECT id FROM items WHERE qty = 10")
+            .unwrap()
+        {
+            OnionOutcome::Supported {
+                batch,
+                rewritten_sql,
+            } => {
                 assert_eq!(batch.num_rows(), 1);
                 assert_eq!(batch.column(0).get(0), &Value::Int(2));
                 assert!(rewritten_sql.contains("SDB_TAG_EQ(qty_det"));
@@ -756,7 +767,13 @@ mod tests {
         {
             OnionOutcome::Supported { batch, .. } => {
                 assert_eq!(batch.num_rows(), 3);
-                assert_eq!(batch.column(1).get(0), &Value::Decimal { units: 1050, scale: 2 });
+                assert_eq!(
+                    batch.column(1).get(0),
+                    &Value::Decimal {
+                        units: 1050,
+                        scale: 2
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -772,13 +789,28 @@ mod tests {
             OnionOutcome::Supported { batch, .. } => {
                 assert_eq!(batch.num_rows(), 1);
                 // Rows with qty >= 3: prices 10.50 + 2.50 + 10.50 = 23.50.
-                assert_eq!(batch.column(0).get(0), &Value::Decimal { units: 2350, scale: 2 });
+                assert_eq!(
+                    batch.column(0).get(0),
+                    &Value::Decimal {
+                        units: 2350,
+                        scale: 2
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
-        match client.try_query("SELECT MIN(price) AS lo FROM items").unwrap() {
+        match client
+            .try_query("SELECT MIN(price) AS lo FROM items")
+            .unwrap()
+        {
             OnionOutcome::Supported { batch, .. } => {
-                assert_eq!(batch.column(0).get(0), &Value::Decimal { units: 250, scale: 2 });
+                assert_eq!(
+                    batch.column(0).get(0),
+                    &Value::Decimal {
+                        units: 250,
+                        scale: 2
+                    }
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -803,7 +835,10 @@ mod tests {
     #[test]
     fn plain_queries_pass_through() {
         let client = fixture();
-        match client.try_query("SELECT id FROM items WHERE id <= 2 ORDER BY id").unwrap() {
+        match client
+            .try_query("SELECT id FROM items WHERE id <= 2 ORDER BY id")
+            .unwrap()
+        {
             OnionOutcome::Supported { batch, .. } => assert_eq!(batch.num_rows(), 2),
             other => panic!("unexpected {other:?}"),
         }

@@ -32,8 +32,10 @@ pub struct PaillierCiphertext(pub BigUint);
 impl PaillierKey {
     /// Generates a key pair with primes of `config.prime_bits` bits.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: KeyConfig) -> Result<Self> {
-        let (p, q) = generate_prime_pair(rng, config.prime_bits)
-            .map_err(|e| BaselineError::Internal { detail: e.to_string() })?;
+        let (p, q) =
+            generate_prime_pair(rng, config.prime_bits).map_err(|e| BaselineError::Internal {
+                detail: e.to_string(),
+            })?;
         let n = &p * &q;
         let n_squared = &n * &n;
         let lambda = (&p - BigUint::one()).lcm(&(&q - BigUint::one()));

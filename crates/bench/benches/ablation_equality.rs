@@ -36,17 +36,23 @@ fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_equality");
     group.sample_size(10);
     for (label, sql) in queries {
-        group.bench_with_input(BenchmarkId::new("oracle_group_tags", label), &sql, |b, sql| {
-            b.iter(|| black_box(oracle_mode.query(sql).expect("query")))
-        });
-        group.bench_with_input(BenchmarkId::new("deterministic_tags_upload", label), &sql, |b, sql| {
-            // Note: with deterministic tags materialised the *rewriter* still uses
-            // the oracle path for correctness; the tag columns exist for systems
-            // that exploit them. The interesting number is the storage/leakage
-            // trade-off, reported below; the timing difference shows the extra
-            // column upkeep cost.
-            b.iter(|| black_box(det_mode.query(sql).expect("query")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oracle_group_tags", label),
+            &sql,
+            |b, sql| b.iter(|| black_box(oracle_mode.query(sql).expect("query"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deterministic_tags_upload", label),
+            &sql,
+            |b, sql| {
+                // Note: with deterministic tags materialised the *rewriter* still uses
+                // the oracle path for correctness; the tag columns exist for systems
+                // that exploit them. The interesting number is the storage/leakage
+                // trade-off, reported below; the timing difference shows the extra
+                // column upkeep cost.
+                b.iter(|| black_box(det_mode.query(sql).expect("query")))
+            },
+        );
     }
     group.finish();
 

@@ -15,9 +15,30 @@ fn modulus_sweep(c: &mut Criterion) {
     // prime_bits → modulus of ~2×prime_bits. 1024 (the paper's setting) is included
     // but dominates wall-clock; comment it out for quick runs.
     let profiles = [
-        ("n=256", KeyConfig { prime_bits: 128, domain_bits: 40, blind_bits: 20 }),
-        ("n=512", KeyConfig { prime_bits: 256, domain_bits: 62, blind_bits: 30 }),
-        ("n=1024", KeyConfig { prime_bits: 512, domain_bits: 62, blind_bits: 30 }),
+        (
+            "n=256",
+            KeyConfig {
+                prime_bits: 128,
+                domain_bits: 40,
+                blind_bits: 20,
+            },
+        ),
+        (
+            "n=512",
+            KeyConfig {
+                prime_bits: 256,
+                domain_bits: 62,
+                blind_bits: 30,
+            },
+        ),
+        (
+            "n=1024",
+            KeyConfig {
+                prime_bits: 512,
+                domain_bits: 62,
+                blind_bits: 30,
+            },
+        ),
     ];
 
     let mut group = c.benchmark_group("ablation_modulus");
@@ -38,9 +59,11 @@ fn modulus_sweep(c: &mut Criterion) {
         let s_e = encrypt_value(&key, &BigUint::from(1u32), &ik_s);
         let params = KeyUpdateParams::compute(&key, &ck_a, &ck_s, &ck_t).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("item_key_generation", label), &key, |b, key| {
-            b.iter(|| black_box(gen_item_key(key, &ck_a, &row)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("item_key_generation", label),
+            &key,
+            |b, key| b.iter(|| black_box(gen_item_key(key, &ck_a, &row))),
+        );
         group.bench_with_input(BenchmarkId::new("ee_multiply", label), &key, |b, key| {
             b.iter(|| black_box((&a_e * &b_e) % key.n()))
         });

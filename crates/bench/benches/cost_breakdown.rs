@@ -17,9 +17,11 @@ fn cost_breakdown(c: &mut Criterion) {
     group.sample_size(10);
     for id in queries {
         let template = query_by_id(id).expect("template");
-        group.bench_with_input(BenchmarkId::new("sdb", format!("Q{id}")), &template, |b, t| {
-            b.iter(|| black_box(client.query(t.sql).expect("query")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sdb", format!("Q{id}")),
+            &template,
+            |b, t| b.iter(|| black_box(client.query(t.sql).expect("query"))),
+        );
     }
     group.finish();
 

@@ -16,14 +16,28 @@ fn end_to_end(c: &mut Criterion) {
     let plaintext = plaintext_deployment(sf, BENCH_SEED);
     let mut onion = OnionClient::new(BENCH_SEED).expect("onion client");
     onion
-        .upload_table(&generate_table("lineitem", sf, SensitivityProfile::Financial, BENCH_SEED))
+        .upload_table(&generate_table(
+            "lineitem",
+            sf,
+            SensitivityProfile::Financial,
+            BENCH_SEED,
+        ))
         .expect("onion upload");
 
     // Query shapes every system supports natively.
     let common = [
-        ("equality_filter", "SELECT l_orderkey FROM lineitem WHERE l_quantity = 20.00"),
-        ("range_filter", "SELECT l_orderkey FROM lineitem WHERE l_extendedprice > 5000.00"),
-        ("sum_column", "SELECT SUM(l_extendedprice) AS s FROM lineitem"),
+        (
+            "equality_filter",
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity = 20.00",
+        ),
+        (
+            "range_filter",
+            "SELECT l_orderkey FROM lineitem WHERE l_extendedprice > 5000.00",
+        ),
+        (
+            "sum_column",
+            "SELECT SUM(l_extendedprice) AS s FROM lineitem",
+        ),
     ];
     // The interoperability shape (TPC-H Q6 core): only SDB runs it at the server;
     // the onion baseline must fall back to the client.

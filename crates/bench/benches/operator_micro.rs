@@ -15,7 +15,9 @@ use std::hint::black_box;
 
 use sdb_baseline::{DetCipher, OpeCipher, PaillierKey};
 use sdb_crypto::prf::PrfKey;
-use sdb_crypto::share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
+use sdb_crypto::share::{
+    decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams,
+};
 use sdb_crypto::{KeyConfig, SignedCodec, SystemKey};
 
 fn micro(c: &mut Criterion) {
@@ -47,7 +49,11 @@ fn micro(c: &mut Criterion) {
     group.bench_function("sdb_item_key_plus_encrypt", |bencher| {
         bencher.iter(|| {
             let ik = gen_item_key(&key, &ck_a, black_box(&row));
-            black_box(encrypt_value(&key, &codec.encode(a_plain.into()).unwrap(), &ik))
+            black_box(encrypt_value(
+                &key,
+                &codec.encode(a_plain.into()).unwrap(),
+                &ik,
+            ))
         })
     });
     group.bench_function("paillier_encrypt", |bencher| {
@@ -67,7 +73,11 @@ fn micro(c: &mut Criterion) {
     group.bench_function("sdb_decrypt", |bencher| {
         bencher.iter(|| {
             let ik = gen_item_key(&key, &ck_a, &row);
-            black_box(codec.decode(&decrypt_value(&key, black_box(&a_e), &ik)).unwrap())
+            black_box(
+                codec
+                    .decode(&decrypt_value(&key, black_box(&a_e), &ik))
+                    .unwrap(),
+            )
         })
     });
     let paillier_ct = {

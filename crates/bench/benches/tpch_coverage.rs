@@ -27,7 +27,9 @@ fn metadata() -> (KeyStore, BTreeMap<String, TableMeta>) {
             .map(|c| c.name.clone())
             .collect();
         let mut rng = keystore.derived_rng(11);
-        keystore.register_table(&mut rng, table, &sensitive).expect("register");
+        keystore
+            .register_table(&mut rng, table, &sensitive)
+            .expect("register");
         metas.insert(meta.name.clone(), meta);
     }
     (keystore, metas)
@@ -50,7 +52,10 @@ fn coverage(c: &mut Criterion) {
 
     // The matrix itself.
     println!("\n--- E5: TPC-H coverage matrix (financial sensitivity profile) ---");
-    println!("{:<4} {:<32} {:>8} {:>8}   required operations", "id", "query", "SDB", "onion");
+    println!(
+        "{:<4} {:<32} {:>8} {:>8}   required operations",
+        "id", "query", "SDB", "onion"
+    );
     let mut sdb_native = 0;
     let mut onion_native = 0;
     for template in &queries {
@@ -68,8 +73,16 @@ fn coverage(c: &mut Criterion) {
             "{:<4} {:<32} {:>8} {:>8}   {:?}",
             format!("Q{}", template.id),
             template.name,
-            if report.sdb.is_native() { "native" } else { "client" },
-            if report.onion.is_native() { "native" } else { "client" },
+            if report.sdb.is_native() {
+                "native"
+            } else {
+                "client"
+            },
+            if report.onion.is_native() {
+                "native"
+            } else {
+                "client"
+            },
             report.required
         );
     }

@@ -13,17 +13,24 @@ fn upload(c: &mut Criterion) {
     let mut group = c.benchmark_group("upload_lineitem");
     group.sample_size(10);
 
-    for (label, sf) in [("sf=0.01", ScaleFactor::tiny()), ("sf=0.05", ScaleFactor(0.05))] {
+    for (label, sf) in [
+        ("sf=0.01", ScaleFactor::tiny()),
+        ("sf=0.05", ScaleFactor(0.05)),
+    ] {
         let table = generate_table("lineitem", sf, SensitivityProfile::Financial, 42);
-        group.bench_with_input(BenchmarkId::new("encrypt_table", label), &table, |b, table| {
-            b.iter(|| {
-                let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
-                black_box(
-                    Encryptor::encrypt_table(&mut keystore, table, UploadOptions::default())
-                        .expect("upload"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encrypt_table", label),
+            &table,
+            |b, table| {
+                b.iter(|| {
+                    let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
+                    black_box(
+                        Encryptor::encrypt_table(&mut keystore, table, UploadOptions::default())
+                            .expect("upload"),
+                    )
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("encrypt_table_4_threads", label),
             &table,
@@ -51,16 +58,23 @@ fn upload(c: &mut Criterion) {
     // output doubles as the experiment record.
     let mut keystore = KeyStore::generate(sdb::KeyConfig::TEST, 1).unwrap();
     println!("\n--- E2: key store vs outsourced data (lineitem, financial profile) ---");
-    println!("{:>9} {:>10} {:>16} {:>16} {:>14}", "rows", "sf", "plaintext bytes", "encrypted bytes", "keystore bytes");
+    println!(
+        "{:>9} {:>10} {:>16} {:>16} {:>14}",
+        "rows", "sf", "plaintext bytes", "encrypted bytes", "keystore bytes"
+    );
     for sf in [ScaleFactor::tiny(), ScaleFactor(0.05), ScaleFactor::small()] {
         let table = generate_table("lineitem", sf, SensitivityProfile::Financial, 42);
         // A fresh table name per scale so the keystore registers separate keys.
         let renamed = {
-            let mut t = sdb_storage::Table::new(&format!("lineitem_{}", (sf.0 * 100.0) as u32), table.schema().clone());
+            let mut t = sdb_storage::Table::new(
+                &format!("lineitem_{}", (sf.0 * 100.0) as u32),
+                table.schema().clone(),
+            );
             t.append_batch(&table.scan()).unwrap();
             t
         };
-        let upload = Encryptor::encrypt_table(&mut keystore, &renamed, UploadOptions::default()).unwrap();
+        let upload =
+            Encryptor::encrypt_table(&mut keystore, &renamed, UploadOptions::default()).unwrap();
         println!(
             "{:>9} {:>10} {:>16} {:>16} {:>14}",
             upload.stats.rows,

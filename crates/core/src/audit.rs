@@ -122,7 +122,10 @@ impl MemoryAuditor {
     /// inside a longer run of digits (e.g. somewhere in the decimal expansion of a
     /// 256-bit ciphertext) does not count, because it carries no information about
     /// the plaintext. Textual needles use plain substring matching.
-    pub fn audit<'a>(&self, haystacks: impl IntoIterator<Item = (&'a str, &'a str)>) -> AuditReport {
+    pub fn audit<'a>(
+        &self,
+        haystacks: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> AuditReport {
         let mut report = AuditReport {
             needles_checked: self.needles.len(),
             ..Default::default()

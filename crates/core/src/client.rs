@@ -350,7 +350,8 @@ impl SdbClient {
     /// Runs the adversarial audit (experiment E4): scans everything the SP holds or
     /// saw on the wire for the sensitive plaintexts uploaded so far.
     pub fn audit(&self) -> AuditReport {
-        let catalog_snapshot = sdb_storage::persist::CatalogSnapshot::capture(self.engine.catalog());
+        let catalog_snapshot =
+            sdb_storage::persist::CatalogSnapshot::capture(self.engine.catalog());
         let sp_storage = serde_json::to_string(&catalog_snapshot).unwrap_or_default();
         let wire_traffic = self.wire.concatenated_payloads();
         self.auditor.audit([
@@ -533,13 +534,19 @@ mod tests {
     /// Compares the SDB answer for `sql` against the plaintext engine's answer,
     /// row by row (numerics compared at a common scale).
     fn assert_same_answer(client: &SdbClient, plain: &SpEngine, sql: &str) {
-        let secure = client.query(sql).unwrap_or_else(|e| panic!("SDB failed on {sql}: {e}"));
+        let secure = client
+            .query(sql)
+            .unwrap_or_else(|e| panic!("SDB failed on {sql}: {e}"));
         let reference = plain
             .execute_sql(sql)
             .unwrap_or_else(|e| panic!("plaintext failed on {sql}: {e}"));
         let got = render_rows(&secure.batch);
         let want = render_rows(&reference.batch);
-        assert_eq!(got, want, "answers differ for {sql}\nrewritten: {}", secure.rewritten_sql);
+        assert_eq!(
+            got, want,
+            "answers differ for {sql}\nrewritten: {}",
+            secure.rewritten_sql
+        );
     }
 
     fn render_rows(batch: &RecordBatch) -> Vec<Vec<String>> {
@@ -551,9 +558,10 @@ mod tests {
 
     fn canonical(v: &Value) -> String {
         match v {
-            Value::Int(_) | Value::Decimal { .. } | Value::Bool(_) => {
-                v.as_scaled_i128(6).map(|x| x.to_string()).unwrap_or_else(|_| v.render())
-            }
+            Value::Int(_) | Value::Decimal { .. } | Value::Bool(_) => v
+                .as_scaled_i128(6)
+                .map(|x| x.to_string())
+                .unwrap_or_else(|_| v.render()),
             other => other.render(),
         }
     }
@@ -666,7 +674,11 @@ mod tests {
     #[test]
     fn insensitive_query_passes_through_and_is_fast_path() {
         let (client, plain) = fixture();
-        assert_same_answer(&client, &plain, "SELECT id, name FROM emp WHERE id > 2 ORDER BY id");
+        assert_same_answer(
+            &client,
+            &plain,
+            "SELECT id, name FROM emp WHERE id > 2 ORDER BY id",
+        );
         let rewritten = client
             .rewrite_only("SELECT id, name FROM emp WHERE id > 2 ORDER BY id")
             .unwrap();
@@ -702,7 +714,9 @@ mod tests {
     fn cost_breakdown_is_reported() {
         let (client, _) = fixture();
         let result = client
-            .query("SELECT dept_id, SUM(salary) AS total FROM emp WHERE bonus > 30 GROUP BY dept_id")
+            .query(
+                "SELECT dept_id, SUM(salary) AS total FROM emp WHERE bonus > 30 GROUP BY dept_id",
+            )
             .unwrap();
         assert!(result.server_stats.oracle_round_trips >= 1);
         assert!(result.bytes_to_sp > 0);
@@ -714,7 +728,8 @@ mod tests {
     #[test]
     fn insert_after_upload_encrypts_new_rows() {
         let (mut client, plain) = fixture();
-        let insert = "INSERT INTO emp VALUES (6, 'fred', 30, 999.99, 5, DATE '2020-02-02', 'falcon')";
+        let insert =
+            "INSERT INTO emp VALUES (6, 'fred', 30, 999.99, 5, DATE '2020-02-02', 'falcon')";
         client.execute(insert).unwrap();
         plain.execute_sql(insert).unwrap();
         assert_same_answer(&client, &plain, "SELECT id, salary FROM emp ORDER BY id");
@@ -728,8 +743,7 @@ mod tests {
     }
 
     #[test]
-    fn keystore_is_small_compared_to_data()
-    {
+    fn keystore_is_small_compared_to_data() {
         let (client, _) = fixture();
         assert!(client.keystore_size_bytes() > 0);
         assert!(client.sp_storage_size_bytes() > 0);
@@ -755,7 +769,8 @@ mod tests {
 
     #[test]
     fn deterministic_tag_mode_also_answers_correctly() {
-        let mut client = SdbClient::new(SdbConfig::test_profile().with_deterministic_tags()).unwrap();
+        let mut client =
+            SdbClient::new(SdbConfig::test_profile().with_deterministic_tags()).unwrap();
         client
             .execute("CREATE TABLE t (id INT, v INT SENSITIVE)")
             .unwrap();

@@ -72,7 +72,11 @@ impl WireLog {
 
     /// Number of messages of a kind.
     pub fn count_of_kind(&self, kind: WireMessageKind) -> usize {
-        self.messages.lock().iter().filter(|m| m.kind == kind).count()
+        self.messages
+            .lock()
+            .iter()
+            .filter(|m| m.kind == kind)
+            .count()
     }
 
     /// Total bytes across all messages.

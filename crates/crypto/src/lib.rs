@@ -67,9 +67,7 @@ pub use error::CryptoError;
 pub use keys::{ColumnKey, KeyConfig, SystemKey};
 pub use prf::{EqualityTagger, Prf};
 pub use rowid::{EncryptedRowId, RowId, RowIdGenerator};
-pub use share::{
-    decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams,
-};
+pub use share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
 pub use sies::SiesCipher;
 pub use signed::SignedCodec;
 

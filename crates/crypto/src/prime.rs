@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn small_composites_rejected() {
         let mut rng = rng();
-        for c in [0u32, 1, 4, 6, 9, 15, 21, 25, 35, 100, 561, 1105, 6601, 62_745] {
+        for c in [
+            0u32, 1, 4, 6, 9, 15, 21, 25, 35, 100, 561, 1105, 6601, 62_745,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from(c), &mut rng),
                 "{c} should be composite"
@@ -135,7 +137,9 @@ mod tests {
     fn carmichael_numbers_rejected() {
         // Carmichael numbers fool Fermat tests but not Miller–Rabin.
         let mut rng = rng();
-        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
+        for c in [
+            561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341,
+        ] {
             assert!(!is_probable_prime(&BigUint::from(c), &mut rng));
         }
     }

@@ -12,7 +12,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::keys::SystemKey;
-use crate::sies::{SiesCiphertext, SiesCipher};
+use crate::sies::{SiesCipher, SiesCiphertext};
 use crate::Result;
 
 /// A plaintext row id (DO-side only).

@@ -111,10 +111,7 @@ impl ColumnKeyAlgebra {
     /// Result column key of an EE multiplication `C = A × B`:
     /// `ck_C = ⟨m_A·m_B mod n, x_A + x_B mod φ(n)⟩` (paper §2.2).
     pub fn multiply(key: &SystemKey, a: &ColumnKey, b: &ColumnKey) -> ColumnKey {
-        ColumnKey::new(
-            mod_mul(a.m(), b.m(), key.n()),
-            (a.x() + b.x()) % key.phi(),
-        )
+        ColumnKey::new(mod_mul(a.m(), b.m(), key.n()), (a.x() + b.x()) % key.phi())
     }
 
     /// Result column key of an EP multiplication by a plaintext constant `c`:
@@ -182,7 +179,11 @@ mod tests {
             let ik = gen_item_key(&key, &ck, &BigUint::from(r));
             assert_eq!(ik, BigUint::from(expected_ik), "item key for row {r}");
             let ve = encrypt_value(&key, &BigUint::from(v), &ik);
-            assert_eq!(ve, BigUint::from(expected_ve), "encrypted value for row {r}");
+            assert_eq!(
+                ve,
+                BigUint::from(expected_ve),
+                "encrypted value for row {r}"
+            );
             assert_eq!(decrypt_value(&key, &ve, &ik), BigUint::from(v));
         }
     }

@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
 
-use sdb_crypto::share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
+use sdb_crypto::share::{
+    decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams,
+};
 use sdb_crypto::{ColumnKey, KeyConfig, SignedCodec, SystemKey};
 
 fn system_key() -> &'static SystemKey {

@@ -2,6 +2,7 @@
 //! executing SQL text end to end. This is the component that plays the role of
 //! "Spark SQL with the SDB UDFs loaded" in the paper's architecture (Figure 2).
 
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -11,7 +12,8 @@ use sdb_sql::{parse_sql, PlanBuilder, Statement};
 use sdb_storage::{Catalog, ColumnDef, RecordBatch, Schema, Table, Value};
 
 use crate::eval::literal_to_value;
-use crate::exec::Executor;
+use crate::operators::ExecContext;
+use crate::planner;
 use crate::secure::OracleRef;
 use crate::stats::ExecutionStats;
 use crate::udf::UdfRegistry;
@@ -93,10 +95,10 @@ impl SpEngine {
             Statement::Query(query) => {
                 let plan = PlanBuilder::build(query)?;
                 let oracle = self.oracle.read().clone();
-                let executor = Executor::new(&self.catalog, &self.registry, oracle);
-                let batch = executor.execute(&plan)?;
+                let ctx = Rc::new(ExecContext::new(&self.catalog, &self.registry, oracle));
+                let batch = planner::execute_plan(&ctx, &plan)?;
                 Ok(QueryOutput {
-                    stats: executor.stats(),
+                    stats: ctx.stats(),
                     batch,
                 })
             }
@@ -178,19 +180,23 @@ impl SpEngine {
 
         if columns.is_empty() {
             if row.len() != schema.len() {
-                return Err(EngineError::Storage(sdb_storage::StorageError::ArityMismatch {
-                    expected: schema.len(),
-                    found: row.len(),
-                }));
+                return Err(EngineError::Storage(
+                    sdb_storage::StorageError::ArityMismatch {
+                        expected: schema.len(),
+                        found: row.len(),
+                    },
+                ));
             }
             return row.iter().map(literal_of).collect();
         }
 
         if columns.len() != row.len() {
-            return Err(EngineError::Storage(sdb_storage::StorageError::ArityMismatch {
-                expected: columns.len(),
-                found: row.len(),
-            }));
+            return Err(EngineError::Storage(
+                sdb_storage::StorageError::ArityMismatch {
+                    expected: columns.len(),
+                    found: row.len(),
+                },
+            ));
         }
         let mut values = vec![Value::Null; schema.len()];
         for (col, expr) in columns.iter().zip(row.iter()) {
@@ -231,7 +237,9 @@ mod tests {
         assert_eq!(out.batch.column(0).get(0), &Value::Str("ann".into()));
         assert!(out.stats.total_time.as_nanos() > 0);
 
-        let out = engine.execute_sql("SELECT COUNT(*) AS n FROM accounts").unwrap();
+        let out = engine
+            .execute_sql("SELECT COUNT(*) AS n FROM accounts")
+            .unwrap();
         assert_eq!(out.batch.column(0).get(0), &Value::Int(3));
     }
 
@@ -243,8 +251,18 @@ mod tests {
             .unwrap();
         let handle = engine.catalog().table("t").unwrap();
         let table = handle.read();
-        assert!(!table.schema().column("a").unwrap().sensitivity.is_sensitive());
-        assert!(table.schema().column("b").unwrap().sensitivity.is_sensitive());
+        assert!(!table
+            .schema()
+            .column("a")
+            .unwrap()
+            .sensitivity
+            .is_sensitive());
+        assert!(table
+            .schema()
+            .column("b")
+            .unwrap()
+            .sensitivity
+            .is_sensitive());
     }
 
     #[test]
@@ -252,9 +270,15 @@ mod tests {
         let engine = SpEngine::new();
         engine.execute_sql("CREATE TABLE t (a INT, b INT)").unwrap();
         assert!(engine.execute_sql("INSERT INTO t VALUES (1)").is_err());
-        assert!(engine.execute_sql("INSERT INTO t (a) VALUES (1, 2)").is_err());
-        assert!(engine.execute_sql("INSERT INTO t (a) VALUES (a + 1)").is_err());
-        assert!(engine.execute_sql("INSERT INTO missing VALUES (1)").is_err());
+        assert!(engine
+            .execute_sql("INSERT INTO t (a) VALUES (1, 2)")
+            .is_err());
+        assert!(engine
+            .execute_sql("INSERT INTO t (a) VALUES (a + 1)")
+            .is_err());
+        assert!(engine
+            .execute_sql("INSERT INTO missing VALUES (1)")
+            .is_err());
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::UnknownFunction { name } => write!(f, "unknown function {name}"),
             EngineError::OracleUnavailable { operation } => {
-                write!(f, "operation {operation} requires the DO oracle but none is connected")
+                write!(
+                    f,
+                    "operation {operation} requires the DO oracle but none is connected"
+                )
             }
             EngineError::OracleProtocol { detail } => write!(f, "oracle protocol error: {detail}"),
             EngineError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
@@ -91,10 +94,7 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: EngineError = sdb_storage::StorageError::TableNotFound {
-            name: "t".into(),
-        }
-        .into();
+        let e: EngineError = sdb_storage::StorageError::TableNotFound { name: "t".into() }.into();
         assert!(e.to_string().contains("t"));
 
         let e: EngineError = sdb_sql::SqlError::Parse {

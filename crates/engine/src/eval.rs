@@ -331,9 +331,7 @@ pub fn values_equal(a: &Value, b: &Value) -> bool {
         (Value::Bool(x), Value::Bool(y)) => x == y,
         (Value::Encrypted(x), Value::Encrypted(y)) => x == y,
         (Value::Tag(x), Value::Tag(y)) => x == y,
-        _ => numeric_pair(a, b)
-            .map(|(x, y)| x == y)
-            .unwrap_or(false),
+        _ => numeric_pair(a, b).map(|(x, y)| x == y).unwrap_or(false),
     }
 }
 
@@ -495,14 +493,20 @@ mod tests {
                 vec![
                     Value::Int(1),
                     Value::Int(10),
-                    Value::Decimal { units: 1050, scale: 2 },
+                    Value::Decimal {
+                        units: 1050,
+                        scale: 2,
+                    },
                     Value::Str("alpha".into()),
                     Value::Date(100),
                 ],
                 vec![
                     Value::Int(2),
                     Value::Null,
-                    Value::Decimal { units: 250, scale: 2 },
+                    Value::Decimal {
+                        units: 250,
+                        scale: 2,
+                    },
                     Value::Str("beta".into()),
                     Value::Date(200),
                 ],
@@ -526,7 +530,9 @@ mod tests {
     fn eval(text: &str, row: usize) -> Value {
         let registry = UdfRegistry::with_sdb_udfs();
         let evaluator = Evaluator::new(&registry);
-        evaluator.evaluate(&expr(text), &sample_batch(), row).unwrap()
+        evaluator
+            .evaluate(&expr(text), &sample_batch(), row)
+            .unwrap()
     }
 
     #[test]
@@ -539,11 +545,29 @@ mod tests {
     #[test]
     fn arithmetic_mixed_types() {
         assert_eq!(eval("a + b", 0), Value::Int(11));
-        assert_eq!(eval("price * 2", 0), Value::Decimal { units: 210_000, scale: 4 });
-        assert_eq!(eval("price + 1", 0), Value::Decimal { units: 1150, scale: 2 });
+        assert_eq!(
+            eval("price * 2", 0),
+            Value::Decimal {
+                units: 210_000,
+                scale: 4
+            }
+        );
+        assert_eq!(
+            eval("price + 1", 0),
+            Value::Decimal {
+                units: 1150,
+                scale: 2
+            }
+        );
         assert_eq!(eval("b / a", 0), Value::Int(10));
         assert_eq!(eval("7 / 2", 0), Value::Int(3));
-        assert_eq!(eval("price / 2", 0), Value::Decimal { units: 52500, scale: 4 });
+        assert_eq!(
+            eval("price / 2", 0),
+            Value::Decimal {
+                units: 52500,
+                scale: 4
+            }
+        );
         assert_eq!(eval("b % 3", 0), Value::Int(1));
         assert_eq!(eval("-a", 0), Value::Int(-1));
     }
@@ -551,7 +575,13 @@ mod tests {
     #[test]
     fn decimal_multiplication_rescales() {
         // 10.50 * 0.10 = 1.05 → at scale 4: 1.0500
-        assert_eq!(eval("price * 0.10", 0), Value::Decimal { units: 10500, scale: 4 });
+        assert_eq!(
+            eval("price * 0.10", 0),
+            Value::Decimal {
+                units: 10500,
+                scale: 4
+            }
+        );
     }
 
     #[test]
@@ -605,7 +635,10 @@ mod tests {
     #[test]
     fn case_expression() {
         assert_eq!(
-            eval("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END", 0),
+            eval(
+                "CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END",
+                0
+            ),
             Value::Str("one".into())
         );
         assert_eq!(
@@ -613,7 +646,10 @@ mod tests {
             Value::Str("other".into())
         );
         assert_eq!(eval("CASE WHEN a = 99 THEN 1 END", 0), Value::Null);
-        assert_eq!(eval("CASE a WHEN 2 THEN 'two' ELSE 'no' END", 1), Value::Str("two".into()));
+        assert_eq!(
+            eval("CASE a WHEN 2 THEN 'two' ELSE 'no' END", 1),
+            Value::Str("two".into())
+        );
     }
 
     #[test]
@@ -635,15 +671,21 @@ mod tests {
             evaluator.evaluate(&expr("NO_SUCH_FN(a)"), &sample_batch(), 0),
             Err(EngineError::UnknownFunction { .. })
         ));
-        assert!(evaluator.evaluate(&expr("SUM(a)"), &sample_batch(), 0).is_err());
+        assert!(evaluator
+            .evaluate(&expr("SUM(a)"), &sample_batch(), 0)
+            .is_err());
     }
 
     #[test]
     fn division_by_zero_is_an_error() {
         let registry = UdfRegistry::with_sdb_udfs();
         let evaluator = Evaluator::new(&registry);
-        assert!(evaluator.evaluate(&expr("a / 0"), &sample_batch(), 0).is_err());
-        assert!(evaluator.evaluate(&expr("a % 0"), &sample_batch(), 0).is_err());
+        assert!(evaluator
+            .evaluate(&expr("a / 0"), &sample_batch(), 0)
+            .is_err());
+        assert!(evaluator
+            .evaluate(&expr("a % 0"), &sample_batch(), 0)
+            .is_err());
     }
 
     #[test]
@@ -663,8 +705,12 @@ mod tests {
         let registry = UdfRegistry::with_sdb_udfs();
         let evaluator = Evaluator::new(&registry);
         let batch = sample_batch();
-        assert!(!evaluator.evaluate_predicate(&expr("b > 1"), &batch, 1).unwrap());
-        assert!(evaluator.evaluate_predicate(&expr("a = 2"), &batch, 1).unwrap());
+        assert!(!evaluator
+            .evaluate_predicate(&expr("b > 1"), &batch, 1)
+            .unwrap());
+        assert!(evaluator
+            .evaluate_predicate(&expr("a = 2"), &batch, 1)
+            .unwrap());
         assert!(evaluator.evaluate_predicate(&expr("a"), &batch, 1).is_err());
     }
 }

@@ -30,13 +30,16 @@
 pub mod engine;
 pub mod error;
 pub mod eval;
-pub mod exec;
+pub mod operators;
+pub mod planner;
 pub mod secure;
 pub mod stats;
 pub mod udf;
 
 pub use engine::SpEngine;
 pub use error::EngineError;
+pub use operators::{BoxedOperator, ExecContext, PhysicalOperator, DEFAULT_BATCH_SIZE};
+pub use planner::PhysicalPlanner;
 pub use secure::{NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle};
 pub use stats::ExecutionStats;
 pub use udf::{ScalarUdf, UdfRegistry};

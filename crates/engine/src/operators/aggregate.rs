@@ -1,0 +1,247 @@
+//! Hash aggregation with grouping.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use num_bigint::BigUint;
+use sdb_sql::ast::Expr;
+use sdb_sql::plan::{AggFunc, AggregateExpr};
+use sdb_storage::{ColumnDef, DataType, RecordBatch, Schema, Value};
+
+use super::expr::{infer_column_def, join_key_component, sensitivity_of};
+use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
+use crate::{EngineError, Result};
+
+/// Groups the materialised input by the grouping expressions and evaluates one
+/// aggregate per output column. A global aggregate (no GROUP BY) over an empty
+/// input still produces one row.
+///
+/// Oracle-backed grouping expressions or aggregate arguments (e.g.
+/// `SDB_GROUP_TAG` keys, encrypted `SDB_SUM` arguments) are materialised by an
+/// [`super::oracle::OracleResolve`] child the planner inserts beneath this
+/// operator; the runtime binding pass turns them into column references.
+pub struct HashAggregate<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    input: BoxedOperator<'a>,
+    group_by: Vec<(Expr, String)>,
+    aggregates: Vec<AggregateExpr>,
+    done: bool,
+}
+
+impl<'a> HashAggregate<'a> {
+    /// Creates an aggregation over `input`.
+    pub fn new(
+        ctx: Rc<ExecContext<'a>>,
+        input: BoxedOperator<'a>,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggregateExpr>,
+    ) -> Self {
+        HashAggregate {
+            ctx,
+            input,
+            group_by,
+            aggregates,
+            done: false,
+        }
+    }
+}
+
+impl PhysicalOperator for HashAggregate<'_> {
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.done = false;
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        let batch = materialize_input(self.input.as_mut())?
+            .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+
+        // Bind grouping expressions and aggregate arguments to the input schema
+        // (this picks up oracle virtual columns and pre-computed expression
+        // columns by their rendered names).
+        let bind = |e: &Expr| super::expr::bind_to_existing_columns(e, batch.schema());
+        let group_exprs: Vec<Expr> = self.group_by.iter().map(|(e, _)| bind(e)).collect();
+        let agg_args: Vec<Expr> = self
+            .aggregates
+            .iter()
+            .map(|agg| {
+                agg.arg
+                    .as_ref()
+                    .map(&bind)
+                    .unwrap_or(Expr::Literal(sdb_sql::ast::Literal::Int(1)))
+            })
+            .collect();
+
+        let evaluator = self.ctx.evaluator();
+
+        // Group rows.
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in 0..batch.num_rows() {
+            let mut key_values = Vec::with_capacity(group_exprs.len());
+            for e in &group_exprs {
+                key_values.push(evaluator.evaluate(e, &batch, row)?);
+            }
+            let key: String = key_values
+                .iter()
+                .map(join_key_component)
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push((key_values, vec![row]));
+                }
+            }
+        }
+        // A global aggregate over an empty input still produces one row.
+        if groups.is_empty() && group_exprs.is_empty() {
+            groups.push((vec![], vec![]));
+        }
+
+        // Evaluate aggregate arguments per row per aggregate.
+        let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+        for (key_values, rows) in &groups {
+            let mut out = key_values.clone();
+            for (agg, arg_expr) in self.aggregates.iter().zip(agg_args.iter()) {
+                let mut values = Vec::with_capacity(rows.len());
+                for &row in rows {
+                    values.push(evaluator.evaluate(arg_expr, &batch, row)?);
+                }
+                out.push(compute_aggregate(agg, rows.len(), values)?);
+            }
+            out_rows.push(out);
+        }
+        self.ctx.record_udf_calls(&evaluator);
+
+        // Output schema: group columns then aggregate columns.
+        let mut defs = Vec::new();
+        for (i, (_, name)) in self.group_by.iter().enumerate() {
+            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+            defs.push(infer_column_def(
+                name,
+                &group_exprs[i],
+                &values,
+                batch.schema(),
+            ));
+        }
+        for (j, agg) in self.aggregates.iter().enumerate() {
+            let i = self.group_by.len() + j;
+            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+            // Aggregate outputs take their type from the produced values (SUM
+            // over INT is INT, AVG is DECIMAL(4), encrypted SUM is ENCRYPTED, …).
+            let data_type = values
+                .iter()
+                .find_map(|v| v.data_type())
+                .unwrap_or(DataType::Int);
+            defs.push(ColumnDef {
+                name: agg.name.clone(),
+                data_type,
+                sensitivity: sensitivity_of(data_type),
+            });
+        }
+        RecordBatch::from_rows(Schema::new(defs), out_rows)
+            .map(Some)
+            .map_err(Into::into)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// Computes one aggregate over the values of one group.
+pub fn compute_aggregate(
+    agg: &AggregateExpr,
+    group_size: usize,
+    values: Vec<Value>,
+) -> Result<Value> {
+    let non_null: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
+    let distinct_filter = |vals: Vec<Value>| -> Vec<Value> {
+        if !agg.distinct {
+            return vals;
+        }
+        let mut seen = std::collections::HashSet::new();
+        vals.into_iter()
+            .filter(|v| seen.insert(join_key_component(v)))
+            .collect()
+    };
+
+    match agg.func {
+        AggFunc::Count => {
+            if agg.arg.is_none() {
+                Ok(Value::Int(group_size as i64))
+            } else {
+                Ok(Value::Int(distinct_filter(non_null).len() as i64))
+            }
+        }
+        AggFunc::Sum => {
+            let vals = distinct_filter(non_null);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            if vals.iter().any(|v| matches!(v, Value::Encrypted(_))) {
+                // Encrypted SUM: fold with plain big-integer addition. Each
+                // share is a canonical residue, so the integer sum is congruent
+                // to the modular sum; the proxy reduces modulo n on decryption.
+                let mut acc = BigUint::from(0u32);
+                for v in &vals {
+                    acc += v.as_encrypted()?;
+                }
+                return Ok(Value::Encrypted(acc));
+            }
+            let scale = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Decimal { scale, .. } => *scale,
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+            let mut acc: i128 = 0;
+            for v in &vals {
+                acc += v.as_scaled_i128(scale).map_err(EngineError::Storage)?;
+            }
+            if scale == 0 {
+                Ok(Value::Int(acc as i64))
+            } else {
+                Ok(Value::Decimal {
+                    units: acc as i64,
+                    scale,
+                })
+            }
+        }
+        AggFunc::Avg => {
+            let vals = distinct_filter(non_null);
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc: i128 = 0;
+            for v in &vals {
+                acc += v.as_scaled_i128(4).map_err(EngineError::Storage)?;
+            }
+            Ok(Value::Decimal {
+                units: (acc / vals.len() as i128) as i64,
+                scale: 4,
+            })
+        }
+        AggFunc::Min => Ok(non_null
+            .into_iter()
+            .min_by(|a, b| a.cmp_total(b))
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(non_null
+            .into_iter()
+            .max_by(|a, b| a.cmp_total(b))
+            .unwrap_or(Value::Null)),
+    }
+}

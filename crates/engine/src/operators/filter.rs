@@ -1,0 +1,64 @@
+//! Row filtering.
+
+use std::rc::Rc;
+
+use sdb_sql::ast::Expr;
+use sdb_storage::RecordBatch;
+
+use super::expr::bind_to_existing_columns;
+use super::{BoxedOperator, ExecContext, PhysicalOperator};
+use crate::Result;
+
+/// Keeps the rows for which `predicate` evaluates to true (NULL drops the
+/// row, per SQL semantics).
+///
+/// Oracle-backed calls inside the predicate are materialised by an
+/// [`super::oracle::OracleResolve`] child the planner inserts beneath this
+/// operator; the runtime binding pass then turns those calls into references
+/// to the virtual columns. The virtual columns stay in the output batch (they
+/// are stripped by the projection above, exactly as in the monolithic
+/// executor this pipeline replaced).
+pub struct Filter<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    input: BoxedOperator<'a>,
+    predicate: Expr,
+}
+
+impl<'a> Filter<'a> {
+    /// Creates a filter over `input`.
+    pub fn new(ctx: Rc<ExecContext<'a>>, input: BoxedOperator<'a>, predicate: Expr) -> Self {
+        Filter {
+            ctx,
+            input,
+            predicate,
+        }
+    }
+}
+
+impl PhysicalOperator for Filter<'_> {
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let Some(batch) = self.input.next_batch()? else {
+            return Ok(None);
+        };
+        let bound = bind_to_existing_columns(&self.predicate, batch.schema());
+        let evaluator = self.ctx.evaluator();
+        let mut mask = Vec::with_capacity(batch.num_rows());
+        for row in 0..batch.num_rows() {
+            mask.push(evaluator.evaluate_predicate(&bound, &batch, row)?);
+        }
+        self.ctx.record_udf_calls(&evaluator);
+        batch.filter(&mask).map(Some).map_err(Into::into)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}

@@ -1,0 +1,255 @@
+//! Joins: hash equi-join (with streaming probe side) and the nested-loop
+//! fallback for non-equi or missing ON conditions.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use sdb_sql::ast::{Expr, JoinKind};
+use sdb_storage::{RecordBatch, Schema, Value};
+
+use super::expr::join_key_component;
+use super::oracle::resolve_for_exprs;
+use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
+use crate::Result;
+
+/// Hash equi-join: builds a hash table over the materialised right side during
+/// `open()`, then streams left batches, probing per row.
+///
+/// Oracle-backed calls in the keys (e.g. `SDB_GROUP_TAG` equality surrogates)
+/// are resolved inline per side; the virtual columns feed only the key
+/// evaluation and never appear in the join output.
+pub struct HashJoin<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    kind: JoinKind,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    /// Build state: right rows (original columns only) and the key index.
+    build: Option<BuildSide>,
+}
+
+struct BuildSide {
+    right_schema: Schema,
+    right_rows: RecordBatch,
+    index: HashMap<String, Vec<usize>>,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Creates a hash join on the given oriented key pairs.
+    pub fn new(
+        ctx: Rc<ExecContext<'a>>,
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        kind: JoinKind,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> Self {
+        assert!(
+            !left_keys.is_empty(),
+            "hash join requires at least one key pair"
+        );
+        HashJoin {
+            ctx,
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            build: None,
+        }
+    }
+
+    /// Evaluates the (resolved and bound) key expressions for one row; `None`
+    /// when any component is NULL (NULL join keys never match).
+    fn key_of(
+        ctx: &ExecContext<'_>,
+        exprs: &[Expr],
+        batch: &RecordBatch,
+        row: usize,
+    ) -> Result<Option<String>> {
+        let evaluator = ctx.evaluator();
+        let mut parts = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let v = evaluator.evaluate(e, batch, row)?;
+            if v.is_null() {
+                ctx.record_udf_calls(&evaluator);
+                return Ok(None);
+            }
+            parts.push(join_key_component(&v));
+        }
+        ctx.record_udf_calls(&evaluator);
+        Ok(Some(parts.join("\u{1f}")))
+    }
+}
+
+impl PhysicalOperator for HashJoin<'_> {
+    fn name(&self) -> &'static str {
+        "HashJoin"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+
+        // Build phase: materialise the right side and index it by key.
+        let right_rows = materialize_input(self.right.as_mut())?
+            .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+        let right_schema = right_rows.schema().clone();
+
+        // Resolve oracle calls in the right keys against a working copy; the
+        // output rows come from the original (unaugmented) columns.
+        let mut right_keys = self.right_keys.clone();
+        let working = resolve_for_exprs(&self.ctx, right_rows.clone(), &mut right_keys)?;
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for row in 0..working.num_rows() {
+            if let Some(key) = Self::key_of(&self.ctx, &right_keys, &working, row)? {
+                index.entry(key).or_default().push(row);
+            }
+        }
+        self.build = Some(BuildSide {
+            right_schema,
+            right_rows,
+            index,
+        });
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let build = self.build.as_ref().expect("join opened");
+        let Some(batch) = self.left.next_batch()? else {
+            return Ok(None);
+        };
+        let combined_schema = batch.schema().join(&build.right_schema);
+        let right_width = build.right_schema.len();
+
+        // Resolve oracle calls in the left keys against a working copy of this
+        // batch; output rows come from the original columns.
+        let mut left_keys = self.left_keys.clone();
+        let working = resolve_for_exprs(&self.ctx, batch.clone(), &mut left_keys)?;
+
+        let mut rows = Vec::new();
+        for lrow in 0..working.num_rows() {
+            let mut matched = false;
+            if let Some(key) = Self::key_of(&self.ctx, &left_keys, &working, lrow)? {
+                if let Some(matches) = build.index.get(&key) {
+                    for &rrow in matches {
+                        let mut row = batch.row(lrow);
+                        row.extend(build.right_rows.row(rrow));
+                        rows.push(row);
+                        matched = true;
+                    }
+                }
+            }
+            if !matched && self.kind == JoinKind::Left {
+                let mut row = batch.row(lrow);
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            }
+        }
+        RecordBatch::from_rows(combined_schema, rows)
+            .map(Some)
+            .map_err(Into::into)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.build = None;
+        self.left.close()?;
+        self.right.close()
+    }
+}
+
+/// Nested-loop join: the fallback when no hashable equality conjunct exists.
+///
+/// The rewriter never emits oracle calls inside non-equi ON conditions, so the
+/// predicate is evaluated directly (it may still use plain UDFs and
+/// subqueries).
+pub struct NestedLoopJoin<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    left: BoxedOperator<'a>,
+    right: BoxedOperator<'a>,
+    kind: JoinKind,
+    on: Option<Expr>,
+    right_rows: Option<RecordBatch>,
+}
+
+impl<'a> NestedLoopJoin<'a> {
+    /// Creates a nested-loop join.
+    pub fn new(
+        ctx: Rc<ExecContext<'a>>,
+        left: BoxedOperator<'a>,
+        right: BoxedOperator<'a>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    ) -> Self {
+        NestedLoopJoin {
+            ctx,
+            left,
+            right,
+            kind,
+            on,
+            right_rows: None,
+        }
+    }
+}
+
+impl PhysicalOperator for NestedLoopJoin<'_> {
+    fn name(&self) -> &'static str {
+        "NestedLoopJoin"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        let right = materialize_input(self.right.as_mut())?
+            .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+        self.right_rows = Some(right);
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let right = self.right_rows.as_ref().expect("join opened");
+        let Some(batch) = self.left.next_batch()? else {
+            return Ok(None);
+        };
+        let combined_schema = batch.schema().join(right.schema());
+        let right_width = right.num_columns();
+        let evaluator = self.ctx.evaluator();
+
+        let mut rows = Vec::new();
+        for lrow in 0..batch.num_rows() {
+            let mut matched = false;
+            for rrow in 0..right.num_rows() {
+                let mut row = batch.row(lrow);
+                row.extend(right.row(rrow));
+                let keep = match &self.on {
+                    None => true,
+                    Some(pred) => {
+                        let probe =
+                            RecordBatch::from_rows(combined_schema.clone(), vec![row.clone()])?;
+                        evaluator.evaluate_predicate(pred, &probe, 0)?
+                    }
+                };
+                if keep {
+                    rows.push(row);
+                    matched = true;
+                }
+            }
+            if !matched && self.kind == JoinKind::Left {
+                let mut row = batch.row(lrow);
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            }
+        }
+        self.ctx.record_udf_calls(&evaluator);
+        RecordBatch::from_rows(combined_schema, rows)
+            .map(Some)
+            .map_err(Into::into)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.right_rows = None;
+        self.left.close()?;
+        self.right.close()
+    }
+}

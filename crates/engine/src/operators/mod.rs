@@ -1,0 +1,249 @@
+//! The physical operator pipeline.
+//!
+//! Every relational operator is a [`PhysicalOperator`]: a Volcano-style
+//! iterator over [`RecordBatch`]es with an `open` / `next_batch` / `close`
+//! lifecycle. [`crate::planner::PhysicalPlanner`] lowers a
+//! [`sdb_sql::plan::LogicalPlan`] into a tree of boxed operators; the tree
+//! shares one [`ExecContext`] carrying the catalog, the UDF registry, the
+//! optional DO-proxy oracle and the run's statistics.
+//!
+//! One file per operator:
+//!
+//! * [`scan`] — base-table scan, chunked into batches;
+//! * [`filter`] — row filtering over a predicate;
+//! * [`project`] — projection / expression evaluation;
+//! * [`join`] — hash equi-join and the nested-loop fallback;
+//! * [`aggregate`] — hash aggregation with grouping;
+//! * [`sort`] — sort, limit and distinct (the order-shaping operators);
+//! * [`oracle`] — the SDB oracle-call operator resolving interactive protocol
+//!   steps (comparisons, group tags, ranks) with one batched round trip per
+//!   call.
+
+pub mod aggregate;
+pub mod expr;
+pub mod filter;
+pub mod join;
+pub mod oracle;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+#[cfg(test)]
+mod tests;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sdb_sql::ast::Query;
+use sdb_sql::plan::PlanBuilder;
+use sdb_storage::{Catalog, RecordBatch, Schema, Value};
+
+use crate::eval::{Evaluator, SubqueryResolver};
+use crate::secure::OracleRef;
+use crate::stats::ExecutionStats;
+use crate::udf::UdfRegistry;
+use crate::{EngineError, Result};
+
+/// Default number of rows per batch flowing between operators.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
+/// A physical operator: a batched iterator over records.
+///
+/// Lifecycle: `open()` once, `next_batch()` until it returns `None`, then
+/// `close()`. Operators own their children; blocking operators (hash join
+/// build side, aggregation, sort) drain their input during `open()` or on the
+/// first `next_batch()` call.
+pub trait PhysicalOperator {
+    /// A short name for debugging and plan rendering (e.g. `"HashJoin"`).
+    fn name(&self) -> &'static str;
+
+    /// Prepares the operator (and its children) for execution.
+    fn open(&mut self) -> Result<()>;
+
+    /// Produces the next batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>>;
+
+    /// Releases resources (and closes children).
+    fn close(&mut self) -> Result<()>;
+}
+
+/// A boxed operator tied to the execution context's lifetime.
+pub type BoxedOperator<'a> = Box<dyn PhysicalOperator + 'a>;
+
+/// Shared execution state for one query: catalog and registry references, the
+/// oracle connection, statistics, the blinding RNG and the subquery cache.
+pub struct ExecContext<'a> {
+    catalog: &'a Catalog,
+    registry: &'a UdfRegistry,
+    oracle: Option<OracleRef>,
+    stats: RefCell<ExecutionStats>,
+    rng: RefCell<StdRng>,
+    subquery_cache: RefCell<HashMap<String, RecordBatch>>,
+    batch_size: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Creates a context. `oracle` is the connection back to the DO proxy for
+    /// interactive protocol steps; pass `None` for plaintext-only workloads.
+    pub fn new(catalog: &'a Catalog, registry: &'a UdfRegistry, oracle: Option<OracleRef>) -> Self {
+        ExecContext {
+            catalog,
+            registry,
+            oracle,
+            stats: RefCell::new(ExecutionStats::default()),
+            rng: RefCell::new(StdRng::from_entropy()),
+            subquery_cache: RefCell::new(HashMap::new()),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Uses a fixed RNG seed for the comparison-blinding factors (tests only).
+    pub fn with_rng_seed(self, seed: u64) -> Self {
+        ExecContext {
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            ..self
+        }
+    }
+
+    /// Overrides the batch size (power users / tests).
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        ExecContext { batch_size, ..self }
+    }
+
+    /// The catalog queries run against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The scalar-UDF registry.
+    pub fn registry(&self) -> &'a UdfRegistry {
+        self.registry
+    }
+
+    /// The DO-proxy oracle, if connected.
+    pub fn oracle(&self) -> Option<&OracleRef> {
+        self.oracle.as_ref()
+    }
+
+    /// Rows per batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// A snapshot of the statistics accumulated so far.
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Mutable access to the statistics (operators record as they run).
+    pub(crate) fn stats_mut(&self) -> std::cell::RefMut<'_, ExecutionStats> {
+        self.stats.borrow_mut()
+    }
+
+    /// Mutable access to the blinding RNG.
+    pub(crate) fn rng_mut(&self) -> std::cell::RefMut<'_, StdRng> {
+        self.rng.borrow_mut()
+    }
+
+    /// An expression evaluator wired to this context's registry and subquery
+    /// resolution.
+    pub(crate) fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(self.registry).with_subqueries(self)
+    }
+
+    /// Folds an evaluator's UDF counter into the statistics.
+    pub(crate) fn record_udf_calls(&self, evaluator: &Evaluator<'_>) {
+        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+    }
+}
+
+impl SubqueryResolver for ExecContext<'_> {
+    fn scalar(&self, query: &Query) -> Result<Value> {
+        let batch = self.run_subquery(query)?;
+        if batch.num_columns() != 1 {
+            return Err(EngineError::Expression {
+                detail: "scalar subquery must return exactly one column".into(),
+            });
+        }
+        match batch.num_rows() {
+            0 => Ok(Value::Null),
+            1 => Ok(batch.column(0).get(0).clone()),
+            n => Err(EngineError::Expression {
+                detail: format!("scalar subquery returned {n} rows"),
+            }),
+        }
+    }
+
+    fn column(&self, query: &Query) -> Result<Vec<Value>> {
+        let batch = self.run_subquery(query)?;
+        if batch.num_columns() == 0 {
+            return Ok(vec![]);
+        }
+        Ok(batch.column(0).values().to_vec())
+    }
+}
+
+impl ExecContext<'_> {
+    /// Plans and runs an uncorrelated subquery against the same catalog,
+    /// registry and oracle, caching the result by its SQL rendering. The
+    /// subquery's statistics are merged into this context's totals.
+    fn run_subquery(&self, query: &Query) -> Result<RecordBatch> {
+        let key = query.to_string();
+        if let Some(cached) = self.subquery_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let plan = PlanBuilder::build(query)?;
+        let sub = ExecContext::new(self.catalog, self.registry, self.oracle.clone())
+            .with_batch_size(self.batch_size);
+        let batch = execute_plan(&Rc::new(sub), &plan, |sub_stats| {
+            self.stats.borrow_mut().merge(sub_stats);
+        })?;
+        self.subquery_cache.borrow_mut().insert(key, batch.clone());
+        Ok(batch)
+    }
+}
+
+/// Plans and drains a logical plan to completion, concatenating all produced
+/// batches. `on_finish` receives the context's final statistics (used to merge
+/// subquery stats into a parent).
+pub(crate) fn execute_plan<'a>(
+    ctx: &Rc<ExecContext<'a>>,
+    plan: &sdb_sql::plan::LogicalPlan,
+    on_finish: impl FnOnce(&ExecutionStats),
+) -> Result<RecordBatch> {
+    let mut root = crate::planner::PhysicalPlanner::new(Rc::clone(ctx)).plan(plan)?;
+    let batch = drain_operator(root.as_mut())?;
+    ctx.stats.borrow_mut().rows_returned = batch.num_rows();
+    on_finish(&ctx.stats());
+    Ok(batch)
+}
+
+/// Runs one operator's full lifecycle, concatenating its output batches.
+pub fn drain_operator(root: &mut dyn PhysicalOperator) -> Result<RecordBatch> {
+    root.open()?;
+    let result = materialize_input(root)?;
+    root.close()?;
+    Ok(result.unwrap_or_else(|| RecordBatch::empty(Schema::empty())))
+}
+
+/// Drains an operator into a single materialised batch, for blocking
+/// consumers (join build sides, aggregation, sort). Returns `None` when the
+/// input produced no batches at all. Accumulates with in-place appends, so
+/// the total cost is linear in the rows produced.
+pub(crate) fn materialize_input(input: &mut dyn PhysicalOperator) -> Result<Option<RecordBatch>> {
+    let mut result: Option<RecordBatch> = None;
+    while let Some(batch) = input.next_batch()? {
+        match &mut result {
+            None => result = Some(batch),
+            Some(acc) => acc.append(&batch)?,
+        }
+    }
+    Ok(result)
+}

@@ -1,0 +1,312 @@
+//! The SDB oracle-call operator: resolves the interactive protocol steps
+//! (secure comparisons, group tags, rank surrogates) the rewriter leaves in the
+//! plan as pseudo-function calls.
+//!
+//! For each distinct call, one batched round trip per input batch ships the
+//! (blinded or encrypted) operands to the DO proxy and scatters the opaque
+//! answers back as a *virtual column* named by the call's rendered text.
+//! Downstream expressions pick the column up through
+//! [`expr::bind_to_existing_columns`], so the operators above never see the
+//! call itself.
+
+use std::time::Instant;
+
+use num_bigint::BigUint;
+use rand::Rng;
+
+use sdb_sql::ast::Expr;
+use sdb_storage::{ColumnDef, DataType, RecordBatch, Value};
+
+use super::expr::{self, append_virtual_column, literal_string};
+use super::{BoxedOperator, ExecContext, PhysicalOperator};
+use crate::secure::{
+    oracle_fns, parse_biguint_arg, sign_to_bool, OracleRequest, OracleRequestKind, OracleResponse,
+    OracleRow,
+};
+use crate::{EngineError, Result};
+use std::rc::Rc;
+
+/// Physical operator materialising oracle-backed calls as virtual columns.
+///
+/// Sign and group-tag calls resolve per input batch: signs are per-row facts
+/// and tags come from a keyed PRF of the plaintext, so both are stable across
+/// round trips. Rank surrogates are only comparable *within one request* (the
+/// proxy reserves a fresh rank block per request), so when any registered call
+/// is a rank call this operator turns blocking and resolves the whole
+/// materialised input in a single round trip — exactly the guarantee ORDER BY
+/// and MIN/MAX over sensitive columns need.
+pub struct OracleResolve<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    input: BoxedOperator<'a>,
+    calls: Vec<Expr>,
+    /// True when any call demands whole-input resolution (rank surrogates).
+    blocking: bool,
+    done: bool,
+}
+
+impl<'a> OracleResolve<'a> {
+    /// Creates the operator for the given (deduplicated) oracle calls.
+    pub fn new(ctx: Rc<ExecContext<'a>>, input: BoxedOperator<'a>, calls: Vec<Expr>) -> Self {
+        let blocking = calls.iter().any(|call| match call {
+            Expr::Function { name, .. } => name.eq_ignore_ascii_case(oracle_fns::RANK),
+            _ => false,
+        });
+        OracleResolve {
+            ctx,
+            input,
+            calls,
+            blocking,
+            done: false,
+        }
+    }
+}
+
+impl PhysicalOperator for OracleResolve<'_> {
+    fn name(&self) -> &'static str {
+        "OracleResolve"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.done = false;
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        if self.blocking {
+            if self.done {
+                return Ok(None);
+            }
+            self.done = true;
+            let batch = super::materialize_input(self.input.as_mut())?
+                .unwrap_or_else(|| RecordBatch::empty(sdb_storage::Schema::empty()));
+            return resolve_oracle_calls(&self.ctx, batch, &self.calls).map(Some);
+        }
+        match self.input.next_batch()? {
+            None => Ok(None),
+            Some(batch) => resolve_oracle_calls(&self.ctx, batch, &self.calls).map(Some),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// Collects the distinct oracle-backed calls appearing in `expr` into `out`.
+pub fn collect_oracle_calls(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Function { name, .. } = expr {
+        if oracle_fns::is_oracle_fn(name) {
+            if !out.iter().any(|e| e.to_string() == expr.to_string()) {
+                out.push(expr.clone());
+            }
+            return; // arguments are evaluated by the resolution pass itself
+        }
+    }
+    match expr {
+        Expr::Unary { expr, .. } => collect_oracle_calls(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_oracle_calls(left, out);
+            collect_oracle_calls(right, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_oracle_calls(a, out);
+            }
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                collect_oracle_calls(o, out);
+            }
+            for (w, t) in branches {
+                collect_oracle_calls(w, out);
+                collect_oracle_calls(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_oracle_calls(e, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_oracle_calls(expr, out);
+            collect_oracle_calls(low, out);
+            collect_oracle_calls(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_oracle_calls(expr, out);
+            for e in list {
+                collect_oracle_calls(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Collects the distinct oracle calls across several expressions.
+pub fn collect_oracle_calls_all(exprs: &[Expr]) -> Vec<Expr> {
+    let mut calls = Vec::new();
+    for e in exprs {
+        collect_oracle_calls(e, &mut calls);
+    }
+    calls
+}
+
+/// Resolves each oracle call against `batch` with one batched round trip,
+/// appending the per-row answers as virtual columns. Calls whose rendered name
+/// already exists as a column (materialised by an operator below) are skipped.
+pub fn resolve_oracle_calls(
+    ctx: &ExecContext<'_>,
+    batch: RecordBatch,
+    calls: &[Expr],
+) -> Result<RecordBatch> {
+    if calls.is_empty() {
+        return Ok(batch);
+    }
+    let oracle = ctx
+        .oracle()
+        .cloned()
+        .ok_or_else(|| EngineError::OracleUnavailable {
+            operation: calls[0].to_string(),
+        })?;
+
+    let mut batch = batch;
+    for call in calls {
+        let rendered = call.to_string();
+        if batch.schema().index_of(&rendered).is_ok() {
+            continue; // already materialised by an earlier operator or call
+        }
+        let (name, args) = match call {
+            Expr::Function { name, args, .. } => (name.to_ascii_uppercase(), args),
+            _ => unreachable!("collect_oracle_calls only returns function nodes"),
+        };
+        let is_cmp = oracle_fns::is_cmp_fn(&name);
+        let expected_arity = if is_cmp { 4 } else { 3 };
+        if args.len() != expected_arity {
+            return Err(EngineError::UdfInvocation {
+                name: name.clone(),
+                detail: format!("expected {expected_arity} arguments, found {}", args.len()),
+            });
+        }
+        let handle = literal_string(&args[2]).ok_or_else(|| EngineError::UdfInvocation {
+            name: name.clone(),
+            detail: "third argument must be a string key handle".into(),
+        })?;
+        let modulus = if is_cmp {
+            Some(parse_biguint_arg(
+                &name,
+                &literal_string(&args[3]).ok_or_else(|| EngineError::UdfInvocation {
+                    name: name.clone(),
+                    detail: "fourth argument must be the public modulus as a string".into(),
+                })?,
+            )?)
+        } else {
+            None
+        };
+
+        // Evaluate the share and row-id expressions for every row.
+        let evaluator = ctx.evaluator();
+        let mut present_rows: Vec<usize> = Vec::new();
+        let mut oracle_rows: Vec<OracleRow> = Vec::new();
+        for row in 0..batch.num_rows() {
+            let share = evaluator.evaluate(&args[0], &batch, row)?;
+            let row_id = evaluator.evaluate(&args[1], &batch, row)?;
+            if share.is_null() || row_id.is_null() {
+                continue;
+            }
+            let mut share = share.as_encrypted()?.clone();
+            let row_id = row_id.as_encrypted_row_id()?.clone();
+            if let Some(n) = &modulus {
+                // Blind the difference with a fresh positive factor so the DO
+                // proxy (and anything watching the channel) learns only signs.
+                let factor: u64 = ctx.rng_mut().gen_range(1..(1u64 << 30));
+                share = share * BigUint::from(factor) % n;
+            }
+            present_rows.push(row);
+            oracle_rows.push(OracleRow { row_id, share });
+        }
+        ctx.record_udf_calls(&evaluator);
+
+        let kind = if is_cmp {
+            OracleRequestKind::Sign
+        } else if name == oracle_fns::GROUP_TAG {
+            OracleRequestKind::GroupTag
+        } else {
+            OracleRequestKind::Rank
+        };
+        let request = OracleRequest {
+            kind,
+            handle,
+            rows: oracle_rows,
+        };
+
+        {
+            let mut stats = ctx.stats_mut();
+            stats.oracle_round_trips += 1;
+            stats.oracle_rows_shipped += request.rows.len();
+            stats.oracle_bytes_shipped += request.approx_size_bytes();
+        }
+        let start = Instant::now();
+        let response = oracle
+            .resolve(request)
+            .map_err(|e| EngineError::OracleProtocol { detail: e })?;
+        ctx.stats_mut().oracle_time += start.elapsed();
+
+        if response.len() != present_rows.len() {
+            return Err(EngineError::OracleProtocol {
+                detail: format!(
+                    "oracle returned {} answers for {} rows",
+                    response.len(),
+                    present_rows.len()
+                ),
+            });
+        }
+
+        // Scatter the per-row answers into a full-length column (NULL where the
+        // inputs were NULL).
+        let mut values = vec![Value::Null; batch.num_rows()];
+        let data_type = match &response {
+            OracleResponse::Signs(signs) => {
+                for (pos, sign) in present_rows.iter().zip(signs.iter()) {
+                    values[*pos] = Value::Bool(sign_to_bool(&name, *sign)?);
+                }
+                DataType::Bool
+            }
+            OracleResponse::Tags(tags) => {
+                for (pos, tag) in present_rows.iter().zip(tags.iter()) {
+                    values[*pos] = Value::Tag(*tag);
+                }
+                DataType::Tag
+            }
+            OracleResponse::Ranks(ranks) => {
+                for (pos, rank) in present_rows.iter().zip(ranks.iter()) {
+                    values[*pos] = Value::Int(*rank as i64);
+                }
+                DataType::Int
+            }
+        };
+
+        batch = append_virtual_column(&batch, ColumnDef::public(&rendered, data_type), values)?;
+    }
+    Ok(batch)
+}
+
+/// Convenience: resolves the oracle calls found in `exprs` (if any) against a
+/// materialised batch, then binds the expressions to the resulting schema so
+/// resolved calls become column references. Used by operators that resolve
+/// inline (hash-join keys) rather than through an [`OracleResolve`] child.
+pub fn resolve_for_exprs(
+    ctx: &ExecContext<'_>,
+    batch: RecordBatch,
+    exprs: &mut [Expr],
+) -> Result<RecordBatch> {
+    let calls = collect_oracle_calls_all(exprs);
+    let batch = resolve_oracle_calls(ctx, batch, &calls)?;
+    for e in exprs.iter_mut() {
+        *e = expr::bind_to_existing_columns(e, batch.schema());
+    }
+    Ok(batch)
+}

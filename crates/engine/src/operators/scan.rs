@@ -1,0 +1,113 @@
+//! Base-table scan.
+
+use std::rc::Rc;
+
+use sdb_storage::{ColumnDef, RecordBatch, Schema};
+
+use super::{ExecContext, PhysicalOperator};
+use crate::Result;
+
+/// Scans a catalog table, emitting batches of at most `ctx.batch_size()` rows.
+///
+/// Column names are qualified with the visible table name (the alias if one
+/// was given) so joins and qualified references resolve; bare references still
+/// work through the schema's suffix matching.
+pub struct TableScan<'a> {
+    ctx: Rc<ExecContext<'a>>,
+    table: String,
+    alias: Option<String>,
+    /// The table snapshot, taken at `open()`.
+    source: Option<RecordBatch>,
+    /// Next row offset into the snapshot.
+    offset: usize,
+    /// True until the first batch is emitted (an empty table still yields one
+    /// empty batch so downstream operators learn the schema).
+    emitted: bool,
+}
+
+impl<'a> TableScan<'a> {
+    /// Creates a scan of `table` (visible under `alias` if given).
+    pub fn new(ctx: Rc<ExecContext<'a>>, table: &str, alias: Option<&str>) -> Self {
+        TableScan {
+            ctx,
+            table: table.to_string(),
+            alias: alias.map(str::to_string),
+            source: None,
+            offset: 0,
+            emitted: false,
+        }
+    }
+}
+
+impl PhysicalOperator for TableScan<'_> {
+    fn name(&self) -> &'static str {
+        "TableScan"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        let handle = self.ctx.catalog().table(&self.table)?;
+        let guard = handle.read();
+        let batch = guard.scan();
+        let visible = self.alias.as_deref().unwrap_or(&self.table);
+
+        // Qualify column names with the visible table name.
+        let qualified = Schema::new(
+            batch
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| ColumnDef {
+                    name: format!("{visible}.{}", c.name),
+                    data_type: c.data_type,
+                    sensitivity: c.sensitivity,
+                })
+                .collect(),
+        );
+        self.source = Some(RecordBatch::new(qualified, batch.columns().to_vec())?);
+        self.offset = 0;
+        self.emitted = false;
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let total = match &self.source {
+            Some(source) => source.num_rows(),
+            // The whole-table fast path below already handed the snapshot off.
+            None => return Ok(None),
+        };
+        if self.offset >= total {
+            if self.emitted {
+                return Ok(None);
+            }
+            // Empty table: emit one empty batch carrying the schema.
+            self.emitted = true;
+            let schema = self
+                .source
+                .as_ref()
+                .expect("checked above")
+                .schema()
+                .clone();
+            return Ok(Some(RecordBatch::empty(schema)));
+        }
+        let take = self.ctx.batch_size().min(total - self.offset);
+        // Whole-table-in-one-batch fast path: hand the snapshot off instead of
+        // cloning it row by row.
+        let batch = if self.offset == 0 && take == total {
+            self.source.take().expect("checked above")
+        } else {
+            self.source
+                .as_ref()
+                .expect("checked above")
+                .slice(self.offset, take)?
+        };
+        self.offset += take;
+        self.emitted = true;
+        self.ctx.stats_mut().rows_scanned += take;
+        Ok(Some(batch))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.source = None;
+        Ok(())
+    }
+}

@@ -1,0 +1,547 @@
+//! Unit tests for the individual physical operators: empty inputs, single
+//! batches, and multi-batch boundaries.
+
+use std::rc::Rc;
+
+use sdb_sql::ast::{BinaryOp, Expr, JoinKind, Literal};
+use sdb_sql::plan::{AggFunc, AggregateExpr, ProjectionItem, SortKey};
+use sdb_storage::{Catalog, ColumnDef, DataType, RecordBatch, Schema, Value};
+
+use super::aggregate::HashAggregate;
+use super::filter::Filter;
+use super::join::{HashJoin, NestedLoopJoin};
+use super::project::Project;
+use super::scan::TableScan;
+use super::sort::{Distinct, Limit, Sort};
+use super::{drain_operator, BoxedOperator, ExecContext, PhysicalOperator};
+use crate::udf::UdfRegistry;
+use crate::Result;
+
+fn registry() -> UdfRegistry {
+    UdfRegistry::with_sdb_udfs()
+}
+
+fn catalog_with_numbers(rows: &[(i64, i64)]) -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::new(vec![
+        ColumnDef::public("a", DataType::Int),
+        ColumnDef::public("b", DataType::Int),
+    ]);
+    let table = catalog.create_table("numbers", schema).unwrap();
+    let mut guard = table.write();
+    for &(a, b) in rows {
+        guard
+            .insert_row(vec![Value::Int(a), Value::Int(b)])
+            .unwrap();
+    }
+    drop(guard);
+    catalog
+}
+
+fn col(name: &str) -> Expr {
+    Expr::Column(name.to_string())
+}
+
+fn int(v: i64) -> Expr {
+    Expr::Literal(Literal::Int(v))
+}
+
+/// A source operator replaying a fixed list of batches (for operators whose
+/// inputs are easier to stage directly than through a scan).
+struct FixedBatches {
+    batches: Vec<RecordBatch>,
+    next: usize,
+}
+
+impl FixedBatches {
+    fn new(batches: Vec<RecordBatch>) -> Self {
+        FixedBatches { batches, next: 0 }
+    }
+
+    fn boxed<'a>(batches: Vec<RecordBatch>) -> BoxedOperator<'a> {
+        Box::new(FixedBatches::new(batches))
+    }
+}
+
+impl PhysicalOperator for FixedBatches {
+    fn name(&self) -> &'static str {
+        "FixedBatches"
+    }
+    fn open(&mut self) -> Result<()> {
+        self.next = 0;
+        Ok(())
+    }
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let batch = self.batches.get(self.next).cloned();
+        self.next += 1;
+        Ok(batch)
+    }
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+fn int_batches(schema: &Schema, chunks: &[&[(i64, i64)]]) -> Vec<RecordBatch> {
+    chunks
+        .iter()
+        .map(|chunk| {
+            RecordBatch::from_rows(
+                schema.clone(),
+                chunk
+                    .iter()
+                    .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn ab_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::public("a", DataType::Int),
+        ColumnDef::public("b", DataType::Int),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// TableScan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scan_chunks_by_batch_size() {
+    let rows: Vec<(i64, i64)> = (0..5).map(|i| (i, i * 10)).collect();
+    let catalog = catalog_with_numbers(&rows);
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(2));
+    let mut scan = TableScan::new(Rc::clone(&ctx), "numbers", None);
+    scan.open().unwrap();
+    let sizes: Vec<usize> = std::iter::from_fn(|| scan.next_batch().unwrap())
+        .map(|b| b.num_rows())
+        .collect();
+    scan.close().unwrap();
+    assert_eq!(sizes, vec![2, 2, 1]);
+    assert_eq!(ctx.stats().rows_scanned, 5);
+}
+
+#[test]
+fn scan_of_empty_table_emits_schema_batch() {
+    let catalog = catalog_with_numbers(&[]);
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let mut scan = TableScan::new(ctx, "numbers", Some("n"));
+    let batch = drain_operator(&mut scan).unwrap();
+    assert_eq!(batch.num_rows(), 0);
+    assert_eq!(batch.schema().column_at(0).name, "n.a");
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+#[test]
+fn filter_across_batches_and_empty_input() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+
+    // Predicate a > 2 over batches [(1,1),(3,3)] and [(5,5)].
+    let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1), (3, 3)], &[(5, 5)]]));
+    let predicate = Expr::binary(col("a"), BinaryOp::Gt, int(2));
+    let mut filter = Filter::new(Rc::clone(&ctx), input, predicate.clone());
+    let out = drain_operator(&mut filter).unwrap();
+    assert_eq!(out.num_rows(), 2);
+    assert_eq!(out.column(0).get(0), &Value::Int(3));
+
+    // Empty input keeps the schema.
+    let input = FixedBatches::boxed(vec![RecordBatch::empty(schema.clone())]);
+    let mut filter = Filter::new(ctx, input, predicate);
+    let out = drain_operator(&mut filter).unwrap();
+    assert_eq!(out.num_rows(), 0);
+    assert_eq!(out.num_columns(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+#[test]
+fn project_computes_per_batch() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 10)], &[(2, 20)], &[]]));
+    let items = vec![
+        ProjectionItem::Named {
+            expr: Expr::binary(col("a"), BinaryOp::Add, col("b")),
+            name: "sum".into(),
+        },
+        ProjectionItem::Wildcard,
+    ];
+    let mut project = Project::new(ctx, input, items, vec![]);
+    let out = drain_operator(&mut project).unwrap();
+    assert_eq!(out.num_columns(), 3);
+    assert_eq!(out.schema().column_at(0).name, "sum");
+    assert_eq!(out.column(0).get(1), &Value::Int(22));
+    assert_eq!(out.num_rows(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn join_sides(schema: &Schema) -> (BoxedOperator<'static>, BoxedOperator<'static>) {
+    // Left: 4 rows split across two batches; right: 3 rows, one batch.
+    let left = FixedBatches::boxed(int_batches(
+        schema,
+        &[&[(1, 100), (2, 200)], &[(2, 201), (4, 400)]],
+    ));
+    let right_schema = Schema::new(vec![
+        ColumnDef::public("k", DataType::Int),
+        ColumnDef::public("v", DataType::Int),
+    ]);
+    let right = FixedBatches::boxed(vec![RecordBatch::from_rows(
+        right_schema,
+        vec![
+            vec![Value::Int(1), Value::Int(-1)],
+            vec![Value::Int(2), Value::Int(-2)],
+            vec![Value::Int(9), Value::Int(-9)],
+        ],
+    )
+    .unwrap()]);
+    (left, right)
+}
+
+#[test]
+fn hash_join_streams_probe_batches() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    let (left, right) = join_sides(&schema);
+    let mut join = HashJoin::new(
+        Rc::clone(&ctx),
+        left,
+        right,
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("k")],
+    );
+    let out = drain_operator(&mut join).unwrap();
+    // Matches: a=1 (1 row), a=2 twice (2 rows); a=4 unmatched.
+    assert_eq!(out.num_rows(), 3);
+    assert_eq!(out.num_columns(), 4);
+
+    // Left join pads the unmatched row with NULLs.
+    let (left, right) = join_sides(&schema);
+    let mut join = HashJoin::new(
+        ctx,
+        left,
+        right,
+        JoinKind::Left,
+        vec![col("a")],
+        vec![col("k")],
+    );
+    let out = drain_operator(&mut join).unwrap();
+    assert_eq!(out.num_rows(), 4);
+    assert!(out.column(2).get(3).is_null());
+}
+
+#[test]
+fn hash_join_with_empty_sides() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    let empty = || FixedBatches::boxed(vec![RecordBatch::empty(ab_schema())]);
+
+    let left = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1)]]));
+    let mut join = HashJoin::new(
+        Rc::clone(&ctx),
+        left,
+        empty(),
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("a")],
+    );
+    assert_eq!(drain_operator(&mut join).unwrap().num_rows(), 0);
+
+    let right = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1)]]));
+    let mut join = HashJoin::new(
+        ctx,
+        empty(),
+        right,
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("a")],
+    );
+    let out = drain_operator(&mut join).unwrap();
+    assert_eq!(out.num_rows(), 0);
+    assert_eq!(out.num_columns(), 4);
+}
+
+#[test]
+fn nested_loop_join_applies_predicate() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    let (left, right) = join_sides(&schema);
+    let on = Expr::binary(col("a"), BinaryOp::Lt, col("k"));
+    let mut join = NestedLoopJoin::new(ctx, left, right, JoinKind::Inner, Some(on));
+    let out = drain_operator(&mut join).unwrap();
+    // a<k pairs: 1<2, 1<9, 2<9, 2<9, 4<9 = 5 rows.
+    assert_eq!(out.num_rows(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+// ---------------------------------------------------------------------------
+
+#[test]
+fn aggregate_groups_across_batch_boundaries() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    // Group 1 spans both batches.
+    let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 10), (2, 20)], &[(1, 30)]]));
+    let mut aggregate = HashAggregate::new(
+        ctx,
+        input,
+        vec![(col("a"), "a".into())],
+        vec![AggregateExpr {
+            func: AggFunc::Sum,
+            arg: Some(col("b")),
+            distinct: false,
+            name: "s".into(),
+        }],
+    );
+    let out = drain_operator(&mut aggregate).unwrap();
+    assert_eq!(out.num_rows(), 2);
+    let row0 = out.row(0);
+    assert_eq!(row0, vec![Value::Int(1), Value::Int(40)]);
+}
+
+#[test]
+fn global_aggregate_over_empty_input_yields_one_row() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let input = FixedBatches::boxed(vec![RecordBatch::empty(ab_schema())]);
+    let mut aggregate = HashAggregate::new(
+        ctx,
+        input,
+        vec![],
+        vec![AggregateExpr {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+            name: "n".into(),
+        }],
+    );
+    let out = drain_operator(&mut aggregate).unwrap();
+    assert_eq!(out.num_rows(), 1);
+    assert_eq!(out.column(0).get(0), &Value::Int(0));
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Limit / Distinct
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sort_merges_batches() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = ab_schema();
+    let input = FixedBatches::boxed(int_batches(&schema, &[&[(3, 0), (1, 0)], &[(2, 0)]]));
+    let keys = vec![SortKey {
+        expr: col("a"),
+        desc: false,
+    }];
+    let mut sort = Sort::new(ctx, input, keys);
+    let out = drain_operator(&mut sort).unwrap();
+    let values: Vec<i64> = out
+        .column(0)
+        .values()
+        .iter()
+        .map(|v| v.as_i64().unwrap())
+        .collect();
+    assert_eq!(values, vec![1, 2, 3]);
+}
+
+#[test]
+fn limit_stops_mid_batch_and_across_batches() {
+    let schema = ab_schema();
+    // Limit 3 over batches of 2+2 rows → 2 rows then 1 row.
+    let input = FixedBatches::boxed(int_batches(
+        &schema,
+        &[&[(1, 0), (2, 0)], &[(3, 0), (4, 0)]],
+    ));
+    let mut limit = Limit::new(input, 3);
+    let out = drain_operator(&mut limit).unwrap();
+    assert_eq!(out.num_rows(), 3);
+
+    // Limit 0 still yields the schema.
+    let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 0)]]));
+    let mut limit = Limit::new(input, 0);
+    let out = drain_operator(&mut limit).unwrap();
+    assert_eq!(out.num_rows(), 0);
+    assert_eq!(out.num_columns(), 2);
+}
+
+#[test]
+fn distinct_deduplicates_across_batches() {
+    let schema = ab_schema();
+    // The duplicate of (1, 10) sits in a later batch: the seen-set must span
+    // batch boundaries.
+    let input = FixedBatches::boxed(int_batches(
+        &schema,
+        &[&[(1, 10), (2, 20)], &[(1, 10), (3, 30)]],
+    ));
+    let mut distinct = Distinct::new(input);
+    let out = drain_operator(&mut distinct).unwrap();
+    assert_eq!(out.num_rows(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// OracleResolve batching semantics
+// ---------------------------------------------------------------------------
+
+/// A stub DO-proxy oracle that answers every request and counts round trips
+/// through the context's statistics (which the operator updates itself).
+struct StubOracle;
+
+impl crate::secure::SdbOracle for StubOracle {
+    fn resolve(&self, request: crate::secure::OracleRequest) -> crate::secure::OracleResult {
+        use crate::secure::{OracleRequestKind, OracleResponse};
+        let n = request.rows.len();
+        Ok(match request.kind {
+            OracleRequestKind::Sign => OracleResponse::Signs(vec![1; n]),
+            OracleRequestKind::GroupTag => OracleResponse::Tags((0..n as u64).collect()),
+            OracleRequestKind::Rank => OracleResponse::Ranks((0..n as u64).collect()),
+        })
+    }
+}
+
+fn encrypted_batches(chunks: usize, rows_per_chunk: usize) -> Vec<RecordBatch> {
+    use num_bigint::BigUint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    let cipher = sdb_crypto::SiesCipher::from_master(&mut rng);
+    let schema = Schema::new(vec![
+        ColumnDef::sensitive("v", DataType::Encrypted),
+        ColumnDef::public("rid", DataType::EncryptedRowId),
+    ]);
+    (0..chunks)
+        .map(|c| {
+            let rows = (0..rows_per_chunk)
+                .map(|r| {
+                    let rid = sdb_crypto::EncryptedRowId(
+                        cipher.encrypt_biguint(&mut rng, &BigUint::from((c * 100 + r) as u64 + 1)),
+                    );
+                    vec![
+                        Value::Encrypted(BigUint::from((c * 10 + r) as u64 + 3)),
+                        Value::EncryptedRowId(rid),
+                    ]
+                })
+                .collect();
+            RecordBatch::from_rows(schema.clone(), rows).unwrap()
+        })
+        .collect()
+}
+
+fn oracle_call(name: &str) -> Expr {
+    Expr::Function {
+        name: name.to_string(),
+        args: vec![
+            col("v"),
+            col("rid"),
+            Expr::Literal(Literal::Str("h1".into())),
+        ],
+        distinct: false,
+        wildcard: false,
+    }
+}
+
+#[test]
+fn rank_calls_resolve_in_one_round_trip_across_batches() {
+    use super::oracle::OracleResolve;
+    let catalog = Catalog::new();
+    let reg = registry();
+    let oracle: crate::secure::OracleRef = std::sync::Arc::new(StubOracle);
+
+    // Rank surrogates are only comparable within one request: multi-batch
+    // input must still produce exactly one round trip.
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, Some(oracle.clone())));
+    let input = FixedBatches::boxed(encrypted_batches(3, 2));
+    let mut resolve = OracleResolve::new(Rc::clone(&ctx), input, vec![oracle_call("SDB_RANK")]);
+    let out = drain_operator(&mut resolve).unwrap();
+    assert_eq!(out.num_rows(), 6);
+    assert_eq!(
+        ctx.stats().oracle_round_trips,
+        1,
+        "ranks must batch across input batches"
+    );
+    // All six rows answered from one rank block, in request order.
+    assert_eq!(out.column(2).get(5), &Value::Int(5));
+
+    // Group tags are a stable PRF of the plaintext, so per-batch round trips
+    // are correct (and preserve streaming).
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, Some(oracle)));
+    let input = FixedBatches::boxed(encrypted_batches(3, 2));
+    let mut resolve =
+        OracleResolve::new(Rc::clone(&ctx), input, vec![oracle_call("SDB_GROUP_TAG")]);
+    let out = drain_operator(&mut resolve).unwrap();
+    assert_eq!(out.num_rows(), 6);
+    assert_eq!(ctx.stats().oracle_round_trips, 3, "tags resolve per batch");
+}
+
+// ---------------------------------------------------------------------------
+// Project type stability across batches
+// ---------------------------------------------------------------------------
+
+#[test]
+fn project_locks_computed_types_across_null_leading_batches() {
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let schema = Schema::new(vec![
+        ColumnDef::public("a", DataType::Int),
+        ColumnDef::public("name", DataType::Varchar),
+    ]);
+    let batch = |rows: Vec<(i64, &str)>| {
+        RecordBatch::from_rows(
+            schema.clone(),
+            rows.into_iter()
+                .map(|(a, s)| vec![Value::Int(a), Value::Str(s.into())])
+                .collect(),
+        )
+        .unwrap()
+    };
+    // CASE WHEN a > 10 THEN name END: all-NULL in the first batch (would have
+    // inferred Int per-batch), Varchar in the second.
+    let case = Expr::Case {
+        operand: None,
+        branches: vec![(Expr::binary(col("a"), BinaryOp::Gt, int(10)), col("name"))],
+        else_expr: None,
+    };
+    let input = FixedBatches::boxed(vec![
+        batch(vec![(1, "low"), (2, "lower")]),
+        batch(vec![(100, "high")]),
+    ]);
+    let items = vec![ProjectionItem::Named {
+        expr: case,
+        name: "c".into(),
+    }];
+    let mut project = Project::new(ctx, input, items, vec![]);
+    let out = drain_operator(&mut project).unwrap();
+    assert_eq!(out.num_rows(), 3);
+    assert_eq!(out.schema().column_at(0).data_type, DataType::Varchar);
+    assert!(out.column(0).get(0).is_null());
+    assert_eq!(out.column(0).get(2), &Value::Str("high".into()));
+}

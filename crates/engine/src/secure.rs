@@ -66,7 +66,7 @@ impl OracleRequest {
             + self
                 .rows
                 .iter()
-                .map(|r| r.row_id.size_bytes() + (r.share.bits() as usize + 7) / 8)
+                .map(|r| r.row_id.size_bytes() + (r.share.bits() as usize).div_ceil(8))
                 .sum::<usize>()
     }
 }

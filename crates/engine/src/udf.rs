@@ -261,9 +261,7 @@ fn encode_plain_operand(udf: &str, value: &Value, scale: &Value, n: &BigUint) ->
             })
         }
     };
-    let units = value
-        .as_scaled_i128(scale)
-        .map_err(EngineError::Storage)?;
+    let units = value.as_scaled_i128(scale).map_err(EngineError::Storage)?;
     let magnitude = BigUint::from(units.unsigned_abs());
     if units >= 0 {
         Ok(magnitude % n)
@@ -347,12 +345,12 @@ impl ScalarUdf for SdbTagEqUdf {
                 })
             }
         };
-        let expected: u64 = string_arg("SDB_TAG_EQ", expected)?
-            .parse()
-            .map_err(|_| EngineError::UdfInvocation {
+        let expected: u64 = string_arg("SDB_TAG_EQ", expected)?.parse().map_err(|_| {
+            EngineError::UdfInvocation {
                 name: "SDB_TAG_EQ".into(),
                 detail: "second argument must be a decimal tag string".into(),
-            })?;
+            }
+        })?;
         Ok(Value::Bool(tag == expected))
     }
 }
@@ -362,7 +360,9 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sdb_crypto::share::{decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams};
+    use sdb_crypto::share::{
+        decrypt_value, encrypt_value, gen_item_key, ColumnKeyAlgebra, KeyUpdateParams,
+    };
     use sdb_crypto::{KeyConfig, SystemKey};
     use sdb_sql::dates::days_from_civil;
 
@@ -392,8 +392,15 @@ mod tests {
         let udf = AbsUdf;
         assert_eq!(udf.invoke(&[Value::Int(-5)]).unwrap(), Value::Int(5));
         assert_eq!(
-            udf.invoke(&[Value::Decimal { units: -250, scale: 2 }]).unwrap(),
-            Value::Decimal { units: 250, scale: 2 }
+            udf.invoke(&[Value::Decimal {
+                units: -250,
+                scale: 2
+            }])
+            .unwrap(),
+            Value::Decimal {
+                units: 250,
+                scale: 2
+            }
         );
         assert!(udf.invoke(&[Value::Str("x".into())]).is_err());
     }
@@ -514,7 +521,13 @@ mod tests {
             ])
             .unwrap();
         let sum = SdbAddPlainUdf
-            .invoke(&[a_at_s, Value::Int(5), Value::Int(0), Value::Encrypted(s_e), n_str])
+            .invoke(&[
+                a_at_s,
+                Value::Int(5),
+                Value::Int(0),
+                Value::Encrypted(s_e),
+                n_str,
+            ])
             .unwrap();
         match sum {
             Value::Encrypted(c_e) => {
@@ -529,16 +542,25 @@ mod tests {
     fn sdb_tag_eq_udf() {
         let udf = SdbTagEqUdf;
         assert_eq!(
-            udf.invoke(&[Value::Tag(12345), Value::Str("12345".into())]).unwrap(),
+            udf.invoke(&[Value::Tag(12345), Value::Str("12345".into())])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            udf.invoke(&[Value::Tag(12345), Value::Str("999".into())]).unwrap(),
+            udf.invoke(&[Value::Tag(12345), Value::Str("999".into())])
+                .unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(udf.invoke(&[Value::Null, Value::Str("1".into())]).unwrap(), Value::Null);
-        assert!(udf.invoke(&[Value::Int(1), Value::Str("1".into())]).is_err());
-        assert!(udf.invoke(&[Value::Tag(1), Value::Str("abc".into())]).is_err());
+        assert_eq!(
+            udf.invoke(&[Value::Null, Value::Str("1".into())]).unwrap(),
+            Value::Null
+        );
+        assert!(udf
+            .invoke(&[Value::Int(1), Value::Str("1".into())])
+            .is_err());
+        assert!(udf
+            .invoke(&[Value::Tag(1), Value::Str("abc".into())])
+            .is_err());
     }
 
     #[test]
@@ -549,7 +571,11 @@ mod tests {
         let ck = key.gen_column_key(&mut rng);
         let r = key.gen_row_id(&mut rng);
         // Price 12.50 stored sensitive at scale 2 → units 1250.
-        let p_e = encrypt_value(&key, &codec.encode(1250).unwrap(), &gen_item_key(&key, &ck, &r));
+        let p_e = encrypt_value(
+            &key,
+            &codec.encode(1250).unwrap(),
+            &gen_item_key(&key, &ck, &r),
+        );
         // Multiply by plain decimal 0.08 at scale 2 → units 8; result units at scale 4.
         let out = SdbMulPlainUdf
             .invoke(&[
@@ -581,7 +607,9 @@ mod tests {
     #[test]
     fn sdb_udfs_validate_arguments() {
         let n = Value::Str("35".into());
-        assert!(SdbMultiplyUdf.invoke(&[Value::Int(1), Value::Int(2), n.clone()]).is_err());
+        assert!(SdbMultiplyUdf
+            .invoke(&[Value::Int(1), Value::Int(2), n.clone()])
+            .is_err());
         assert!(SdbMultiplyUdf.invoke(&[Value::Int(1)]).is_err());
         assert!(SdbAddUdf
             .invoke(&[

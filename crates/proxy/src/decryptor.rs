@@ -126,11 +126,11 @@ impl Decryptor {
                         let v = column.get(row);
                         match v {
                             Value::Null => Ok(Value::Null),
-                            Value::Tag(t) => session.tag_value(*t).ok_or_else(|| {
-                                ProxyError::Decryption {
+                            Value::Tag(t) => {
+                                session.tag_value(*t).ok_or_else(|| ProxyError::Decryption {
                                     detail: format!("no plaintext recorded for tag {t}"),
-                                }
-                            }),
+                                })
+                            }
                             other => Err(ProxyError::Decryption {
                                 detail: format!("expected a tag surrogate, found {other:?}"),
                             }),
@@ -164,11 +164,11 @@ impl Decryptor {
                                         detail: format!("payload decryption failed: {e}"),
                                     }
                                 })?;
-                                String::from_utf8(bytes)
-                                    .map(Value::Str)
-                                    .map_err(|_| ProxyError::Decryption {
+                                String::from_utf8(bytes).map(Value::Str).map_err(|_| {
+                                    ProxyError::Decryption {
                                         detail: "payload is not valid UTF-8".into(),
-                                    })
+                                    }
+                                })
                             }
                             other => Err(ProxyError::Decryption {
                                 detail: format!("expected a SIES payload, found {other:?}"),
@@ -271,7 +271,10 @@ impl Decryptor {
             let mut order: Vec<usize> = (0..result.num_rows()).collect();
             order.sort_by(|&a, &b| {
                 for (idx, desc) in &key_indices {
-                    let ord = result.column(*idx).get(a).cmp_total(result.column(*idx).get(b));
+                    let ord = result
+                        .column(*idx)
+                        .get(a)
+                        .cmp_total(result.column(*idx).get(b));
                     let ord = if *desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -350,7 +353,11 @@ mod tests {
             let rid = row_gen.generate(&mut rng, &system);
             let enc_rid = row_gen.encrypt(&mut rng, &rid);
             let ik = gen_item_key(&system, &key, rid.value());
-            let share = encrypt_value(&system, &codec.encode(i128::from(price_units)).unwrap(), &ik);
+            let share = encrypt_value(
+                &system,
+                &codec.encode(i128::from(price_units)).unwrap(),
+                &ik,
+            );
             rows.push(vec![
                 Value::Int(qty),
                 Value::Encrypted(share),
@@ -421,13 +428,29 @@ mod tests {
         assert_eq!(result.num_rows(), 3);
         assert_eq!(result.num_columns(), 3);
         // Sorted by total descending: 2*10.50 = 21.00, 1*3.00 = 3.00, 5*-2.50 = -12.50.
-        assert_eq!(result.column_by_name("price").unwrap().get(0), &Value::Decimal { units: 1050, scale: 2 });
         assert_eq!(
-            result.column_by_name("total").unwrap().get(0).as_scaled_i128(2).unwrap(),
+            result.column_by_name("price").unwrap().get(0),
+            &Value::Decimal {
+                units: 1050,
+                scale: 2
+            }
+        );
+        assert_eq!(
+            result
+                .column_by_name("total")
+                .unwrap()
+                .get(0)
+                .as_scaled_i128(2)
+                .unwrap(),
             2100
         );
         assert_eq!(
-            result.column_by_name("total").unwrap().get(2).as_scaled_i128(2).unwrap(),
+            result
+                .column_by_name("total")
+                .unwrap()
+                .get(2)
+                .as_scaled_i128(2)
+                .unwrap(),
             -1250
         );
     }
@@ -452,7 +475,8 @@ mod tests {
         let rows = [100i64, 900]
             .iter()
             .map(|v| {
-                let share = encrypt_value(&system, &codec.encode(i128::from(*v)).unwrap(), &item_key);
+                let share =
+                    encrypt_value(&system, &codec.encode(i128::from(*v)).unwrap(), &item_key);
                 vec![Value::Str(format!("g{v}")), Value::Encrypted(share)]
             })
             .collect();
@@ -492,14 +516,21 @@ mod tests {
                     hidden: false,
                 },
             ],
-            post_having: Some(Expr::binary(Expr::col("total"), BinaryOp::Gt, Expr::int(500))),
+            post_having: Some(Expr::binary(
+                Expr::col("total"),
+                BinaryOp::Gt,
+                Expr::int(500),
+            )),
             ..Default::default()
         };
 
         let decryptor = Decryptor::new(&ks);
         let result = decryptor.decrypt(&plan, &session, &server).unwrap();
         assert_eq!(result.num_rows(), 1);
-        assert_eq!(result.column_by_name("total").unwrap().get(0), &Value::Int(900));
+        assert_eq!(
+            result.column_by_name("total").unwrap().get(0),
+            &Value::Int(900)
+        );
     }
 
     #[test]
@@ -507,7 +538,13 @@ mod tests {
         let ks = keystore();
         let session = QuerySession::new();
         session.record_tag(11, Value::Int(42));
-        session.record_rank(99, Value::Decimal { units: 777, scale: 2 });
+        session.record_rank(
+            99,
+            Value::Decimal {
+                units: 777,
+                scale: 2,
+            },
+        );
 
         let server = RecordBatch::from_rows(
             Schema::new(vec![
@@ -536,9 +573,17 @@ mod tests {
             ],
             ..Default::default()
         };
-        let result = Decryptor::new(&ks).decrypt(&plan, &session, &server).unwrap();
+        let result = Decryptor::new(&ks)
+            .decrypt(&plan, &session, &server)
+            .unwrap();
         assert_eq!(result.column(0).get(0), &Value::Int(42));
-        assert_eq!(result.column(1).get(0), &Value::Decimal { units: 777, scale: 2 });
+        assert_eq!(
+            result.column(1).get(0),
+            &Value::Decimal {
+                units: 777,
+                scale: 2
+            }
+        );
 
         // Unknown surrogate → clear error.
         let server2 = RecordBatch::from_rows(
@@ -555,7 +600,9 @@ mod tests {
             }],
             ..Default::default()
         };
-        assert!(Decryptor::new(&ks).decrypt(&plan2, &session, &server2).is_err());
+        assert!(Decryptor::new(&ks)
+            .decrypt(&plan2, &session, &server2)
+            .is_err());
     }
 
     #[test]
@@ -564,7 +611,11 @@ mod tests {
         let session = QuerySession::new();
         let server = RecordBatch::from_rows(
             Schema::new(vec![ColumnDef::public("a", DataType::Int)]),
-            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         let plan = ResultPlan {
@@ -588,7 +639,9 @@ mod tests {
             post_limit: Some(2),
             ..Default::default()
         };
-        let result = Decryptor::new(&ks).decrypt(&plan, &session, &server).unwrap();
+        let result = Decryptor::new(&ks)
+            .decrypt(&plan, &session, &server)
+            .unwrap();
         assert_eq!(result.num_columns(), 1);
         assert_eq!(result.num_rows(), 2);
         assert_eq!(result.column(0).get(0), &Value::Int(1));
@@ -605,7 +658,9 @@ mod tests {
         )
         .unwrap();
         let plan = ResultPlan::default();
-        assert!(Decryptor::new(&ks).decrypt(&plan, &session, &server).is_err());
+        assert!(Decryptor::new(&ks)
+            .decrypt(&plan, &session, &server)
+            .is_err());
         let _ = BigUint::from(0u32); // keep the import used in all feature combos
     }
 }

@@ -132,23 +132,24 @@ impl Encryptor {
             let mut results: Vec<Result<Vec<Vec<Value>>>> = Vec::new();
             let keystore_ref: &KeyStore = &*keystore;
             let meta_ref = &meta;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (i, chunk) in chunks.iter().enumerate() {
-                    handles.push(scope.spawn(move |_| {
-                        let mut worker_rng =
-                            keystore_ref.derived_rng(fxhash(meta_ref.name.as_str()) ^ (i as u64 + 2));
+                    handles.push(scope.spawn(move || {
+                        let mut worker_rng = keystore_ref
+                            .derived_rng(fxhash(meta_ref.name.as_str()) ^ (i as u64 + 2));
                         chunk
                             .iter()
-                            .map(|row| encrypt_row(keystore_ref, meta_ref, options, row, &mut worker_rng))
+                            .map(|row| {
+                                encrypt_row(keystore_ref, meta_ref, options, row, &mut worker_rng)
+                            })
                             .collect::<Result<Vec<_>>>()
                     }));
                 }
                 for handle in handles {
                     results.push(handle.join().expect("encryption worker panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             let mut all = Vec::with_capacity(rows.len());
             for r in results {
                 all.extend(r?);
@@ -270,12 +271,13 @@ fn encrypt_row(
 
     for (column, value) in meta.columns.iter().zip(row.iter()) {
         if column.is_numeric_sensitive() {
-            let key = table_keys
-                .columns
-                .get(&column.name)
-                .ok_or_else(|| ProxyError::UnknownColumn {
-                    name: column.name.clone(),
-                })?;
+            let key =
+                table_keys
+                    .columns
+                    .get(&column.name)
+                    .ok_or_else(|| ProxyError::UnknownColumn {
+                        name: column.name.clone(),
+                    })?;
             let encrypted = match value {
                 Value::Null => Value::Null,
                 other => {
@@ -314,10 +316,12 @@ fn encrypt_row(
                     )));
                 }
                 other => {
-                    return Err(ProxyError::Storage(sdb_storage::StorageError::TypeMismatch {
-                        expected: "VARCHAR".into(),
-                        found: format!("{other:?}"),
-                    }))
+                    return Err(ProxyError::Storage(
+                        sdb_storage::StorageError::TypeMismatch {
+                            expected: "VARCHAR".into(),
+                            found: format!("{other:?}"),
+                        },
+                    ))
                 }
             }
         } else {
@@ -364,7 +368,10 @@ mod tests {
         let mut t = Table::new("emp", schema);
         t.insert_row(vec![
             Value::Int(1),
-            Value::Decimal { units: 123_456, scale: 2 },
+            Value::Decimal {
+                units: 123_456,
+                scale: 2,
+            },
             Value::Date(9_000),
             Value::Str("top secret".into()),
             Value::Str("eng".into()),
@@ -372,7 +379,10 @@ mod tests {
         .unwrap();
         t.insert_row(vec![
             Value::Int(2),
-            Value::Decimal { units: -500, scale: 2 },
+            Value::Decimal {
+                units: -500,
+                scale: 2,
+            },
             Value::Date(10_000),
             Value::Str("classified".into()),
             Value::Str("ops".into()),
@@ -407,11 +417,26 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["row_id", "sdb_s", "id", "salary", "hired", "notes_tag", "notes_sies", "dept"]
+            vec![
+                "row_id",
+                "sdb_s",
+                "id",
+                "salary",
+                "hired",
+                "notes_tag",
+                "notes_sies",
+                "dept"
+            ]
         );
         assert_eq!(up.table.num_rows(), 3);
-        assert_eq!(up.table.schema().column("salary").unwrap().data_type, DataType::Encrypted);
-        assert_eq!(up.table.schema().column("id").unwrap().data_type, DataType::Int);
+        assert_eq!(
+            up.table.schema().column("salary").unwrap().data_type,
+            DataType::Encrypted
+        );
+        assert_eq!(
+            up.table.schema().column("id").unwrap().data_type,
+            DataType::Int
+        );
     }
 
     #[test]
@@ -442,7 +467,11 @@ mod tests {
             let salary_e = batch.column_by_name("salary").unwrap().get(row).clone();
             let ik = gen_item_key(system, salary_key, rid.value());
             let units = codec
-                .decode(&decrypt_value(system, salary_e.as_encrypted().unwrap(), &ik))
+                .decode(&decrypt_value(
+                    system,
+                    salary_e.as_encrypted().unwrap(),
+                    &ik,
+                ))
                 .unwrap();
             let expected = if row == 0 { 123_456 } else { -500 };
             assert_eq!(units, expected);
@@ -526,7 +555,8 @@ mod tests {
         ]);
         let mut t = Table::new("big", schema);
         for i in 0..300 {
-            t.insert_row(vec![Value::Int(i), Value::Int(i * 7)]).unwrap();
+            t.insert_row(vec![Value::Int(i), Value::Int(i * 7)])
+                .unwrap();
         }
         let mut ks = KeyStore::generate(KeyConfig::TEST, 13).unwrap();
         let up = Encryptor::encrypt_table(
@@ -562,7 +592,12 @@ mod tests {
             let units = codec
                 .decode(&decrypt_value(system, v_e.as_encrypted().unwrap(), &ik))
                 .unwrap();
-            let id = batch.column_by_name("id").unwrap().get(row).as_i64().unwrap();
+            let id = batch
+                .column_by_name("id")
+                .unwrap()
+                .get(row)
+                .as_i64()
+                .unwrap();
             assert_eq!(units, i128::from(id) * 7);
         }
     }
@@ -573,7 +608,10 @@ mod tests {
         assert_eq!(up.stats.rows, 3);
         assert!(up.stats.encrypted_bytes > up.stats.plaintext_bytes);
         assert!(up.stats.keystore_bytes > 0);
-        assert_eq!(up.meta.sensitive_columns(), vec!["salary", "hired", "notes"]);
+        assert_eq!(
+            up.meta.sensitive_columns(),
+            vec!["salary", "hired", "notes"]
+        );
     }
 
     #[test]

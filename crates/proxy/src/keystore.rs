@@ -202,7 +202,10 @@ mod tests {
         ks.register_table(&mut rng, "t", &["a".into()]).unwrap();
         let json = serde_json::to_string(&ks).unwrap();
         let back: KeyStore = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.column_key("t", "a").unwrap(), ks.column_key("t", "a").unwrap());
+        assert_eq!(
+            back.column_key("t", "a").unwrap(),
+            ks.column_key("t", "a").unwrap()
+        );
         assert_eq!(back.system().n(), ks.system().n());
     }
 }

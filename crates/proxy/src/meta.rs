@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn plain_types() {
         let m = meta();
-        assert_eq!(m.column("salary").unwrap().plain_type().unwrap(), PlainType::Decimal(2));
+        assert_eq!(
+            m.column("salary").unwrap().plain_type().unwrap(),
+            PlainType::Decimal(2)
+        );
         assert_eq!(PlainType::Decimal(2).scale(), 2);
         assert_eq!(PlainType::Int.scale(), 0);
         assert!(PlainType::from_data_type(DataType::Encrypted).is_err());

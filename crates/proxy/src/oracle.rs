@@ -143,7 +143,8 @@ impl SdbOracle for ProxyOracle {
                     .map(|units| {
                         let position = distinct
                             .binary_search(units)
-                            .expect("value came from the same batch") as u64;
+                            .expect("value came from the same batch")
+                            as u64;
                         let rank = base + position;
                         self.session.record_rank(rank, decode_units(*units, decode));
                         rank
@@ -190,11 +191,19 @@ mod tests {
         let system = setup.keystore.system().clone();
         let codec = SignedCodec::new(&system);
         let key = system.gen_column_key(&mut setup.rng);
-        let rid = setup.keystore.row_id_generator().generate(&mut setup.rng, &system);
-        let enc_rid = setup.keystore.row_id_generator().encrypt(&mut setup.rng, &rid);
+        let rid = setup
+            .keystore
+            .row_id_generator()
+            .generate(&mut setup.rng, &system);
+        let enc_rid = setup
+            .keystore
+            .row_id_generator()
+            .encrypt(&mut setup.rng, &rid);
         let ik = gen_item_key(&system, &key, rid.value());
         let share = encrypt_value(&system, &codec.encode(i128::from(value)).unwrap(), &ik);
-        let handle = setup.session.register_handle(HandleKey::RowKeyed { key, decode });
+        let handle = setup
+            .session
+            .register_handle(HandleKey::RowKeyed { key, decode });
         (
             OracleRow {
                 row_id: enc_rid,
@@ -219,7 +228,11 @@ mod tests {
                     rows: vec![row],
                 })
                 .unwrap();
-            assert_eq!(response, OracleResponse::Signs(vec![expected]), "value {value}");
+            assert_eq!(
+                response,
+                OracleResponse::Signs(vec![expected]),
+                "value {value}"
+            );
         }
         assert_eq!(s.session.oracle_requests(), 3);
     }
@@ -279,7 +292,10 @@ mod tests {
         assert_eq!(ranks, sorted, "rank surrogates must be order-preserving");
         assert_eq!(
             s.session.rank_value(ranks[0]),
-            Some(Value::Decimal { units: -500, scale: 2 })
+            Some(Value::Decimal {
+                units: -500,
+                scale: 2
+            })
         );
     }
 

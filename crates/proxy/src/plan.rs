@@ -102,7 +102,9 @@ impl ResultPlan {
     /// True when the plan involves no decryption and no client-side work beyond
     /// passing the server result through (fully insensitive queries).
     pub fn is_passthrough(&self) -> bool {
-        self.ingredients.iter().all(|(_, i)| matches!(i, Ingredient::Plain))
+        self.ingredients
+            .iter()
+            .all(|(_, i)| matches!(i, Ingredient::Plain))
             && self
                 .outputs
                 .iter()

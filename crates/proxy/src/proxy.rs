@@ -105,24 +105,34 @@ impl SdbProxy {
     /// Encrypts a plaintext table for upload (demo step 1). The returned
     /// [`EncryptedUpload::table`] is what gets shipped to the SP; the proxy keeps
     /// the keys and the logical metadata.
-    pub fn upload_table(&mut self, table: &Table, options: UploadOptions) -> Result<EncryptedUpload> {
+    pub fn upload_table(
+        &mut self,
+        table: &Table,
+        options: UploadOptions,
+    ) -> Result<EncryptedUpload> {
         let upload = Encryptor::encrypt_table(&mut self.keystore, table, options)?;
-        self.metas.insert(upload.meta.name.clone(), upload.meta.clone());
+        self.metas
+            .insert(upload.meta.name.clone(), upload.meta.clone());
         Ok(upload)
     }
 
     /// Encrypts logical rows for insertion into an already-uploaded table.
     pub fn encrypt_rows(&self, table: &str, rows: &[Vec<Value>]) -> Result<Vec<Vec<Value>>> {
-        let meta = self
-            .metas
-            .get(&table.to_ascii_lowercase())
-            .ok_or_else(|| ProxyError::UnknownTable {
+        let meta = self.metas.get(&table.to_ascii_lowercase()).ok_or_else(|| {
+            ProxyError::UnknownTable {
                 name: table.to_string(),
-            })?;
+            }
+        })?;
         let mut rng = self
             .keystore
             .derived_rng(0x175e7 ^ self.query_counter.fetch_add(1, Ordering::Relaxed));
-        Encryptor::encrypt_rows(&self.keystore, meta, UploadOptions::default(), rows, &mut rng)
+        Encryptor::encrypt_rows(
+            &self.keystore,
+            meta,
+            UploadOptions::default(),
+            rows,
+            &mut rng,
+        )
     }
 
     /// Parses and rewrites one application SELECT statement (demo step 2).
@@ -245,7 +255,13 @@ mod tests {
         let rows = proxy
             .encrypt_rows(
                 "accounts",
-                &[vec![Value::Int(9), Value::Decimal { units: 77, scale: 2 }]],
+                &[vec![
+                    Value::Int(9),
+                    Value::Decimal {
+                        units: 77,
+                        scale: 2,
+                    },
+                ]],
             )
             .unwrap();
         assert_eq!(rows.len(), 1);

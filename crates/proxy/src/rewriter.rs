@@ -143,7 +143,11 @@ impl<'a> Rewriter<'a> {
                     SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
                     SelectItem::Wildcard => false,
                 })
-                || query.having.as_ref().map(|h| h.contains_aggregate()).unwrap_or(false),
+                || query
+                    .having
+                    .as_ref()
+                    .map(|h| h.contains_aggregate())
+                    .unwrap_or(false),
             group_map: HashMap::new(),
             server_items: Vec::new(),
             rowid_items: HashMap::new(),
@@ -185,9 +189,7 @@ impl<'a> Rewriter<'a> {
             match item {
                 SelectItem::Wildcard => self.rewrite_wildcard(&mut ctx)?,
                 SelectItem::Expr { expr, alias } => {
-                    let output_name = alias
-                        .clone()
-                        .unwrap_or_else(|| default_output_name(expr));
+                    let output_name = alias.clone().unwrap_or_else(|| default_output_name(expr));
                     self.rewrite_projection(expr, &output_name, false, &mut ctx)?;
                 }
             }
@@ -279,16 +281,13 @@ impl<'a> Rewriter<'a> {
     fn resolve_bindings(&self, query: &Query) -> Result<Vec<Binding>> {
         let mut bindings = Vec::new();
         let mut add = |name: &str, alias: &Option<String>| -> Result<()> {
-            let meta = self
-                .metas
-                .get(&name.to_ascii_lowercase())
-                .ok_or_else(|| ProxyError::UnknownTable {
+            let meta = self.metas.get(&name.to_ascii_lowercase()).ok_or_else(|| {
+                ProxyError::UnknownTable {
                     name: name.to_string(),
-                })?;
+                }
+            })?;
             bindings.push(Binding {
-                visible: alias
-                    .clone()
-                    .unwrap_or_else(|| name.to_ascii_lowercase()),
+                visible: alias.clone().unwrap_or_else(|| name.to_ascii_lowercase()),
                 table: name.to_ascii_lowercase(),
                 meta: meta.clone(),
             });
@@ -392,9 +391,9 @@ impl<'a> Rewriter<'a> {
             Ok(())
         };
         match expr {
-            Expr::InSubquery { query, .. } | Expr::ScalarSubquery(query) | Expr::Exists { query, .. } => {
-                check_query(query)
-            }
+            Expr::InSubquery { query, .. }
+            | Expr::ScalarSubquery(query)
+            | Expr::Exists { query, .. } => check_query(query),
             Expr::Unary { expr, .. } => self.check_subqueries(expr),
             Expr::Binary { left, right, .. } => {
                 self.check_subqueries(left)?;
@@ -471,7 +470,8 @@ impl<'a> Rewriter<'a> {
                     }
                 };
                 let then_enc = self.rewrite_enc_expr(then_branch, ctx)?;
-                let masked_then = self.ep_combine(then_enc, &indicator(false), BinaryOp::Mul, false, ctx)?;
+                let masked_then =
+                    self.ep_combine(then_enc, &indicator(false), BinaryOp::Mul, false, ctx)?;
                 let else_is_zero = matches!(
                     else_expr.as_deref(),
                     None | Some(Expr::Literal(Literal::Int(0)))
@@ -482,7 +482,8 @@ impl<'a> Rewriter<'a> {
                 }
                 let else_expr = else_expr.as_deref().expect("checked above");
                 let else_enc = self.rewrite_enc_expr(else_expr, ctx)?;
-                let masked_else = self.ep_combine(else_enc, &indicator(true), BinaryOp::Mul, false, ctx)?;
+                let masked_else =
+                    self.ep_combine(else_enc, &indicator(true), BinaryOp::Mul, false, ctx)?;
                 self.ee_add(masked_then, masked_else, false, ctx)
             }
             other => Err(ProxyError::UnsupportedSensitiveOperation {
@@ -550,10 +551,7 @@ impl<'a> Rewriter<'a> {
         let key = ColumnKeyAlgebra::multiply(self.keystore.system(), &l.key, &r.key);
         let scale = l.scale + r.scale;
         EncExpr {
-            expr: Expr::func(
-                "SDB_MULTIPLY",
-                vec![l.expr, r.expr, Expr::str(&self.n_str)],
-            ),
+            expr: Expr::func("SDB_MULTIPLY", vec![l.expr, r.expr, Expr::str(&self.n_str)]),
             key,
             scale,
             decode: scaled_plain_type(scale),
@@ -803,9 +801,10 @@ impl<'a> Rewriter<'a> {
                         None => eq,
                     });
                 }
-                let inner = disjunction.ok_or_else(|| ProxyError::UnsupportedSensitiveOperation {
-                    detail: "empty IN list".into(),
-                })?;
+                let inner =
+                    disjunction.ok_or_else(|| ProxyError::UnsupportedSensitiveOperation {
+                        detail: "empty IN list".into(),
+                    })?;
                 Ok(if *negated {
                     Expr::Unary {
                         op: UnaryOp::Not,
@@ -892,7 +891,11 @@ impl<'a> Rewriter<'a> {
                     ],
                 ))
             }
-            Err(_) if left_sensitive && right_sensitive && matches!(op, BinaryOp::Eq | BinaryOp::NotEq) => {
+            Err(_)
+                if left_sensitive
+                    && right_sensitive
+                    && matches!(op, BinaryOp::Eq | BinaryOp::NotEq) =>
+            {
                 // Equality across tables: compare group tags.
                 let l = self.group_tag_call(left, ctx)?;
                 let r = self.group_tag_call(right, ctx)?;
@@ -935,9 +938,11 @@ impl<'a> Rewriter<'a> {
         };
 
         let rewritten = match (string_column(left), string_column(right)) {
-            (Some((lv, lc)), Some((rv, rc))) => {
-                Some(Expr::binary(tag_ref(&lv, &lc), BinaryOp::Eq, tag_ref(&rv, &rc)))
-            }
+            (Some((lv, lc)), Some((rv, rc))) => Some(Expr::binary(
+                tag_ref(&lv, &lc),
+                BinaryOp::Eq,
+                tag_ref(&rv, &rc),
+            )),
             (Some((v, c)), None) | (None, Some((v, c))) => {
                 let literal = match (left, right) {
                     (_, Expr::Literal(Literal::Str(s))) | (Expr::Literal(Literal::Str(s)), _) => s,
@@ -1063,7 +1068,8 @@ impl<'a> Rewriter<'a> {
         // Grouped query: a sensitive group key projects as its tag surrogate.
         if ctx.grouped {
             if let Some(rewritten) = ctx.group_map.get(&expr.to_string()).cloned() {
-                let ingredient = if matches!(&rewritten, Expr::Column(c) if c.ends_with(TAG_SUFFIX)) {
+                let ingredient = if matches!(&rewritten, Expr::Column(c) if c.ends_with(TAG_SUFFIX))
+                {
                     // Upload-time VARCHAR tag: project a representative SIES payload
                     // instead, which the proxy can actually decrypt.
                     if let Expr::Column(name) = expr {
@@ -1237,7 +1243,10 @@ impl<'a> Rewriter<'a> {
                 let decimal_sum = Expr::binary(
                     Expr::Column(sum_alias),
                     BinaryOp::Mul,
-                    Expr::Literal(Literal::Decimal { units: 10, scale: 1 }),
+                    Expr::Literal(Literal::Decimal {
+                        units: 10,
+                        scale: 1,
+                    }),
                 );
                 Ok(Expr::binary(
                     decimal_sum,
@@ -1275,8 +1284,10 @@ impl<'a> Rewriter<'a> {
     fn push_encrypted_sum(&self, arg: &Expr, ctx: &mut Ctx) -> Result<String> {
         let enc = self.rewrite_enc_expr(arg, ctx)?;
         let aux = self.aux_key_of(&enc.table, ctx)?;
-        let target =
-            ColumnKeyAlgebra::row_independent_target(self.keystore.system(), &mut *self.rng.borrow_mut());
+        let target = ColumnKeyAlgebra::row_independent_target(
+            self.keystore.system(),
+            &mut *self.rng.borrow_mut(),
+        );
         let s_col = Expr::Column(format!("{}.{}", enc.table, AUX_COLUMN));
         let updated = self.key_update_expr(&enc, &aux, &target, &s_col)?;
         let item_key = ColumnKeyAlgebra::row_independent_item_key(&target);
@@ -1371,7 +1382,11 @@ impl<'a> Rewriter<'a> {
     fn resolve_order_key(&self, order: &OrderItem, index: usize, ctx: &mut Ctx) -> Result<String> {
         // Key matches an existing output by name (alias) or by original rendering.
         if let Expr::Column(name) = &order.expr {
-            if ctx.outputs.iter().any(|o| o.name.eq_ignore_ascii_case(name)) {
+            if ctx
+                .outputs
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(name))
+            {
                 return Ok(name.clone());
             }
         }
@@ -1482,7 +1497,10 @@ mod tests {
     #[test]
     fn insensitive_query_passes_through() {
         let f = fixture();
-        let (out, _) = rewrite(&f, "SELECT id, dept FROM emp WHERE id > 5 ORDER BY id LIMIT 3");
+        let (out, _) = rewrite(
+            &f,
+            "SELECT id, dept FROM emp WHERE id > 5 ORDER BY id LIMIT 3",
+        );
         assert!(out.plan.is_passthrough() || out.plan.ingredients.is_empty());
         assert!(out.server_query.to_string().contains("ORDER BY"));
     }
@@ -1493,7 +1511,10 @@ mod tests {
         let f = fixture();
         let (out, session) = rewrite(&f, "SELECT salary * bonus AS c FROM emp");
         let sql = out.server_query.to_string();
-        assert!(sql.contains("SDB_MULTIPLY(emp.salary, emp.bonus,"), "rewritten SQL: {sql}");
+        assert!(
+            sql.contains("SDB_MULTIPLY(emp.salary, emp.bonus,"),
+            "rewritten SQL: {sql}"
+        );
         assert!(sql.contains("row_id"), "row-id must be added: {sql}");
         assert_eq!(out.plan.outputs.len(), 1);
         assert_eq!(out.plan.outputs[0].name, "c");
@@ -1507,14 +1528,23 @@ mod tests {
         let f = fixture();
         let (out, _) = rewrite(&f, "SELECT salary + bonus AS total FROM emp");
         let sql = out.server_query.to_string();
-        assert!(sql.contains("SDB_ADD(SDB_KEY_UPDATE(emp.salary, emp.sdb_s,"), "{sql}");
-        assert!(sql.contains("SDB_KEY_UPDATE(emp.bonus, emp.sdb_s,"), "{sql}");
+        assert!(
+            sql.contains("SDB_ADD(SDB_KEY_UPDATE(emp.salary, emp.sdb_s,"),
+            "{sql}"
+        );
+        assert!(
+            sql.contains("SDB_KEY_UPDATE(emp.bonus, emp.sdb_s,"),
+            "{sql}"
+        );
     }
 
     #[test]
     fn mixed_plain_operand_uses_ep_udfs() {
         let f = fixture();
-        let (out, _) = rewrite(&f, "SELECT salary * qty AS weighted, salary + 10 AS bumped FROM emp");
+        let (out, _) = rewrite(
+            &f,
+            "SELECT salary * qty AS weighted, salary + 10 AS bumped FROM emp",
+        );
         let sql = out.server_query.to_string();
         assert!(sql.contains("SDB_MUL_PLAIN(emp.salary, qty"), "{sql}");
         assert!(sql.contains("SDB_ADD_PLAIN("), "{sql}");
@@ -1583,7 +1613,10 @@ mod tests {
         let f = fixture();
         let (out, _) = rewrite(&f, "SELECT bonus, COUNT(*) AS n FROM emp GROUP BY bonus");
         let sql = out.server_query.to_string();
-        assert!(sql.contains("GROUP BY SDB_GROUP_TAG(emp.bonus, emp.row_id"), "{sql}");
+        assert!(
+            sql.contains("GROUP BY SDB_GROUP_TAG(emp.bonus, emp.row_id"),
+            "{sql}"
+        );
         assert!(out
             .plan
             .ingredients
@@ -1662,7 +1695,10 @@ mod tests {
         ));
         // Plain cross-table sensitive arithmetic, by contrast, falls back to
         // client-side evaluation over two decrypted ingredients.
-        let (out, _) = rewrite(&f, "SELECT emp.salary + dept.budget AS combined FROM emp, dept");
+        let (out, _) = rewrite(
+            &f,
+            "SELECT emp.salary + dept.budget AS combined FROM emp, dept",
+        );
         assert!(matches!(
             out.plan.outputs[0].source,
             OutputSource::Computed(_)
@@ -1679,10 +1715,7 @@ mod tests {
     #[test]
     fn division_of_sums_is_computed_client_side() {
         let f = fixture();
-        let (out, _) = rewrite(
-            &f,
-            "SELECT SUM(salary) / SUM(bonus) AS ratio FROM emp",
-        );
+        let (out, _) = rewrite(&f, "SELECT SUM(salary) / SUM(bonus) AS ratio FROM emp");
         let ratio = &out.plan.outputs[0];
         assert!(matches!(ratio.source, OutputSource::Computed(_)));
         // Two encrypted SUM ingredients pushed to the server.

@@ -96,7 +96,10 @@ impl QuerySession {
     /// themselves carry no information beyond relative order *within one request*
     /// — the SP cannot invert them back to plaintext values.
     pub fn allocate_rank_base(&self, count: usize) -> u64 {
-        (self.next_rank_base.fetch_add(count.max(1), Ordering::Relaxed) as u64) + 1
+        (self
+            .next_rank_base
+            .fetch_add(count.max(1), Ordering::Relaxed) as u64)
+            + 1
     }
 
     /// Records that a rank surrogate corresponds to a plaintext value.

@@ -97,7 +97,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 
@@ -343,7 +348,10 @@ impl Expr {
                 branches,
                 else_expr,
             } => {
-                operand.as_ref().map(|o| o.contains_aggregate()).unwrap_or(false)
+                operand
+                    .as_ref()
+                    .map(|o| o.contains_aggregate())
+                    .unwrap_or(false)
                     || branches
                         .iter()
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
@@ -463,11 +471,9 @@ impl fmt::Display for Expr {
                 if *negated { "NOT " } else { "" },
                 pattern.replace('\'', "''")
             ),
-            Expr::IsNull { expr, negated } => write!(
-                f,
-                "({expr} IS {}NULL)",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
         }
     }
 }
@@ -737,8 +743,22 @@ mod tests {
     #[test]
     fn literal_rendering() {
         assert_eq!(Literal::Int(5).to_string(), "5");
-        assert_eq!(Literal::Decimal { units: 1234, scale: 2 }.to_string(), "12.34");
-        assert_eq!(Literal::Decimal { units: -5, scale: 2 }.to_string(), "-0.05");
+        assert_eq!(
+            Literal::Decimal {
+                units: 1234,
+                scale: 2
+            }
+            .to_string(),
+            "12.34"
+        );
+        assert_eq!(
+            Literal::Decimal {
+                units: -5,
+                scale: 2
+            }
+            .to_string(),
+            "-0.05"
+        );
         assert_eq!(Literal::Str("o'neil".into()).to_string(), "'o''neil'");
         assert_eq!(Literal::Null.to_string(), "NULL");
         assert_eq!(Literal::Date(0).to_string(), "DATE '1970-01-01'");
@@ -839,13 +859,19 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(st.to_string(), "CREATE TABLE emp (id INT, salary INT SENSITIVE)");
+        assert_eq!(
+            st.to_string(),
+            "CREATE TABLE emp (id INT, salary INT SENSITIVE)"
+        );
 
         let ins = Statement::Insert {
             table: "emp".into(),
             columns: vec!["id".into(), "salary".into()],
             rows: vec![vec![Expr::int(1), Expr::int(100)]],
         };
-        assert_eq!(ins.to_string(), "INSERT INTO emp (id, salary) VALUES (1, 100)");
+        assert_eq!(
+            ins.to_string(),
+            "INSERT INTO emp (id, salary) VALUES (1, 100)"
+        );
     }
 }

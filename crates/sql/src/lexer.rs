@@ -59,7 +59,13 @@ impl fmt::Display for Token {
             Token::Int(v) => write!(f, "{v}"),
             Token::Decimal(units, scale) => {
                 let div = 10i64.pow(u32::from(*scale));
-                write!(f, "{}.{:0width$}", units / div, (units % div).abs(), width = *scale as usize)
+                write!(
+                    f,
+                    "{}.{:0width$}",
+                    units / div,
+                    (units % div).abs(),
+                    width = *scale as usize
+                )
             }
             Token::Str(s) => write!(f, "'{s}'"),
             Token::LParen => write!(f, "("),
@@ -262,10 +268,11 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| SqlError::Lex {
-            position: start,
-            detail: "identifier is not valid UTF-8".into(),
-        })?;
+        let text =
+            std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| SqlError::Lex {
+                position: start,
+                detail: "identifier is not valid UTF-8".into(),
+            })?;
         Ok(Token::Ident(text.to_string()))
     }
 }

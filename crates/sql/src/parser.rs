@@ -510,7 +510,10 @@ impl Parser {
         // Reserved clause keywords can never start a primary expression; rejecting
         // them here gives much better error messages for queries like `SELECT FROM t`.
         if is_clause_keyword(&upper)
-            && !matches!(upper.as_str(), "WHEN" | "THEN" | "ELSE" | "END" | "IS" | "IN" | "LIKE" | "BETWEEN")
+            && !matches!(
+                upper.as_str(),
+                "WHEN" | "THEN" | "ELSE" | "END" | "IS" | "IN" | "LIKE" | "BETWEEN"
+            )
         {
             return Err(SqlError::Parse {
                 detail: format!("unexpected keyword {upper} in expression"),
@@ -909,16 +912,17 @@ mod tests {
         let q = query("SELECT DISTINCT a, COUNT(DISTINCT b) FROM t");
         assert!(q.distinct);
         match &q.projections[1] {
-            SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } => assert!(*distinct),
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, .. },
+                ..
+            } => assert!(*distinct),
             _ => panic!(),
         }
     }
 
     #[test]
     fn case_expression() {
-        let q = query(
-            "SELECT SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) FROM t",
-        );
+        let q = query("SELECT SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) FROM t");
         match &q.projections[0] {
             SelectItem::Expr { expr, .. } => {
                 assert!(expr.to_string().contains("CASE WHEN"));
@@ -936,7 +940,8 @@ mod tests {
 
     #[test]
     fn subqueries() {
-        let q = query("SELECT * FROM t WHERE a IN (SELECT b FROM s) AND c > (SELECT AVG(d) FROM u)");
+        let q =
+            query("SELECT * FROM t WHERE a IN (SELECT b FROM s) AND c > (SELECT AVG(d) FROM u)");
         let w = q.where_clause.unwrap();
         let s = w.to_string();
         assert!(s.contains("IN (SELECT"));
@@ -968,7 +973,11 @@ mod tests {
     fn insert_statement() {
         let st = parse_ok("INSERT INTO emp (id, salary) VALUES (1, 100), (2, 200)");
         match st {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "emp");
                 assert_eq!(columns, vec!["id", "salary"]);
                 assert_eq!(rows.len(), 2);
@@ -986,7 +995,13 @@ mod tests {
         }
         match &q.projections[1] {
             SelectItem::Expr { expr, .. } => {
-                assert_eq!(expr, &Expr::Literal(Literal::Decimal { units: -250, scale: 2 }))
+                assert_eq!(
+                    expr,
+                    &Expr::Literal(Literal::Decimal {
+                        units: -250,
+                        scale: 2
+                    })
+                )
             }
             _ => panic!(),
         }
@@ -1004,10 +1019,9 @@ mod tests {
 
     #[test]
     fn multi_statement_parsing() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

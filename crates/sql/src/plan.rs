@@ -151,7 +151,9 @@ impl LogicalPlan {
                 None => format!("Scan({table})"),
             },
             LogicalPlan::Filter { input, .. } => format!("Filter -> {}", input.describe()),
-            LogicalPlan::Join { left, right, kind, .. } => {
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
                 format!("Join[{kind:?}]({}, {})", left.describe(), right.describe())
             }
             LogicalPlan::Project { input, items } => {
@@ -354,8 +356,8 @@ impl PlanBuilder {
                 };
             }
 
-            let only_wildcard =
-                query.projections.len() == 1 && matches!(query.projections[0], SelectItem::Wildcard);
+            let only_wildcard = query.projections.len() == 1
+                && matches!(query.projections[0], SelectItem::Wildcard);
             if !only_wildcard {
                 for item in &query.projections {
                     match item {
@@ -419,7 +421,10 @@ fn substitute_aliases(expr: &Expr, aliases: &[(String, Expr)]) -> Expr {
             wildcard,
         } => Expr::Function {
             name: name.clone(),
-            args: args.iter().map(|a| substitute_aliases(a, aliases)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_aliases(a, aliases))
+                .collect(),
             distinct: *distinct,
             wildcard: *wildcard,
         },
@@ -431,11 +436,7 @@ fn substitute_aliases(expr: &Expr, aliases: &[(String, Expr)]) -> Expr {
 /// references keep their (unqualified) name, everything else uses the rendered text.
 fn output_name(expr: &Expr) -> String {
     match expr {
-        Expr::Column(name) => name
-            .rsplit('.')
-            .next()
-            .unwrap_or(name)
-            .to_string(),
+        Expr::Column(name) => name.rsplit('.').next().unwrap_or(name).to_string(),
         other => other.to_string(),
     }
 }
@@ -468,7 +469,11 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<AggregateExpr>) -> Result<()> {
             if !out.iter().any(|a| a.name == rendered) {
                 out.push(AggregateExpr {
                     func,
-                    arg: if *wildcard { None } else { args.first().cloned() },
+                    arg: if *wildcard {
+                        None
+                    } else {
+                        args.first().cloned()
+                    },
                     distinct: *distinct,
                     name: rendered,
                 });
@@ -544,7 +549,10 @@ fn replace_aggregates(expr: &Expr, aggregates: &[AggregateExpr]) -> Expr {
             wildcard,
         } => Expr::Function {
             name: name.clone(),
-            args: args.iter().map(|a| replace_aggregates(a, aggregates)).collect(),
+            args: args
+                .iter()
+                .map(|a| replace_aggregates(a, aggregates))
+                .collect(),
             distinct: *distinct,
             wildcard: *wildcard,
         },

@@ -196,24 +196,58 @@ impl RecordBatch {
         self.filter(&mask).expect("mask length matches")
     }
 
-    /// Appends another batch with an identical schema.
-    pub fn concat(&self, other: &RecordBatch) -> Result<RecordBatch> {
-        if self.schema != other.schema {
+    /// Copies `len` rows starting at `offset` into a new batch (the chunking
+    /// primitive behind batched scans).
+    pub fn slice(&self, offset: usize, len: usize) -> Result<RecordBatch> {
+        if offset + len > self.num_rows {
             return Err(StorageError::Invalid {
-                detail: "cannot concat batches with different schemas".into(),
+                detail: format!(
+                    "slice [{offset}, {}) out of range for {} rows",
+                    offset + len,
+                    self.num_rows
+                ),
             });
         }
-        let mut columns = self.columns.clone();
-        for (col, src) in columns.iter_mut().zip(other.columns.iter()) {
-            for v in src.values() {
-                col.push_unchecked(v.clone());
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        for i in offset..offset + len {
+            for (col, src) in columns.iter_mut().zip(self.columns.iter()) {
+                col.push_unchecked(src.get(i).clone());
             }
         }
         Ok(RecordBatch {
             schema: self.schema.clone(),
             columns,
-            num_rows: self.num_rows + other.num_rows,
+            num_rows: len,
         })
+    }
+
+    /// Appends another batch with an identical schema.
+    pub fn concat(&self, other: &RecordBatch) -> Result<RecordBatch> {
+        let mut out = self.clone();
+        out.append(other)?;
+        Ok(out)
+    }
+
+    /// Appends another batch's rows in place (identical schemas required).
+    /// This is the O(rows-appended) primitive batch accumulation builds on.
+    pub fn append(&mut self, other: &RecordBatch) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(StorageError::Invalid {
+                detail: "cannot concat batches with different schemas".into(),
+            });
+        }
+        for (col, src) in self.columns.iter_mut().zip(other.columns.iter()) {
+            for v in src.values() {
+                col.push_unchecked(v.clone());
+            }
+        }
+        self.num_rows += other.num_rows;
+        Ok(())
     }
 
     /// Rough serialised size in bytes (wire/cost accounting).
@@ -249,7 +283,10 @@ mod tests {
         assert_eq!(b.num_rows(), 3);
         assert_eq!(b.num_columns(), 2);
         assert_eq!(b.row(1), vec![Value::Int(2), Value::Str("b".into())]);
-        assert_eq!(b.column_by_name("name").unwrap().get(2), &Value::Str("c".into()));
+        assert_eq!(
+            b.column_by_name("name").unwrap().get(2),
+            &Value::Str("c".into())
+        );
     }
 
     #[test]
@@ -293,6 +330,17 @@ mod tests {
         let c = b.concat(&r).unwrap();
         assert_eq!(c.num_rows(), 6);
         assert!(b.reorder(&[0]).is_err());
+    }
+
+    #[test]
+    fn slice_bounds_and_content() {
+        let b = sample();
+        let s = b.slice(1, 2).unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.row(0)[0], Value::Int(2));
+        assert_eq!(b.slice(0, 0).unwrap().num_rows(), 0);
+        assert_eq!(b.slice(3, 0).unwrap().num_rows(), 0);
+        assert!(b.slice(2, 2).is_err());
     }
 
     #[test]

@@ -85,7 +85,7 @@ fn approx_value_size(v: &Value) -> usize {
         Value::Str(s) => s.len() + 4,
         Value::Date(_) => 4,
         Value::Bool(_) => 1,
-        Value::Encrypted(e) => (e.bits() as usize + 7) / 8 + 4,
+        Value::Encrypted(e) => (e.bits() as usize).div_ceil(8) + 4,
         Value::EncryptedRowId(r) => r.size_bytes(),
         Value::Tag(_) => 8,
     }

@@ -62,7 +62,10 @@ impl fmt::Display for StorageError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
             }
             StorageError::Persistence { detail } => write!(f, "persistence error: {detail}"),
             StorageError::Invalid { detail } => write!(f, "invalid operation: {detail}"),

@@ -118,14 +118,25 @@ mod tests {
     fn insert_and_scan() {
         let mut t = employee_table();
         assert_eq!(t.name(), "employees");
-        t.insert_row(vec![Value::Int(1), Value::Int(100), Value::Str("eng".into())])
-            .unwrap();
-        t.insert_row(vec![Value::Int(2), Value::Int(200), Value::Str("ops".into())])
-            .unwrap();
+        t.insert_row(vec![
+            Value::Int(1),
+            Value::Int(100),
+            Value::Str("eng".into()),
+        ])
+        .unwrap();
+        t.insert_row(vec![
+            Value::Int(2),
+            Value::Int(200),
+            Value::Str("ops".into()),
+        ])
+        .unwrap();
         assert_eq!(t.num_rows(), 2);
         let b = t.scan();
         assert_eq!(b.num_rows(), 2);
-        assert_eq!(b.column_by_name("dept").unwrap().get(1), &Value::Str("ops".into()));
+        assert_eq!(
+            b.column_by_name("dept").unwrap().get(1),
+            &Value::Str("ops".into())
+        );
     }
 
     #[test]
@@ -133,7 +144,11 @@ mod tests {
         let mut t = employee_table();
         assert!(t.insert_row(vec![Value::Int(1)]).is_err());
         assert!(t
-            .insert_row(vec![Value::Str("x".into()), Value::Int(1), Value::Str("y".into())])
+            .insert_row(vec![
+                Value::Str("x".into()),
+                Value::Int(1),
+                Value::Str("y".into())
+            ])
             .is_err());
         assert_eq!(t.num_rows(), 0);
     }
@@ -147,7 +162,11 @@ mod tests {
 
         let good = RecordBatch::from_rows(
             t.schema().clone(),
-            vec![vec![Value::Int(3), Value::Int(300), Value::Str("hr".into())]],
+            vec![vec![
+                Value::Int(3),
+                Value::Int(300),
+                Value::Str("hr".into()),
+            ]],
         )
         .unwrap();
         t.append_batch(&good).unwrap();
@@ -158,8 +177,12 @@ mod tests {
     fn size_grows_with_rows() {
         let mut t = employee_table();
         let before = t.approx_size_bytes();
-        t.insert_row(vec![Value::Int(1), Value::Int(100), Value::Str("eng".into())])
-            .unwrap();
+        t.insert_row(vec![
+            Value::Int(1),
+            Value::Int(100),
+            Value::Str("eng".into()),
+        ])
+        .unwrap();
         assert!(t.approx_size_bytes() > before);
     }
 }

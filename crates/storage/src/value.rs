@@ -252,7 +252,10 @@ impl Value {
             Value::Str(s) => s.clone(),
             Value::Date(d) => format!("date#{d}"),
             Value::Bool(b) => b.to_string(),
-            Value::Encrypted(e) => format!("ENC[{}…]", e.to_string().chars().take(12).collect::<String>()),
+            Value::Encrypted(e) => format!(
+                "ENC[{}…]",
+                e.to_string().chars().take(12).collect::<String>()
+            ),
             Value::EncryptedRowId(_) => "ENC_ROW_ID[…]".to_string(),
             Value::Tag(t) => format!("TAG[{t:x}]"),
         }
@@ -266,7 +269,10 @@ impl Value {
             (Null, Null) => Ordering::Equal,
             (Null, _) => Ordering::Less,
             (_, Null) => Ordering::Greater,
-            (Int(_) | Decimal { .. } | Date(_) | Bool(_), Int(_) | Decimal { .. } | Date(_) | Bool(_)) => {
+            (
+                Int(_) | Decimal { .. } | Date(_) | Bool(_),
+                Int(_) | Decimal { .. } | Date(_) | Bool(_),
+            ) => {
                 let scale = self.numeric_scale().max(other.numeric_scale());
                 let a = self.as_scaled_i128(scale).unwrap_or(i128::MIN);
                 let b = other.as_scaled_i128(scale).unwrap_or(i128::MIN);
@@ -349,14 +355,19 @@ mod tests {
     #[test]
     fn check_type_accepts_null_and_int_into_decimal() {
         assert!(Value::Null.check_type(DataType::Varchar).is_ok());
-        assert!(Value::Int(5).check_type(DataType::Decimal { scale: 2 }).is_ok());
+        assert!(Value::Int(5)
+            .check_type(DataType::Decimal { scale: 2 })
+            .is_ok());
         assert!(Value::Int(5).check_type(DataType::Int).is_ok());
         assert!(Value::Str("x".into()).check_type(DataType::Int).is_err());
     }
 
     #[test]
     fn scaled_arithmetic_bridges_int_and_decimal() {
-        let price = Value::Decimal { units: 1299, scale: 2 }; // 12.99
+        let price = Value::Decimal {
+            units: 1299,
+            scale: 2,
+        }; // 12.99
         let qty = Value::Int(3);
         assert_eq!(price.as_scaled_i128(2).unwrap(), 1299);
         assert_eq!(qty.as_scaled_i128(2).unwrap(), 300);
@@ -365,24 +376,47 @@ mod tests {
 
     #[test]
     fn render_decimal() {
-        assert_eq!(Value::Decimal { units: 1299, scale: 2 }.render(), "12.99");
-        assert_eq!(Value::Decimal { units: -1299, scale: 2 }.render(), "-12.99");
+        assert_eq!(
+            Value::Decimal {
+                units: 1299,
+                scale: 2
+            }
+            .render(),
+            "12.99"
+        );
+        assert_eq!(
+            Value::Decimal {
+                units: -1299,
+                scale: 2
+            }
+            .render(),
+            "-12.99"
+        );
         assert_eq!(Value::Decimal { units: 5, scale: 2 }.render(), "0.05");
         assert_eq!(Value::Decimal { units: 7, scale: 0 }.render(), "7");
     }
 
     #[test]
     fn total_order_handles_nulls_and_mixed_numerics() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Int(3),
             Value::Null,
-            Value::Decimal { units: 250, scale: 2 }, // 2.50
+            Value::Decimal {
+                units: 250,
+                scale: 2,
+            }, // 2.50
             Value::Int(-1),
         ];
         vals.sort_by(|a, b| a.cmp_total(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-1));
-        assert_eq!(vals[2], Value::Decimal { units: 250, scale: 2 });
+        assert_eq!(
+            vals[2],
+            Value::Decimal {
+                units: 250,
+                scale: 2
+            }
+        );
         assert_eq!(vals[3], Value::Int(3));
     }
 
@@ -407,7 +441,10 @@ mod tests {
         let vals = vec![
             Value::Null,
             Value::Int(-7),
-            Value::Decimal { units: 12345, scale: 2 },
+            Value::Decimal {
+                units: 12345,
+                scale: 2,
+            },
             Value::Str("hello".into()),
             Value::Date(19000),
             Value::Bool(true),

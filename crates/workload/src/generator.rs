@@ -63,7 +63,13 @@ const NATIONS: [(&str, i64); 25] = [
 ];
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const TYPES: [&str; 6] = [
@@ -92,7 +98,12 @@ fn base_rows(table: &str) -> usize {
 }
 
 /// Generates one table.
-pub fn generate_table(table: &str, sf: ScaleFactor, profile: SensitivityProfile, seed: u64) -> Table {
+pub fn generate_table(
+    table: &str,
+    sf: ScaleFactor,
+    profile: SensitivityProfile,
+    seed: u64,
+) -> Table {
     let schema = table_schema(table, profile);
     let mut out = Table::new(table, schema);
     let mut rng = StdRng::seed_from_u64(seed ^ fxhash(table));
@@ -156,7 +167,11 @@ pub fn generate_table(table: &str, sf: ScaleFactor, profile: SensitivityProfile,
                 out.insert_row(vec![
                     Value::Int(i + 1),
                     Value::Str(format!("part metallic {}", i + 1)),
-                    Value::Str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+                    Value::Str(format!(
+                        "Brand#{}{}",
+                        rng.gen_range(1..6),
+                        rng.gen_range(1..6)
+                    )),
                     Value::Str(TYPES[rng.gen_range(0..TYPES.len())].into()),
                     Value::Int(size),
                     Value::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
@@ -282,16 +297,21 @@ mod tests {
         let rows: std::collections::HashMap<&str, usize> = tables
             .iter()
             .map(|t| (t.name(), t.num_rows()))
-            .map(|(n, r)| (match n {
-                "region" => "region",
-                "nation" => "nation",
-                "supplier" => "supplier",
-                "customer" => "customer",
-                "part" => "part",
-                "partsupp" => "partsupp",
-                "orders" => "orders",
-                _ => "lineitem",
-            }, r))
+            .map(|(n, r)| {
+                (
+                    match n {
+                        "region" => "region",
+                        "nation" => "nation",
+                        "supplier" => "supplier",
+                        "customer" => "customer",
+                        "part" => "part",
+                        "partsupp" => "partsupp",
+                        "orders" => "orders",
+                        _ => "lineitem",
+                    },
+                    r,
+                )
+            })
             .collect();
         assert_eq!(rows["region"], 5);
         assert_eq!(rows["nation"], 25);
@@ -330,7 +350,12 @@ mod tests {
 
     #[test]
     fn sensitive_profile_is_carried_into_generated_schema() {
-        let lineitem = generate_table("lineitem", ScaleFactor::tiny(), SensitivityProfile::Financial, 7);
+        let lineitem = generate_table(
+            "lineitem",
+            ScaleFactor::tiny(),
+            SensitivityProfile::Financial,
+            7,
+        );
         assert!(lineitem
             .schema()
             .column("l_extendedprice")

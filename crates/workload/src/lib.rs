@@ -23,6 +23,6 @@ pub mod generator;
 pub mod queries;
 pub mod schema;
 
-pub use generator::{generate_table, generate_all, ScaleFactor};
+pub use generator::{generate_all, generate_table, ScaleFactor};
 pub use queries::{all_queries, query_by_id, QueryTemplate};
 pub use schema::{table_names, table_schema, SensitivityProfile};

@@ -45,7 +45,10 @@ pub fn table_names() -> [&'static str; 8] {
 /// Returns the schema of one table under a sensitivity profile.
 pub fn table_schema(table: &str, profile: SensitivityProfile) -> Schema {
     let columns: Vec<(&str, DataType)> = match table {
-        "region" => vec![("r_regionkey", DataType::Int), ("r_name", DataType::Varchar)],
+        "region" => vec![
+            ("r_regionkey", DataType::Int),
+            ("r_name", DataType::Varchar),
+        ],
         "nation" => vec![
             ("n_nationkey", DataType::Int),
             ("n_name", DataType::Varchar),

@@ -32,17 +32,26 @@ fn main() -> sdb::Result<()> {
     }
 
     println!("\nWhat the attacker can observe:");
-    println!("  SP storage snapshot : {} bytes", client.sp_storage_size_bytes());
-    println!("  wire messages       : {} ({} bytes)",
+    println!(
+        "  SP storage snapshot : {} bytes",
+        client.sp_storage_size_bytes()
+    );
+    println!(
+        "  wire messages       : {} ({} bytes)",
         client.wire().messages().len(),
-        client.wire().total_bytes());
+        client.wire().total_bytes()
+    );
 
     let report = client.audit();
-    println!("\nAudit: scanned {} haystacks for {} sensitive plaintext needles",
-        report.haystacks_scanned, report.needles_checked);
+    println!(
+        "\nAudit: scanned {} haystacks for {} sensitive plaintext needles",
+        report.haystacks_scanned, report.needles_checked
+    );
     if report.is_clean() {
         println!("  ✔ no sensitive plaintext observed anywhere at the SP or on the wire");
-        println!("  (sensitive data remains encrypted during the entire computation — paper Figure 4)");
+        println!(
+            "  (sensitive data remains encrypted during the entire computation — paper Figure 4)"
+        );
     } else {
         println!("  ✘ LEAKS FOUND:");
         for finding in &report.findings {

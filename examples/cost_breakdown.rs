@@ -42,9 +42,29 @@ fn main() -> sdb::Result<()> {
     }
 
     println!("\nWire traffic for the whole session:");
-    println!("  queries sent      : {} bytes", client.wire().bytes_of_kind(sdb::wire::WireMessageKind::QueryToSp));
-    println!("  results received  : {} bytes", client.wire().bytes_of_kind(sdb::wire::WireMessageKind::ResultToProxy));
-    println!("  oracle requests   : {} bytes", client.wire().bytes_of_kind(sdb::wire::WireMessageKind::OracleRequest));
-    println!("  oracle responses  : {} bytes", client.wire().bytes_of_kind(sdb::wire::WireMessageKind::OracleResponse));
+    println!(
+        "  queries sent      : {} bytes",
+        client
+            .wire()
+            .bytes_of_kind(sdb::wire::WireMessageKind::QueryToSp)
+    );
+    println!(
+        "  results received  : {} bytes",
+        client
+            .wire()
+            .bytes_of_kind(sdb::wire::WireMessageKind::ResultToProxy)
+    );
+    println!(
+        "  oracle requests   : {} bytes",
+        client
+            .wire()
+            .bytes_of_kind(sdb::wire::WireMessageKind::OracleRequest)
+    );
+    println!(
+        "  oracle responses  : {} bytes",
+        client
+            .wire()
+            .bytes_of_kind(sdb::wire::WireMessageKind::OracleResponse)
+    );
     Ok(())
 }

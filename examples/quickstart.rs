@@ -35,7 +35,10 @@ fn rewriting_example() -> sdb::Result<()> {
     client.execute("INSERT INTO t VALUES (1, 6, 7), (2, 21, 2), (3, -5, 9)")?;
     client.upload_all()?;
     println!("  key store size: {} bytes", client.keystore_size_bytes());
-    println!("  SP storage size: {} bytes\n", client.sp_storage_size_bytes());
+    println!(
+        "  SP storage size: {} bytes\n",
+        client.sp_storage_size_bytes()
+    );
 
     let result = client.query("SELECT id, a * b AS c FROM t ORDER BY id")?;
     println!("  rewritten query sent to the SP:");

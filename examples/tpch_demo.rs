@@ -11,7 +11,9 @@ use sdb_baseline::analyze_query;
 use sdb_proxy::meta::TableMeta;
 use sdb_proxy::KeyStore;
 use sdb_sql::{parse_sql, Statement};
-use sdb_workload::{all_queries, generate_all, table_names, table_schema, ScaleFactor, SensitivityProfile};
+use sdb_workload::{
+    all_queries, generate_all, table_names, table_schema, ScaleFactor, SensitivityProfile,
+};
 
 fn main() -> sdb::Result<()> {
     println!("=== TPC-H over SDB: coverage and execution ===\n");
@@ -36,7 +38,9 @@ fn main() -> sdb::Result<()> {
             .map(|c| c.name.clone())
             .collect();
         let mut rng = keystore.derived_rng(3);
-        keystore.register_table(&mut rng, table, &sensitive).expect("register");
+        keystore
+            .register_table(&mut rng, table, &sensitive)
+            .expect("register");
         metas.insert(meta.name.clone(), meta);
     }
 
@@ -82,9 +86,7 @@ fn main() -> sdb::Result<()> {
             }
         }
     }
-    println!(
-        "\nnatively supported: SDB {sdb_native}/22, CryptDB-style onions {onion_native}/22"
-    );
+    println!("\nnatively supported: SDB {sdb_native}/22, CryptDB-style onions {onion_native}/22");
     println!("(the paper reports 22/22 vs 4/22 on the official queries)");
     Ok(())
 }

@@ -15,8 +15,10 @@ fn main() -> sdb::Result<()> {
     // The attendee chooses the attributes to protect: the financial profile marks
     // every money / quantity / balance column sensitive.
     let tables = generate_all(ScaleFactor::small(), SensitivityProfile::Financial, 2015);
-    println!("{:<10} {:>7} {:>12} {:>14} {:>14} {:>10}",
-        "table", "rows", "plain bytes", "encrypted", "keystore", "time");
+    println!(
+        "{:<10} {:>7} {:>12} {:>14} {:>14} {:>10}",
+        "table", "rows", "plain bytes", "encrypted", "keystore", "time"
+    );
     for table in tables {
         let name = table.name().to_string();
         let rows = table.num_rows();
@@ -24,13 +26,24 @@ fn main() -> sdb::Result<()> {
         let stats = client.upload(&name)?;
         println!(
             "{:<10} {:>7} {:>12} {:>14} {:>14} {:>10?}",
-            name, rows, stats.plaintext_bytes, stats.encrypted_bytes, stats.keystore_bytes, stats.duration
+            name,
+            rows,
+            stats.plaintext_bytes,
+            stats.encrypted_bytes,
+            stats.keystore_bytes,
+            stats.duration
         );
     }
 
     println!("\nAfter uploading everything:");
-    println!("  key store at the DO : {:>12} bytes", client.keystore_size_bytes());
-    println!("  data at the SP      : {:>12} bytes", client.sp_storage_size_bytes());
+    println!(
+        "  key store at the DO : {:>12} bytes",
+        client.keystore_size_bytes()
+    );
+    println!(
+        "  data at the SP      : {:>12} bytes",
+        client.sp_storage_size_bytes()
+    );
     println!(
         "  ratio               : the DO keeps ~{:.3}% of the outsourced volume (column keys only)",
         100.0 * client.keystore_size_bytes() as f64 / client.sp_storage_size_bytes() as f64

@@ -1,0 +1,133 @@
+//! Multi-precision division: Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) over
+//! 64-bit limbs with 128-bit intermediates.
+
+use crate::BigUint;
+
+/// Returns `(quotient, remainder)` of `u / v`. Panics if `v` is zero.
+pub(crate) fn div_rem(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    assert!(!v.is_zero(), "attempt to divide by zero (BigUint division by zero)");
+    if u < v {
+        return (BigUint::zero(), u.clone());
+    }
+    if v.limbs.len() == 1 {
+        let (q, r) = div_rem_small(u, v.limbs[0]);
+        return (q, BigUint::from(r));
+    }
+    let (q, r) = algorithm_d(&u.limbs, &v.limbs);
+    (BigUint::from_limbs(q), BigUint::from_limbs(r))
+}
+
+/// Fast path: divide by a single limb. Panics if `small` is zero.
+pub(crate) fn div_rem_small(u: &BigUint, small: u64) -> (BigUint, u64) {
+    assert!(small != 0, "attempt to divide by zero (BigUint division by zero)");
+    let divisor = u128::from(small);
+    let mut quotient = vec![0u64; u.limbs.len()];
+    let mut remainder: u128 = 0;
+    for (i, &limb) in u.limbs.iter().enumerate().rev() {
+        let acc = (remainder << 64) | u128::from(limb);
+        quotient[i] = (acc / divisor) as u64;
+        remainder = acc % divisor;
+    }
+    (BigUint::from_limbs(quotient), remainder as u64)
+}
+
+/// The general case: `u` has at least as many limbs as `v`, `v` has >= 2 limbs.
+fn algorithm_d(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = v.len();
+    let m = u.len() - n;
+
+    // D1: normalise so the divisor's top limb has its high bit set.
+    let shift = v[n - 1].leading_zeros();
+    let vn = shl_limbs(v, shift, false);
+    let mut un = shl_limbs(u, shift, true); // always n + m + 1 limbs
+
+    let mut q = vec![0u64; m + 1];
+
+    // D2-D7: compute one quotient limb per iteration, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current remainder
+        // against the top limb of the divisor.
+        let numerator = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+        let mut qhat = numerator / u128::from(vn[n - 1]);
+        let mut rhat = numerator % u128::from(vn[n - 1]);
+
+        // Refine: q̂ is at most 2 too large (Knuth Theorem 4.3.1B).
+        loop {
+            if qhat >> 64 != 0
+                || qhat * u128::from(vn[n - 2])
+                    > (rhat << 64) | u128::from(un[j + n - 2])
+            {
+                qhat -= 1;
+                rhat += u128::from(vn[n - 1]);
+                if rhat >> 64 == 0 {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // D4: multiply and subtract `q̂ · v` from the remainder window.
+        let mut mul_carry: u128 = 0;
+        let mut borrow: i128 = 0;
+        for i in 0..n {
+            let product = qhat * u128::from(vn[i]) + mul_carry;
+            mul_carry = product >> 64;
+            let diff = i128::from(un[i + j]) - i128::from(product as u64) + borrow;
+            un[i + j] = diff as u64;
+            borrow = diff >> 64; // arithmetic shift: 0 or -1
+        }
+        let diff = i128::from(un[j + n]) - i128::from(mul_carry as u64) + borrow;
+        un[j + n] = diff as u64;
+
+        // D5/D6: if the subtraction went negative, q̂ was one too large —
+        // decrement and add the divisor back.
+        if diff < 0 {
+            qhat -= 1;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let sum = u128::from(un[i + j]) + u128::from(vn[i]) + carry;
+                un[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry as u64);
+        }
+
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalise the remainder.
+    let r = shr_limbs(&un[..n], shift);
+    (q, r)
+}
+
+/// Shifts limbs left by `shift` (< 64) bits; with `extra`, always appends the
+/// carry limb even when zero.
+fn shl_limbs(limbs: &[u64], shift: u32, extra: bool) -> Vec<u64> {
+    let mut out = Vec::with_capacity(limbs.len() + 1);
+    let mut carry = 0u64;
+    for &l in limbs {
+        if shift == 0 {
+            out.push(l);
+        } else {
+            out.push((l << shift) | carry);
+            carry = l >> (64 - shift);
+        }
+    }
+    if extra || carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shifts limbs right by `shift` (< 64) bits.
+fn shr_limbs(limbs: &[u64], shift: u32) -> Vec<u64> {
+    let mut out = limbs.to_vec();
+    if shift > 0 {
+        let len = out.len();
+        for i in 0..len {
+            let high = if i + 1 < len { out[i + 1] << (64 - shift) } else { 0 };
+            out[i] = (out[i] >> shift) | high;
+        }
+    }
+    out
+}

@@ -1,0 +1,100 @@
+//! Offline shim for the `num-bigint` crate (0.4-style API).
+//!
+//! [`BigUint`] is a full arbitrary-precision unsigned integer over 64-bit limbs
+//! (schoolbook multiplication, Knuth Algorithm D division, binary modpow) —
+//! enough for the workspace's RSA-style moduli, Miller–Rabin primality testing
+//! and modular share arithmetic. [`BigInt`] is the minimal signed companion the
+//! workspace uses for the extended Euclidean algorithm.
+
+mod biguint;
+mod division;
+mod signed;
+
+pub use biguint::BigUint;
+pub use signed::{BigInt, ExtendedGcd, Sign};
+
+use rand::RngCore;
+
+/// Random big-integer generation, implemented for every [`rand::Rng`].
+pub trait RandBigInt {
+    /// Returns a uniformly random integer with at most `bits` bits.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+
+    /// Returns a uniformly random integer in `[low, high)`.
+    ///
+    /// Panics if `low >= high`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+
+    /// Returns a uniformly random integer in `[0, bound)`.
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+}
+
+impl<R: RngCore + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        if bits == 0 {
+            return BigUint::default();
+        }
+        let limbs = bits.div_ceil(64) as usize;
+        let mut raw = vec![0u64; limbs];
+        for limb in raw.iter_mut() {
+            *limb = self.next_u64();
+        }
+        let extra = (limbs as u64) * 64 - bits;
+        if extra > 0 {
+            raw[limbs - 1] >>= extra;
+        }
+        BigUint::from_limbs(raw)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "cannot sample below zero");
+        let bits = bound.bits();
+        // Rejection sampling: uniform `bits`-bit draws, keep those below bound.
+        // Succeeds with probability > 1/2 per draw.
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "cannot sample from empty range");
+        let span = high - low;
+        low + self.gen_biguint_below(&span)
+    }
+}
+
+#[cfg(test)]
+mod rand_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gen_biguint_respects_bit_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1u64, 7, 64, 65, 200] {
+            for _ in 0..50 {
+                assert!(rng.gen_biguint(bits).bits() <= bits);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let low = BigUint::from(1000u32);
+        let high = BigUint::from(1010u32);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let v = rng.gen_biguint_range(&low, &high);
+            assert!(v >= low && v < high);
+            seen[(&v - &low).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range should be hit");
+    }
+}

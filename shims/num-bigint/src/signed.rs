@@ -1,0 +1,311 @@
+//! The minimal signed big integer: sign + magnitude, with exactly the
+//! operations the workspace's extended-Euclidean code path uses.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Rem, Sub};
+
+use num_traits::{One, Zero};
+
+use crate::BigUint;
+
+/// The sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Negative value.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive value.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer (sign + magnitude).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigUint,
+}
+
+/// The result of [`BigInt::extended_gcd`]: `gcd = a·x + b·y`.
+#[derive(Debug, Clone)]
+pub struct ExtendedGcd {
+    /// The greatest common divisor (non-negative).
+    pub gcd: BigInt,
+    /// Bézout coefficient of `self`.
+    pub x: BigInt,
+    /// Bézout coefficient of `other`.
+    pub y: BigInt,
+}
+
+impl BigInt {
+    /// Builds a signed integer from a sign and a magnitude.
+    pub fn from_biguint(sign: Sign, magnitude: BigUint) -> Self {
+        if magnitude.is_zero() {
+            return BigInt { sign: Sign::NoSign, magnitude };
+        }
+        assert!(sign != Sign::NoSign, "non-zero magnitude needs a definite sign");
+        BigInt { sign, magnitude }
+    }
+
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::NoSign, magnitude: BigUint::zero() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, magnitude: BigUint::one() }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Converts to a [`BigUint`] if non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => Some(self.magnitude.clone()),
+        }
+    }
+
+    /// The absolute value as an unsigned integer.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Extended Euclidean algorithm: returns `(g, x, y)` with
+    /// `g = gcd(self, other) = self·x + other·y` and `g >= 0`.
+    pub fn extended_gcd(&self, other: &BigInt) -> ExtendedGcd {
+        // Iterative version over signed values.
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_x, mut x) = (BigInt::one(), BigInt::zero());
+        let (mut old_y, mut y) = (BigInt::zero(), BigInt::one());
+        while !r.magnitude.is_zero() {
+            let q = old_r.div_euclid_like(&r);
+            let next_r = &old_r - &(&q * &r);
+            old_r = std::mem::replace(&mut r, next_r);
+            let next_x = &old_x - &(&q * &x);
+            old_x = std::mem::replace(&mut x, next_x);
+            let next_y = &old_y - &(&q * &y);
+            old_y = std::mem::replace(&mut y, next_y);
+        }
+        if old_r.sign == Sign::Minus {
+            old_r = -old_r;
+            old_x = -old_x;
+            old_y = -old_y;
+        }
+        ExtendedGcd { gcd: old_r, x: old_x, y: old_y }
+    }
+
+    /// Truncated division quotient (rounds toward zero), which is what the
+    /// extended-GCD loop needs.
+    fn div_euclid_like(&self, other: &BigInt) -> BigInt {
+        let magnitude = &self.magnitude / &other.magnitude;
+        let sign = match (self.sign, other.sign) {
+            _ if magnitude.is_zero() => Sign::NoSign,
+            (Sign::Minus, Sign::Minus) | (Sign::Plus, Sign::Plus) => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt { sign, magnitude }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(magnitude: BigUint) -> Self {
+        let sign = if magnitude.is_zero() { Sign::NoSign } else { Sign::Plus };
+        BigInt { sign, magnitude }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(value: i64) -> Self {
+        match value.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(Sign::Plus, BigUint::from(value as u64)),
+            Ordering::Less => {
+                BigInt::from_biguint(Sign::Minus, BigUint::from(value.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = match self.sign {
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+            Sign::Plus => Sign::Minus,
+        };
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+fn add_signed(a: &BigInt, b: &BigInt) -> BigInt {
+    match (a.sign, b.sign) {
+        (Sign::NoSign, _) => b.clone(),
+        (_, Sign::NoSign) => a.clone(),
+        (x, y) if x == y => BigInt { sign: x, magnitude: &a.magnitude + &b.magnitude },
+        _ => match a.magnitude.cmp(&b.magnitude) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => {
+                BigInt { sign: a.sign, magnitude: &a.magnitude - &b.magnitude }
+            }
+            Ordering::Less => BigInt { sign: b.sign, magnitude: &b.magnitude - &a.magnitude },
+        },
+    }
+}
+
+macro_rules! forward_bigint_binop {
+    ($trait:ident, $method:ident, $core:expr) => {
+        impl $trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                let core: fn(&BigInt, &BigInt) -> BigInt = $core;
+                core(self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+    };
+}
+
+forward_bigint_binop!(Add, add, add_signed);
+forward_bigint_binop!(Sub, sub, |a, b| add_signed(a, &-b));
+forward_bigint_binop!(Mul, mul, |a, b| {
+    let magnitude = &a.magnitude * &b.magnitude;
+    let sign = match (a.sign, b.sign) {
+        _ if magnitude.is_zero() => Sign::NoSign,
+        (Sign::Minus, Sign::Minus) | (Sign::Plus, Sign::Plus) => Sign::Plus,
+        _ => Sign::Minus,
+    };
+    BigInt { sign, magnitude }
+});
+forward_bigint_binop!(Rem, rem, |a, b| {
+    // Truncated remainder: sign follows the dividend (Rust semantics).
+    let magnitude = &a.magnitude % &b.magnitude;
+    let sign = if magnitude.is_zero() { Sign::NoSign } else { a.sign };
+    BigInt { sign, magnitude }
+});
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = add_signed(self, rhs);
+    }
+}
+
+impl AddAssign<BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = add_signed(self, &rhs);
+    }
+}
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt::zero()
+    }
+    fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt::one()
+    }
+    fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.magnitude.is_one()
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        fmt::Display::fmt(&self.magnitude, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        assert_eq!(int(5) + int(-3), int(2));
+        assert_eq!(int(-5) + int(3), int(-2));
+        assert_eq!(int(5) - int(8), int(-3));
+        assert_eq!(int(-4) * int(-6), int(24));
+        assert_eq!(int(-4) * int(6), int(-24));
+        assert_eq!(int(-7) % int(3), int(-1));
+        assert_eq!(int(7) % int(-3), int(1));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240i64, 46i64), (46, 240), (17, 5), (-240, 46), (12, 0)] {
+            let (ai, bi) = (int(a), int(b));
+            let ext = ai.extended_gcd(&bi);
+            // gcd must be non-negative and satisfy Bézout.
+            assert_ne!(ext.gcd.sign(), Sign::Minus);
+            let lhs = &ai * &ext.x + &bi * &ext.y;
+            assert_eq!(lhs, ext.gcd, "Bézout failed for ({a}, {b})");
+        }
+        assert_eq!(int(240).extended_gcd(&int(46)).gcd, int(2));
+    }
+
+    #[test]
+    fn modular_inverse_via_extended_gcd() {
+        // 3 * 12 ≡ 1 (mod 35)
+        let ext = int(3).extended_gcd(&int(35));
+        assert!(ext.gcd.is_one());
+        let mut x = ext.x % int(35);
+        if x.sign() == Sign::Minus {
+            x += &int(35);
+        }
+        assert_eq!(x.to_biguint().unwrap(), BigUint::from(12u32));
+    }
+
+    #[test]
+    fn conversions_and_sign() {
+        assert_eq!(int(0).sign(), Sign::NoSign);
+        assert_eq!(int(-1).to_biguint(), None);
+        assert_eq!(int(9).to_biguint(), Some(BigUint::from(9u32)));
+        assert_eq!(
+            BigInt::from_biguint(Sign::Plus, BigUint::zero()).sign(),
+            Sign::NoSign
+        );
+        assert_eq!((-int(5)).to_string(), "-5");
+    }
+}

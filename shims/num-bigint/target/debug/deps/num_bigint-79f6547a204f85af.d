@@ -1,0 +1,8 @@
+/root/repo/shims/num-bigint/target/debug/deps/num_bigint-79f6547a204f85af.d: src/lib.rs src/biguint.rs src/division.rs src/signed.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/num_bigint-79f6547a204f85af: src/lib.rs src/biguint.rs src/division.rs src/signed.rs
+
+src/lib.rs:
+src/biguint.rs:
+src/division.rs:
+src/signed.rs:

@@ -1,0 +1,10 @@
+/root/repo/shims/num-bigint/target/debug/deps/num_bigint-b644a276f0ede609.d: src/lib.rs src/biguint.rs src/division.rs src/signed.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_bigint-b644a276f0ede609.rlib: src/lib.rs src/biguint.rs src/division.rs src/signed.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_bigint-b644a276f0ede609.rmeta: src/lib.rs src/biguint.rs src/division.rs src/signed.rs
+
+src/lib.rs:
+src/biguint.rs:
+src/division.rs:
+src/signed.rs:

@@ -1,0 +1,7 @@
+/root/repo/shims/num-bigint/target/debug/deps/num_integer-bbe11cf81f162f12.d: /root/repo/shims/num-integer/src/lib.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_integer-bbe11cf81f162f12.rlib: /root/repo/shims/num-integer/src/lib.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_integer-bbe11cf81f162f12.rmeta: /root/repo/shims/num-integer/src/lib.rs
+
+/root/repo/shims/num-integer/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/shims/num-bigint/target/debug/deps/num_traits-d6244ca784e3ef6b.d: /root/repo/shims/num-traits/src/lib.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_traits-d6244ca784e3ef6b.rlib: /root/repo/shims/num-traits/src/lib.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libnum_traits-d6244ca784e3ef6b.rmeta: /root/repo/shims/num-traits/src/lib.rs
+
+/root/repo/shims/num-traits/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/shims/num-bigint/target/debug/deps/rand-a092c7280c5b36b4.d: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand/src/std_rng.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/librand-a092c7280c5b36b4.rlib: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand/src/std_rng.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/librand-a092c7280c5b36b4.rmeta: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand/src/std_rng.rs
+
+/root/repo/shims/rand/src/lib.rs:
+/root/repo/shims/rand/src/std_rng.rs:

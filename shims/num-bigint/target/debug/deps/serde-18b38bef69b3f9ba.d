@@ -1,0 +1,12 @@
+/root/repo/shims/num-bigint/target/debug/deps/serde-18b38bef69b3f9ba.d: /root/repo/shims/serde/src/lib.rs /root/repo/shims/serde/src/content.rs /root/repo/shims/serde/src/de.rs /root/repo/shims/serde/src/ser.rs /root/repo/shims/serde/src/__private.rs /root/repo/shims/serde/src/impls.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libserde-18b38bef69b3f9ba.rlib: /root/repo/shims/serde/src/lib.rs /root/repo/shims/serde/src/content.rs /root/repo/shims/serde/src/de.rs /root/repo/shims/serde/src/ser.rs /root/repo/shims/serde/src/__private.rs /root/repo/shims/serde/src/impls.rs
+
+/root/repo/shims/num-bigint/target/debug/deps/libserde-18b38bef69b3f9ba.rmeta: /root/repo/shims/serde/src/lib.rs /root/repo/shims/serde/src/content.rs /root/repo/shims/serde/src/de.rs /root/repo/shims/serde/src/ser.rs /root/repo/shims/serde/src/__private.rs /root/repo/shims/serde/src/impls.rs
+
+/root/repo/shims/serde/src/lib.rs:
+/root/repo/shims/serde/src/content.rs:
+/root/repo/shims/serde/src/de.rs:
+/root/repo/shims/serde/src/ser.rs:
+/root/repo/shims/serde/src/__private.rs:
+/root/repo/shims/serde/src/impls.rs:

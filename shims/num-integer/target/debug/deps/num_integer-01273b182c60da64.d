@@ -1,0 +1,5 @@
+/root/repo/shims/num-integer/target/debug/deps/num_integer-01273b182c60da64.d: src/lib.rs
+
+/root/repo/shims/num-integer/target/debug/deps/num_integer-01273b182c60da64: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/shims/num-integer/target/debug/deps/num_integer-b5dd44f4c7f26a59.d: src/lib.rs
+
+/root/repo/shims/num-integer/target/debug/deps/libnum_integer-b5dd44f4c7f26a59.rlib: src/lib.rs
+
+/root/repo/shims/num-integer/target/debug/deps/libnum_integer-b5dd44f4c7f26a59.rmeta: src/lib.rs
+
+src/lib.rs:

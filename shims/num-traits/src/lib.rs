@@ -1,0 +1,54 @@
+//! Offline shim for the `num-traits` crate.
+//!
+//! Implements exactly the subset of the real crate's API this workspace uses:
+//! the [`Zero`] and [`One`] identity traits, implemented for the primitive
+//! integer types (and, downstream, for `num-bigint`'s big integers).
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// Returns the additive identity, `0`.
+    fn zero() -> Self;
+    /// Returns `true` if `self` is the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// Returns the multiplicative identity, `1`.
+    fn one() -> Self;
+    /// Returns `true` if `self` is the multiplicative identity.
+    fn is_one(&self) -> bool
+    where
+        Self: PartialEq,
+    {
+        *self == Self::one()
+    }
+}
+
+macro_rules! impl_identities {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0 as $t }
+            fn is_zero(&self) -> bool { *self == 0 as $t }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 as $t }
+        }
+    )*};
+}
+
+impl_identities!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(u64::zero(), 0);
+        assert_eq!(i32::one(), 1);
+        assert!(0u8.is_zero());
+        assert!(1i128.is_one());
+        assert!(!2u32.is_one());
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/shims/num-traits/target/debug/deps/num_traits-86779248d93acb07.d: src/lib.rs
+
+/root/repo/shims/num-traits/target/debug/deps/num_traits-86779248d93acb07: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/shims/num-traits/target/debug/deps/num_traits-9b2f9208121422d9.d: src/lib.rs
+
+/root/repo/shims/num-traits/target/debug/deps/libnum_traits-9b2f9208121422d9.rlib: src/lib.rs
+
+/root/repo/shims/num-traits/target/debug/deps/libnum_traits-9b2f9208121422d9.rmeta: src/lib.rs
+
+src/lib.rs:

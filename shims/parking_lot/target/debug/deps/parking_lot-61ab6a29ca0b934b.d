@@ -1,0 +1,5 @@
+/root/repo/shims/parking_lot/target/debug/deps/parking_lot-61ab6a29ca0b934b.d: src/lib.rs
+
+/root/repo/shims/parking_lot/target/debug/deps/parking_lot-61ab6a29ca0b934b: src/lib.rs
+
+src/lib.rs:

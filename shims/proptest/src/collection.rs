@@ -1,0 +1,55 @@
+//! Collection strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// A size specification for generated collections.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    low: usize,
+    high_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { low: exact, high_exclusive: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { low: range.start, high_exclusive: range.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        SizeRange { low: *range.start(), high_exclusive: *range.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a [`VecStrategy`].
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.low..self.size.high_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Keeps the `proptest!` macro surface (strategy-typed arguments, a config
+//! header, `prop_assert*`, `TestCaseError`) but runs plain random sampling
+//! with a deterministic per-test seed instead of proptest's shrinking engine:
+//! a failing case reports its seed and values but is not minimised.
+
+use std::fmt::{self, Debug, Display};
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, StandardDistributed};
+
+pub mod collection;
+
+pub mod prelude {
+    //! The usual imports for property tests.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; this shim never rejects globally.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; this shim never forks.
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+            fork: false,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The case was rejected (unused by this shim, kept for API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Display) -> Self {
+        TestCaseError::Fail(message.to_string())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Display) -> Self {
+        TestCaseError::Reject(message.to_string())
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Result alias for property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random typed values.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: StandardDistributed + Debug> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces the `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, u128, i8, i16, i32, i64, isize, i128);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Runs the cases of one property (used by the generated test body).
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a deterministic seed derived from the test name.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(seed), config }
+    }
+
+    /// Runs `body` against `config.cases` random draws of `strategy`, panicking
+    /// (test failure) on the first failing case.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut body: impl FnMut(S::Value) -> TestCaseResult,
+    ) {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let rendered = format!("{value:?}");
+            match body(value) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "proptest case {case} failed: {message}\n  inputs: {rendered}\n  \
+                     (shim runner: no shrinking; re-run reproduces deterministically)"
+                ),
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property, returning a [`TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests, proptest-style.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by test
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unused_parens)]
+        fn $name() {
+            let strategy = ($($strategy),+ ,);
+            let mut runner = $crate::TestRunner::new($config, concat!(module_path!(), "::", stringify!($name)));
+            runner.run(&strategy, |($($arg),+ ,)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(a in 0u64..100, b in -50i64..=50) {
+            prop_assert!(a < 100);
+            prop_assert!((-50..=50).contains(&b));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in any::<(u64, u64)>(), v in crate::collection::vec(0u8..10, 0..16)) {
+            let (x, _y) = pair;
+            prop_assert_eq!(x, x);
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let collect = || {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "seed-test");
+            let mut drawn = Vec::new();
+            runner.run(&(0u64..1000), |v| {
+                drawn.push(v);
+                Ok(())
+            });
+            drawn
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "fail-test");
+        runner.run(&(10u64..20), |v| {
+            prop_assert!(v < 5, "v was {}", v);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,8 @@
+/root/repo/shims/proptest/target/debug/deps/proptest-280117d9074cb21a.d: src/lib.rs src/collection.rs
+
+/root/repo/shims/proptest/target/debug/deps/libproptest-280117d9074cb21a.rlib: src/lib.rs src/collection.rs
+
+/root/repo/shims/proptest/target/debug/deps/libproptest-280117d9074cb21a.rmeta: src/lib.rs src/collection.rs
+
+src/lib.rs:
+src/collection.rs:

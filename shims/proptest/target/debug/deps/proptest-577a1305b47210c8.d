@@ -1,0 +1,6 @@
+/root/repo/shims/proptest/target/debug/deps/proptest-577a1305b47210c8.d: src/lib.rs src/collection.rs
+
+/root/repo/shims/proptest/target/debug/deps/proptest-577a1305b47210c8: src/lib.rs src/collection.rs
+
+src/lib.rs:
+src/collection.rs:

@@ -1,0 +1,51 @@
+//! The shim's `StdRng`: xoshiro256++.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic pseudo-random generator (xoshiro256++ by Blackman & Vigna).
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is **not**
+/// cryptographically secure; it is a statistical-quality generator for
+/// deterministic tests and workload generation.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point; nudge it like the reference
+        // implementation recommends.
+        if s == [0; 4] {
+            s = [0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d];
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,8 @@
+/root/repo/shims/rand/target/debug/deps/rand-2c988ac403ee13cb.d: src/lib.rs src/std_rng.rs
+
+/root/repo/shims/rand/target/debug/deps/librand-2c988ac403ee13cb.rlib: src/lib.rs src/std_rng.rs
+
+/root/repo/shims/rand/target/debug/deps/librand-2c988ac403ee13cb.rmeta: src/lib.rs src/std_rng.rs
+
+src/lib.rs:
+src/std_rng.rs:

@@ -1,0 +1,6 @@
+/root/repo/shims/rand/target/debug/deps/rand-fc85628d45279de7.d: src/lib.rs src/std_rng.rs
+
+/root/repo/shims/rand/target/debug/deps/rand-fc85628d45279de7: src/lib.rs src/std_rng.rs
+
+src/lib.rs:
+src/std_rng.rs:

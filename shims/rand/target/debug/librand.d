@@ -1,0 +1,1 @@
+/root/repo/shims/rand/target/debug/librand.rlib: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand/src/std_rng.rs

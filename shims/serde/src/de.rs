@@ -1,0 +1,33 @@
+//! Deserialization half of the shim.
+
+use std::fmt::Display;
+
+use crate::content::Content;
+
+/// Error raised while deserializing.
+pub trait Error: Sized + Display {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserializable type.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A data-format deserializer.
+///
+/// In this shim a deserializer is anything that can yield a [`Content`] tree;
+/// typed extraction happens in the `Deserialize` impls.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Produces the underlying value tree.
+    fn deserialize_any(self) -> Result<Content, Self::Error>;
+}

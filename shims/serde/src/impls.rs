@@ -1,0 +1,384 @@
+//! `Serialize` / `Deserialize` implementations for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+
+use crate::content::Content;
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{Serialize, SerializeMap, SerializeSeq, Serializer};
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_primitive {
+    ($($t:ty => $method:ident),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+impl_serialize_primitive!(
+    bool => serialize_bool,
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32, i64 => serialize_i64,
+    i128 => serialize_i128,
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32, u64 => serialize_u64,
+    u128 => serialize_u128,
+    f32 => serialize_f32, f64 => serialize_f64,
+    char => serialize_char
+);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_slice<S: Serializer, T: Serialize>(
+    items: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = serializer.serialize_seq(Some(items.len()))?;
+    for item in items {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_tuple(0 $(+ { let _ = stringify!($name); 1 })+)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_entry(key, value)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_entry(key, value)?;
+        }
+        map.end()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn integer_of<E: de::Error>(content: &Content, what: &str) -> Result<i128, E> {
+    match content {
+        Content::I64(v) => Ok(i128::from(*v)),
+        Content::U64(v) => Ok(i128::from(*v)),
+        Content::I128(v) => Ok(*v),
+        Content::U128(v) => i128::try_from(*v)
+            .map_err(|_| E::custom(format!("integer out of range for {what}"))),
+        Content::F64(v) if v.fract() == 0.0 => Ok(*v as i128),
+        // Tolerate string-encoded integers (JSON map keys arrive as strings).
+        Content::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| E::custom(format!("expected {what}, found string {s:?}"))),
+        other => Err(E::custom(format!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_any()?;
+                let wide = integer_of::<D::Error>(&content, stringify!($t))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, i128);
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_any()? {
+            Content::U128(v) => Ok(v),
+            Content::U64(v) => Ok(u128::from(v)),
+            Content::I64(v) if v >= 0 => Ok(v as u128),
+            Content::I128(v) if v >= 0 => Ok(v as u128),
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| de::Error::custom(format!("expected u128, found string {s:?}"))),
+            other => Err(de::Error::custom(format!("expected u128, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_any()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_any()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I128(v) => Ok(v as $t),
+                    Content::U128(v) => Ok(v as $t),
+                    other => Err(de::Error::custom(format!(
+                        "expected float, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_any()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_any()? {
+            Content::Null => Ok(()),
+            other => Err(de::Error::custom(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_any()? {
+            Content::Null => Ok(None),
+            content => {
+                crate::__private::from_content::<T, D::Error>(content).map(Some)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+fn seq_of<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<Vec<T>, E> {
+    match content {
+        Content::Seq(items) => items
+            .into_iter()
+            .map(crate::__private::from_content::<T, E>)
+            .collect(),
+        other => Err(E::custom(format!("expected sequence, found {}", other.kind()))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_of::<T, D::Error>(deserializer.deserialize_any()?)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = seq_of::<T, D::Error>(deserializer.deserialize_any()?)?;
+        let found = items.len();
+        items.try_into().map_err(|_| {
+            de::Error::custom(format!("expected array of length {N}, found {found}"))
+        })
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let items = match deserializer.deserialize_any()? {
+                    Content::Seq(items) => items,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected tuple sequence, found {}", other.kind()
+                        )))
+                    }
+                };
+                let expected = 0usize $(+ { let _ = stringify!($name); 1 })+;
+                if items.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of length {expected}, found {}", items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    crate::__private::from_content::<$name, __D::Error>(
+                        iter.next().expect("length checked"),
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+fn map_entries<E: de::Error>(content: Content) -> Result<Vec<(Content, Content)>, E> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(E::custom(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = map_entries::<D::Error>(deserializer.deserialize_any()?)?;
+        let mut map = HashMap::with_capacity_and_hasher(entries.len(), H::default());
+        for (key, value) in entries {
+            map.insert(
+                crate::__private::from_content::<K, D::Error>(key)?,
+                crate::__private::from_content::<V, D::Error>(value)?,
+            );
+        }
+        Ok(map)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = map_entries::<D::Error>(deserializer.deserialize_any()?)?;
+        let mut map = BTreeMap::new();
+        for (key, value) in entries {
+            map.insert(
+                crate::__private::from_content::<K, D::Error>(key)?,
+                crate::__private::from_content::<V, D::Error>(value)?,
+            );
+        }
+        Ok(map)
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/shims/serde_json/target/debug/deps/serde_derive-3baf491d77401fde.d: /root/repo/shims/serde_derive/src/lib.rs /root/repo/shims/serde_derive/src/model.rs /root/repo/shims/serde_derive/src/parse.rs
+
+/root/repo/shims/serde_json/target/debug/deps/libserde_derive-3baf491d77401fde.so: /root/repo/shims/serde_derive/src/lib.rs /root/repo/shims/serde_derive/src/model.rs /root/repo/shims/serde_derive/src/parse.rs
+
+/root/repo/shims/serde_derive/src/lib.rs:
+/root/repo/shims/serde_derive/src/model.rs:
+/root/repo/shims/serde_derive/src/parse.rs:

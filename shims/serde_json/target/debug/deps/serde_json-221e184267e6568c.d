@@ -1,0 +1,7 @@
+/root/repo/shims/serde_json/target/debug/deps/serde_json-221e184267e6568c.d: src/lib.rs src/parser.rs src/writer.rs
+
+/root/repo/shims/serde_json/target/debug/deps/serde_json-221e184267e6568c: src/lib.rs src/parser.rs src/writer.rs
+
+src/lib.rs:
+src/parser.rs:
+src/writer.rs:

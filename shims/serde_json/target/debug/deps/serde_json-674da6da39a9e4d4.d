@@ -1,0 +1,9 @@
+/root/repo/shims/serde_json/target/debug/deps/serde_json-674da6da39a9e4d4.d: src/lib.rs src/parser.rs src/writer.rs
+
+/root/repo/shims/serde_json/target/debug/deps/libserde_json-674da6da39a9e4d4.rlib: src/lib.rs src/parser.rs src/writer.rs
+
+/root/repo/shims/serde_json/target/debug/deps/libserde_json-674da6da39a9e4d4.rmeta: src/lib.rs src/parser.rs src/writer.rs
+
+src/lib.rs:
+src/parser.rs:
+src/writer.rs:

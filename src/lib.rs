@@ -1,0 +1,9 @@
+//! Root package of the SDB reproduction workspace.
+//!
+//! This crate intentionally has no code of its own: it exists to host the
+//! system-level integration tests under `tests/` and the runnable demos under
+//! `examples/`, which exercise the full DO-proxy + SP-engine stack. The actual
+//! functionality lives in the `crates/` members — start with the [`sdb`] core
+//! crate.
+
+#![forbid(unsafe_code)]

@@ -18,19 +18,13 @@ type Row = (i64, i64, i64, i64);
 
 fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
     proptest::collection::vec(
-        (
-            0i64..1_000,
-            -10_000i64..10_000,
-            -20i64..20,
-            0i64..4,
-        ),
+        (0i64..1_000, -10_000i64..10_000, -20i64..20, 0i64..4),
         1..25,
     )
 }
 
 fn build_deployments(rows: &[Row]) -> (SdbClient, SpEngine) {
-    let ddl_secure =
-        "CREATE TABLE t (id INT, amount INT SENSITIVE, factor INT SENSITIVE, grp INT)";
+    let ddl_secure = "CREATE TABLE t (id INT, amount INT SENSITIVE, factor INT SENSITIVE, grp INT)";
     let ddl_plain = "CREATE TABLE t (id INT, amount INT, factor INT, grp INT)";
 
     let mut client = SdbClient::new(SdbConfig::test_profile()).expect("client");
@@ -112,7 +106,7 @@ proptest! {
         let (client, plain) = build_deployments(&rows);
         for sql in [
             format!("SELECT id, amount * factor AS product, amount + {scale} AS shifted FROM t ORDER BY id"),
-            format!("SELECT SUM(amount) AS s, COUNT(*) AS n, MIN(amount) AS lo, MAX(factor) AS hi FROM t"),
+            "SELECT SUM(amount) AS s, COUNT(*) AS n, MIN(amount) AS lo, MAX(factor) AS hi FROM t".to_string(),
             format!("SELECT grp, SUM(amount * {scale}) AS weighted, AVG(factor) AS mean FROM t GROUP BY grp ORDER BY grp"),
             "SELECT factor, COUNT(*) AS n FROM t GROUP BY factor ORDER BY factor".to_string(),
         ] {

@@ -1,0 +1,45 @@
+//! Integration test mirroring the quickstart example in the `sdb` crate's
+//! documentation (`crates/core/src/lib.rs`): define a table with a sensitive
+//! column, insert, upload, query — and verify both the answer and that the
+//! rewritten SQL leaks no plaintext operation.
+//!
+//! The doc example itself runs as a doctest; this test keeps the same flow
+//! covered by `cargo test` even when doctests are skipped, and goes a little
+//! further in what it asserts.
+
+use sdb::{SdbClient, SdbConfig};
+
+#[test]
+fn quickstart_doc_example_runs_green() {
+    let mut client = SdbClient::new(SdbConfig::test_profile()).unwrap();
+    client
+        .execute("CREATE TABLE staff (id INT, salary INT SENSITIVE)")
+        .unwrap();
+    client
+        .execute("INSERT INTO staff VALUES (1, 1000), (2, 2500)")
+        .unwrap();
+    client.upload_all().unwrap();
+
+    let result = client
+        .query("SELECT SUM(salary) AS total FROM staff")
+        .unwrap();
+    assert_eq!(result.rows()[0][0].render(), "3500");
+    // The rewritten query that actually ran at the SP never mentions plaintext:
+    assert!(result.rewritten_sql.contains("SDB_KEY_UPDATE"));
+
+    // Beyond the doc example: the encrypted aggregation really used the
+    // secure path (encrypted SUM folds server-side, decryption at the proxy).
+    assert!(!result
+        .rewritten_sql
+        .to_ascii_lowercase()
+        .contains("salary'"),);
+    let filtered = client
+        .query("SELECT id FROM staff WHERE salary > 1200 ORDER BY id")
+        .unwrap();
+    assert_eq!(filtered.rows().len(), 1);
+    assert_eq!(filtered.rows()[0][0].render(), "2");
+    assert!(
+        filtered.server_stats.oracle_round_trips >= 1,
+        "sensitive comparison must consult the DO proxy oracle"
+    );
+}

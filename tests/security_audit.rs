@@ -33,7 +33,10 @@ fn sp_storage_and_wire_traffic_never_contain_sensitive_plaintext() {
     }
 
     let report = client.audit();
-    assert!(report.needles_checked > 30, "expected many sensitive needles");
+    assert!(
+        report.needles_checked > 30,
+        "expected many sensitive needles"
+    );
     assert!(report.haystacks_scanned >= 2);
     assert!(
         report.is_clean(),
@@ -67,7 +70,11 @@ fn encrypted_values_are_not_deterministic_across_rows() {
             other => panic!("expected encrypted share, found {other:?}"),
         };
     }
-    assert_eq!(ciphertexts.len(), 3, "equal plaintexts must encrypt differently");
+    assert_eq!(
+        ciphertexts.len(),
+        3,
+        "equal plaintexts must encrypt differently"
+    );
 }
 
 #[test]
@@ -88,7 +95,9 @@ fn cpa_style_insert_does_not_reveal_other_rows() {
     client.upload_all().unwrap();
 
     // Attacker-chosen plaintext equal to an existing secret value.
-    client.execute("INSERT INTO accounts VALUES (99, 123456)").unwrap();
+    client
+        .execute("INSERT INTO accounts VALUES (99, 123456)")
+        .unwrap();
 
     let handle = client.engine().catalog().table("accounts").unwrap();
     let table = handle.read();

@@ -62,7 +62,10 @@ fn all_22_tpch_templates_match_plaintext_results() {
         let reference = match plain.execute_sql(template.sql) {
             Ok(output) => output,
             Err(e) => {
-                failures.push(format!("Q{} failed on the plaintext engine: {e}", template.id));
+                failures.push(format!(
+                    "Q{} failed on the plaintext engine: {e}",
+                    template.id
+                ));
                 continue;
             }
         };
@@ -91,11 +94,15 @@ fn rewritten_queries_use_sdb_udfs_where_sensitive_data_is_involved() {
     let (client, _) = deployments();
     // Q1 and Q6 are the canonical "interoperable operators" queries: aggregates of
     // arithmetic over sensitive columns plus comparisons on sensitive columns.
-    let q1 = client.rewrite_only(sdb_workload::query_by_id(1).unwrap().sql).unwrap();
+    let q1 = client
+        .rewrite_only(sdb_workload::query_by_id(1).unwrap().sql)
+        .unwrap();
     assert!(q1.server_sql.contains("SDB_KEY_UPDATE"));
     assert!(q1.server_sql.contains("SDB_MULTIPLY") || q1.server_sql.contains("SDB_MUL_PLAIN"));
 
-    let q6 = client.rewrite_only(sdb_workload::query_by_id(6).unwrap().sql).unwrap();
+    let q6 = client
+        .rewrite_only(sdb_workload::query_by_id(6).unwrap().sql)
+        .unwrap();
     assert!(q6.server_sql.contains("SDB_CMP_"));
     assert!(q6.server_sql.contains("SUM(SDB_KEY_UPDATE"));
 }
@@ -105,7 +112,9 @@ fn oracle_round_trips_stay_batched() {
     let (client, _) = deployments();
     // Q6 has three sensitive predicates (discount between → 2, quantity < → 1); the
     // comparison protocol batches one round trip per predicate, not per row.
-    let result = client.query(sdb_workload::query_by_id(6).unwrap().sql).unwrap();
+    let result = client
+        .query(sdb_workload::query_by_id(6).unwrap().sql)
+        .unwrap();
     assert!(result.server_stats.oracle_round_trips >= 3);
     assert!(
         result.server_stats.oracle_round_trips <= 8,
