@@ -2,7 +2,6 @@
 //! executing SQL text end to end. This is the component that plays the role of
 //! "Spark SQL with the SDB UDFs loaded" in the paper's architecture (Figure 2).
 
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,6 +32,12 @@ pub struct SpEngine {
     catalog: Arc<Catalog>,
     registry: UdfRegistry,
     oracle: RwLock<Option<OracleRef>>,
+    /// Rows per batch flowing between operators for every query this engine
+    /// executes.
+    batch_size: usize,
+    /// Workers per query for the morsel-parallel operators (`1` = serial
+    /// plans). Defaults to the available cores.
+    parallelism: usize,
 }
 
 impl SpEngine {
@@ -42,6 +47,10 @@ impl SpEngine {
             catalog: Arc::new(Catalog::new()),
             registry: UdfRegistry::with_sdb_udfs(),
             oracle: RwLock::new(None),
+            batch_size: crate::operators::DEFAULT_BATCH_SIZE,
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -49,9 +58,34 @@ impl SpEngine {
     pub fn with_catalog(catalog: Arc<Catalog>) -> Self {
         SpEngine {
             catalog,
-            registry: UdfRegistry::with_sdb_udfs(),
-            oracle: RwLock::new(None),
+            ..SpEngine::new()
         }
+    }
+
+    /// Overrides the rows-per-batch knob for every query this engine runs
+    /// (builder style). Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the per-query worker count (builder style; `1` selects the
+    /// serial plans). Panics if `parallelism` is zero.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        assert!(parallelism > 0, "parallelism must be positive");
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Rows per batch used for query execution.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Workers per query used by the parallel operators.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The shared catalog.
@@ -95,7 +129,11 @@ impl SpEngine {
             Statement::Query(query) => {
                 let plan = PlanBuilder::build(query)?;
                 let oracle = self.oracle.read().clone();
-                let ctx = Rc::new(ExecContext::new(&self.catalog, &self.registry, oracle));
+                let ctx = Arc::new(
+                    ExecContext::new(&self.catalog, &self.registry, oracle)
+                        .with_batch_size(self.batch_size)
+                        .with_parallelism(self.parallelism),
+                );
                 let batch = planner::execute_plan(&ctx, &plan)?;
                 Ok(QueryOutput {
                     stats: ctx.stats(),

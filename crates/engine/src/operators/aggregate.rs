@@ -1,7 +1,16 @@
-//! Hash aggregation with grouping.
+//! Hash aggregation with grouping: the serial operator and its partitioned
+//! parallel variant.
+//!
+//! Both operators share the same building blocks so their output is
+//! byte-identical: [`group_morsel`] folds a contiguous run of rows into
+//! per-group states (group-key values plus the evaluated argument values of
+//! every aggregate, in row order), [`merge_group_states`] combines per-morsel
+//! states in morsel order (preserving global first-occurrence group order and
+//! global row order within each group), and [`finalize_groups`] computes the
+//! aggregate values and infers the output schema.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use num_bigint::BigUint;
 use sdb_sql::ast::Expr;
@@ -9,8 +18,171 @@ use sdb_sql::plan::{AggFunc, AggregateExpr};
 use sdb_storage::{ColumnDef, DataType, RecordBatch, Schema, Value};
 
 use super::expr::{infer_column_def, join_key_component, sensitivity_of};
+use super::parallel::{effective_workers, scoped_workers};
 use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
 use crate::{EngineError, Result};
+
+/// Per-group accumulation state: the rendered key, the group-key values, the
+/// number of rows seen and each aggregate's argument values in row order.
+struct GroupState {
+    key: String,
+    key_values: Vec<Value>,
+    rows: usize,
+    arg_values: Vec<Vec<Value>>,
+}
+
+/// Binds the grouping expressions and aggregate arguments to the input schema
+/// (this picks up oracle virtual columns and pre-computed expression columns
+/// by their rendered names). Argument-less aggregates (`COUNT(*)`) get a
+/// literal `1` placeholder.
+fn bind_aggregate_exprs(
+    group_by: &[(Expr, String)],
+    aggregates: &[AggregateExpr],
+    schema: &Schema,
+) -> (Vec<Expr>, Vec<Expr>) {
+    let bind = |e: &Expr| super::expr::bind_to_existing_columns(e, schema);
+    let group_exprs = group_by.iter().map(|(e, _)| bind(e)).collect();
+    let agg_args = aggregates
+        .iter()
+        .map(|agg| {
+            agg.arg
+                .as_ref()
+                .map(&bind)
+                .unwrap_or(Expr::Literal(sdb_sql::ast::Literal::Int(1)))
+        })
+        .collect();
+    (group_exprs, agg_args)
+}
+
+/// Groups one contiguous morsel of rows, evaluating the grouping expressions
+/// and every aggregate argument per row. Groups come back in first-occurrence
+/// order; each group's argument values are in row order.
+fn group_morsel(
+    ctx: &ExecContext<'_>,
+    batch: &RecordBatch,
+    group_exprs: &[Expr],
+    agg_args: &[Expr],
+) -> Result<Vec<GroupState>> {
+    let evaluator = ctx.evaluator();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<GroupState> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let mut key_values = Vec::with_capacity(group_exprs.len());
+        for e in group_exprs {
+            key_values.push(evaluator.evaluate(e, batch, row)?);
+        }
+        let key: String = key_values
+            .iter()
+            .map(join_key_component)
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        let g = match index.get(&key) {
+            Some(&g) => g,
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push(GroupState {
+                    key,
+                    key_values,
+                    rows: 0,
+                    arg_values: vec![Vec::new(); agg_args.len()],
+                });
+                groups.len() - 1
+            }
+        };
+        groups[g].rows += 1;
+        for (j, arg) in agg_args.iter().enumerate() {
+            groups[g].arg_values[j].push(evaluator.evaluate(arg, batch, row)?);
+        }
+    }
+    ctx.record_udf_calls(&evaluator);
+    Ok(groups)
+}
+
+/// Merges per-morsel group states in morsel order. Because morsels are
+/// contiguous and processed in order, the merged groups are in global
+/// first-occurrence order and each group's argument values stay in global row
+/// order — exactly what a single [`group_morsel`] over the whole input
+/// produces.
+fn merge_group_states(parts: Vec<Vec<GroupState>>) -> Vec<GroupState> {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut merged: Vec<GroupState> = Vec::new();
+    for part in parts {
+        for state in part {
+            match index.get(&state.key) {
+                Some(&g) => {
+                    let target = &mut merged[g];
+                    target.rows += state.rows;
+                    for (acc, values) in target.arg_values.iter_mut().zip(state.arg_values) {
+                        acc.extend(values);
+                    }
+                }
+                None => {
+                    index.insert(state.key.clone(), merged.len());
+                    merged.push(state);
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// Computes the aggregate values for every group and assembles the output
+/// batch (group columns then aggregate columns, types inferred from the
+/// produced values). A global aggregate (no GROUP BY) over an empty input
+/// still produces one row.
+fn finalize_groups(
+    group_by: &[(Expr, String)],
+    aggregates: &[AggregateExpr],
+    group_exprs: &[Expr],
+    mut groups: Vec<GroupState>,
+    input_schema: &Schema,
+) -> Result<RecordBatch> {
+    if groups.is_empty() && group_exprs.is_empty() {
+        groups.push(GroupState {
+            key: String::new(),
+            key_values: vec![],
+            rows: 0,
+            arg_values: vec![Vec::new(); aggregates.len()],
+        });
+    }
+
+    let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for state in groups {
+        let mut out = state.key_values;
+        for (agg, values) in aggregates.iter().zip(state.arg_values) {
+            out.push(compute_aggregate(agg, state.rows, values)?);
+        }
+        out_rows.push(out);
+    }
+
+    // Output schema: group columns then aggregate columns.
+    let mut defs = Vec::new();
+    for (i, (_, name)) in group_by.iter().enumerate() {
+        let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+        defs.push(infer_column_def(
+            name,
+            &group_exprs[i],
+            &values,
+            input_schema,
+        ));
+    }
+    for (j, agg) in aggregates.iter().enumerate() {
+        let i = group_by.len() + j;
+        let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
+        // Aggregate outputs take their type from the produced values (SUM
+        // over INT is INT, AVG is DECIMAL(4), encrypted SUM is ENCRYPTED, …).
+        let data_type = values
+            .iter()
+            .find_map(|v| v.data_type())
+            .unwrap_or(DataType::Int);
+        defs.push(ColumnDef {
+            name: agg.name.clone(),
+            data_type,
+            sensitivity: sensitivity_of(data_type),
+        });
+    }
+    RecordBatch::from_rows(Schema::new(defs), out_rows).map_err(Into::into)
+}
 
 /// Groups the materialised input by the grouping expressions and evaluates one
 /// aggregate per output column. A global aggregate (no GROUP BY) over an empty
@@ -21,7 +193,7 @@ use crate::{EngineError, Result};
 /// [`super::oracle::OracleResolve`] child the planner inserts beneath this
 /// operator; the runtime binding pass turns them into column references.
 pub struct HashAggregate<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     input: BoxedOperator<'a>,
     group_by: Vec<(Expr, String)>,
     aggregates: Vec<AggregateExpr>,
@@ -31,7 +203,7 @@ pub struct HashAggregate<'a> {
 impl<'a> HashAggregate<'a> {
     /// Creates an aggregation over `input`.
     pub fn new(
-        ctx: Rc<ExecContext<'a>>,
+        ctx: Arc<ExecContext<'a>>,
         input: BoxedOperator<'a>,
         group_by: Vec<(Expr, String)>,
         aggregates: Vec<AggregateExpr>,
@@ -64,95 +236,101 @@ impl PhysicalOperator for HashAggregate<'_> {
 
         let batch = materialize_input(self.input.as_mut())?
             .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+        let (group_exprs, agg_args) =
+            bind_aggregate_exprs(&self.group_by, &self.aggregates, batch.schema());
+        let groups = group_morsel(&self.ctx, &batch, &group_exprs, &agg_args)?;
+        finalize_groups(
+            &self.group_by,
+            &self.aggregates,
+            &group_exprs,
+            groups,
+            batch.schema(),
+        )
+        .map(Some)
+    }
 
-        // Bind grouping expressions and aggregate arguments to the input schema
-        // (this picks up oracle virtual columns and pre-computed expression
-        // columns by their rendered names).
-        let bind = |e: &Expr| super::expr::bind_to_existing_columns(e, batch.schema());
-        let group_exprs: Vec<Expr> = self.group_by.iter().map(|(e, _)| bind(e)).collect();
-        let agg_args: Vec<Expr> = self
-            .aggregates
-            .iter()
-            .map(|agg| {
-                agg.arg
-                    .as_ref()
-                    .map(&bind)
-                    .unwrap_or(Expr::Literal(sdb_sql::ast::Literal::Int(1)))
-            })
-            .collect();
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
 
-        let evaluator = self.ctx.evaluator();
+/// Partitioned parallel hash aggregation: splits the materialised input into
+/// per-worker morsels via [`RecordBatch::partition`], accumulates per-worker
+/// group states on scoped threads (the expensive part — per-row evaluation of
+/// grouping expressions and aggregate arguments), and merges the states in
+/// morsel order at drain. Output is byte-identical to [`HashAggregate`].
+///
+/// Oracle round trips stay serial: the [`super::oracle::OracleResolve`] child
+/// the planner inserts beneath this operator resolves while the input is
+/// being materialised, before any fan-out.
+pub struct ParallelHashAggregate<'a> {
+    ctx: Arc<ExecContext<'a>>,
+    input: BoxedOperator<'a>,
+    group_by: Vec<(Expr, String)>,
+    aggregates: Vec<AggregateExpr>,
+    done: bool,
+}
 
-        // Group rows.
-        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
-        for row in 0..batch.num_rows() {
-            let mut key_values = Vec::with_capacity(group_exprs.len());
-            for e in &group_exprs {
-                key_values.push(evaluator.evaluate(e, &batch, row)?);
-            }
-            let key: String = key_values
-                .iter()
-                .map(join_key_component)
-                .collect::<Vec<_>>()
-                .join("\u{1f}");
-            match index.get(&key) {
-                Some(&g) => groups[g].1.push(row),
-                None => {
-                    index.insert(key, groups.len());
-                    groups.push((key_values, vec![row]));
-                }
-            }
+impl<'a> ParallelHashAggregate<'a> {
+    /// Creates a parallel aggregation over `input`.
+    pub fn new(
+        ctx: Arc<ExecContext<'a>>,
+        input: BoxedOperator<'a>,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggregateExpr>,
+    ) -> Self {
+        ParallelHashAggregate {
+            ctx,
+            input,
+            group_by,
+            aggregates,
+            done: false,
         }
-        // A global aggregate over an empty input still produces one row.
-        if groups.is_empty() && group_exprs.is_empty() {
-            groups.push((vec![], vec![]));
-        }
+    }
+}
 
-        // Evaluate aggregate arguments per row per aggregate.
-        let mut out_rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
-        for (key_values, rows) in &groups {
-            let mut out = key_values.clone();
-            for (agg, arg_expr) in self.aggregates.iter().zip(agg_args.iter()) {
-                let mut values = Vec::with_capacity(rows.len());
-                for &row in rows {
-                    values.push(evaluator.evaluate(arg_expr, &batch, row)?);
-                }
-                out.push(compute_aggregate(agg, rows.len(), values)?);
-            }
-            out_rows.push(out);
-        }
-        self.ctx.record_udf_calls(&evaluator);
+impl PhysicalOperator for ParallelHashAggregate<'_> {
+    fn name(&self) -> &'static str {
+        "ParallelHashAggregate"
+    }
 
-        // Output schema: group columns then aggregate columns.
-        let mut defs = Vec::new();
-        for (i, (_, name)) in self.group_by.iter().enumerate() {
-            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
-            defs.push(infer_column_def(
-                name,
-                &group_exprs[i],
-                &values,
-                batch.schema(),
-            ));
+    fn open(&mut self) -> Result<()> {
+        self.done = false;
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        if self.done {
+            return Ok(None);
         }
-        for (j, agg) in self.aggregates.iter().enumerate() {
-            let i = self.group_by.len() + j;
-            let values: Vec<Value> = out_rows.iter().map(|r| r[i].clone()).collect();
-            // Aggregate outputs take their type from the produced values (SUM
-            // over INT is INT, AVG is DECIMAL(4), encrypted SUM is ENCRYPTED, …).
-            let data_type = values
-                .iter()
-                .find_map(|v| v.data_type())
-                .unwrap_or(DataType::Int);
-            defs.push(ColumnDef {
-                name: agg.name.clone(),
-                data_type,
-                sensitivity: sensitivity_of(data_type),
-            });
-        }
-        RecordBatch::from_rows(Schema::new(defs), out_rows)
-            .map(Some)
-            .map_err(Into::into)
+        self.done = true;
+
+        let batch = materialize_input(self.input.as_mut())?
+            .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+        let (group_exprs, agg_args) =
+            bind_aggregate_exprs(&self.group_by, &self.aggregates, batch.schema());
+
+        let workers = effective_workers(self.ctx.parallelism(), batch.num_rows());
+        let groups = if workers <= 1 {
+            group_morsel(&self.ctx, &batch, &group_exprs, &agg_args)?
+        } else {
+            let morsels = batch.partition(workers);
+            let ctx = &self.ctx;
+            let group_exprs = &group_exprs;
+            let agg_args = &agg_args;
+            let parts = scoped_workers(morsels.len(), |i| {
+                group_morsel(ctx, &morsels[i], group_exprs, agg_args)
+            })?;
+            merge_group_states(parts)
+        };
+        finalize_groups(
+            &self.group_by,
+            &self.aggregates,
+            &group_exprs,
+            groups,
+            batch.schema(),
+        )
+        .map(Some)
     }
 
     fn close(&mut self) -> Result<()> {

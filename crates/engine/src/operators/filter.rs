@@ -1,6 +1,6 @@
 //! Row filtering.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::ast::Expr;
 use sdb_storage::RecordBatch;
@@ -19,14 +19,14 @@ use crate::Result;
 /// are stripped by the projection above, exactly as in the monolithic
 /// executor this pipeline replaced).
 pub struct Filter<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     input: BoxedOperator<'a>,
     predicate: Expr,
 }
 
 impl<'a> Filter<'a> {
     /// Creates a filter over `input`.
-    pub fn new(ctx: Rc<ExecContext<'a>>, input: BoxedOperator<'a>, predicate: Expr) -> Self {
+    pub fn new(ctx: Arc<ExecContext<'a>>, input: BoxedOperator<'a>, predicate: Expr) -> Self {
         Filter {
             ctx,
             input,

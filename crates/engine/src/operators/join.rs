@@ -1,25 +1,35 @@
-//! Joins: hash equi-join (with streaming probe side) and the nested-loop
-//! fallback for non-equi or missing ON conditions.
+//! Joins: hash equi-join (with streaming probe side and a morsel-parallel
+//! build side) and the nested-loop fallback for non-equi or missing ON
+//! conditions.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::ast::{Expr, JoinKind};
-use sdb_storage::{RecordBatch, Schema, Value};
+use sdb_storage::{partition_ranges, RecordBatch, Schema, Value};
 
 use super::expr::join_key_component;
 use super::oracle::resolve_for_exprs;
+use super::parallel::{effective_workers, scoped_workers};
 use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
 use crate::Result;
 
 /// Hash equi-join: builds a hash table over the materialised right side during
 /// `open()`, then streams left batches, probing per row.
 ///
+/// When `ctx.parallelism() > 1` the build side is indexed in parallel: the
+/// materialised (and oracle-resolved) right rows are split into contiguous
+/// per-worker morsels via [`partition_ranges`], each worker builds a partial
+/// key index over its morsel, and the partials are merged in morsel order —
+/// so every key's match list stays in ascending row order and the join output
+/// is byte-identical to the serial build.
+///
 /// Oracle-backed calls in the keys (e.g. `SDB_GROUP_TAG` equality surrogates)
-/// are resolved inline per side; the virtual columns feed only the key
-/// evaluation and never appear in the join output.
+/// are resolved inline per side *before* partitioning (oracle round trips stay
+/// serial and batched); the virtual columns feed only the key evaluation and
+/// never appear in the join output.
 pub struct HashJoin<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     left: BoxedOperator<'a>,
     right: BoxedOperator<'a>,
     kind: JoinKind,
@@ -38,7 +48,7 @@ struct BuildSide {
 impl<'a> HashJoin<'a> {
     /// Creates a hash join on the given oriented key pairs.
     pub fn new(
-        ctx: Rc<ExecContext<'a>>,
+        ctx: Arc<ExecContext<'a>>,
         left: BoxedOperator<'a>,
         right: BoxedOperator<'a>,
         kind: JoinKind,
@@ -81,6 +91,41 @@ impl<'a> HashJoin<'a> {
         ctx.record_udf_calls(&evaluator);
         Ok(Some(parts.join("\u{1f}")))
     }
+
+    /// Indexes the build side by key. With more than one worker, each worker
+    /// indexes one contiguous morsel of rows (global row numbers) and the
+    /// partial indexes are merged in morsel order.
+    fn build_index(
+        ctx: &ExecContext<'_>,
+        keys: &[Expr],
+        working: &RecordBatch,
+    ) -> Result<HashMap<String, Vec<usize>>> {
+        let workers = effective_workers(ctx.parallelism(), working.num_rows());
+        let ranges = partition_ranges(working.num_rows(), workers.max(1));
+        let partials: Vec<HashMap<String, Vec<usize>>> = scoped_workers(workers, |i| {
+            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            if let Some(range) = ranges.get(i) {
+                for row in range.clone() {
+                    if let Some(key) = Self::key_of(ctx, keys, working, row)? {
+                        index.entry(key).or_default().push(row);
+                    }
+                }
+            }
+            Ok(index)
+        })?;
+        let mut merged: HashMap<String, Vec<usize>> = HashMap::new();
+        // Morsel order: each key's row list stays in ascending global order.
+        for partial in partials {
+            if merged.is_empty() {
+                merged = partial;
+                continue;
+            }
+            for (key, rows) in partial {
+                merged.entry(key).or_default().extend(rows);
+            }
+        }
+        Ok(merged)
+    }
 }
 
 impl PhysicalOperator for HashJoin<'_> {
@@ -101,12 +146,7 @@ impl PhysicalOperator for HashJoin<'_> {
         // output rows come from the original (unaugmented) columns.
         let mut right_keys = self.right_keys.clone();
         let working = resolve_for_exprs(&self.ctx, right_rows.clone(), &mut right_keys)?;
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for row in 0..working.num_rows() {
-            if let Some(key) = Self::key_of(&self.ctx, &right_keys, &working, row)? {
-                index.entry(key).or_default().push(row);
-            }
-        }
+        let index = Self::build_index(&self.ctx, &right_keys, &working)?;
         self.build = Some(BuildSide {
             right_schema,
             right_rows,
@@ -165,7 +205,7 @@ impl PhysicalOperator for HashJoin<'_> {
 /// predicate is evaluated directly (it may still use plain UDFs and
 /// subqueries).
 pub struct NestedLoopJoin<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     left: BoxedOperator<'a>,
     right: BoxedOperator<'a>,
     kind: JoinKind,
@@ -176,7 +216,7 @@ pub struct NestedLoopJoin<'a> {
 impl<'a> NestedLoopJoin<'a> {
     /// Creates a nested-loop join.
     pub fn new(
-        ctx: Rc<ExecContext<'a>>,
+        ctx: Arc<ExecContext<'a>>,
         left: BoxedOperator<'a>,
         right: BoxedOperator<'a>,
         kind: JoinKind,

@@ -9,21 +9,66 @@
 //!
 //! One file per operator:
 //!
-//! * [`scan`] — base-table scan, chunked into batches;
+//! * [`scan`] — base-table scan, chunked into batches, with a
+//!   morsel-parallel variant;
 //! * [`filter`] — row filtering over a predicate;
 //! * [`project`] — projection / expression evaluation;
-//! * [`join`] — hash equi-join and the nested-loop fallback;
-//! * [`aggregate`] — hash aggregation with grouping;
+//! * [`join`] — hash equi-join (parallel build side) and the nested-loop
+//!   fallback;
+//! * [`aggregate`] — hash aggregation with grouping, with a partitioned
+//!   parallel variant;
 //! * [`sort`] — sort, limit and distinct (the order-shaping operators);
 //! * [`oracle`] — the SDB oracle-call operator resolving interactive protocol
 //!   steps (comparisons, group tags, ranks) with one batched round trip per
-//!   call.
+//!   call;
+//! * [`parallel`] — the partition-parallel execution layer (worker identity,
+//!   scoped-thread fan-out).
+//!
+//! ## Intra-query parallelism
+//!
+//! The context is `Send + Sync` ([`PhysicalOperator`] requires `Send`, so
+//! whole plans can cross threads) and the blocking operators fan their heavy
+//! phases out across `ctx.parallelism()` workers using `std::thread::scope`
+//! (see [`parallel`]):
+//!
+//! * [`scan::ParallelTableScan`] slices the table snapshot into per-worker
+//!   morsels and materialises the output batches concurrently;
+//! * [`join::HashJoin`] partitions its materialised build side and builds
+//!   per-worker hash indexes that are merged in morsel order;
+//! * [`aggregate::ParallelHashAggregate`] partitions its input via
+//!   [`RecordBatch::partition`], accumulates per-worker group states and
+//!   merges them at drain in global first-occurrence order.
+//!
+//! Partitioning is always by contiguous, in-order morsels and every merge
+//! step preserves morsel order, so parallel execution is **byte-identical**
+//! to serial execution for the same plan.
+//!
+//! ## Knobs
+//!
+//! * `parallelism` (default: available cores; `1` = the serial plans) decides
+//!   whether [`crate::planner::PhysicalPlanner`] inserts the parallel
+//!   variants and how many workers each fan-out uses.
+//! * `batch_size` (default [`DEFAULT_BATCH_SIZE`]) is the number of rows per
+//!   batch flowing between operators.
+//!
+//! Both are fields on [`ExecContext`] with builder-style setters, exposed
+//! through [`crate::SpEngine::with_parallelism`] and
+//! [`crate::SpEngine::with_batch_size`].
+//!
+//! ## Statistics and RNG under parallelism
+//!
+//! Statistics are sharded per worker ([`crate::stats::ShardedStats`]): worker
+//! `i` accumulates into shard `i` without contending with its siblings, and
+//! [`ExecContext::stats`] merges all shards into one snapshot. The
+//! comparison-blinding RNG is likewise per worker, with thread-indexed seeds
+//! (`seed + worker`) so seeded runs stay deterministic at any parallelism.
 
 pub mod aggregate;
 pub mod expr;
 pub mod filter;
 pub mod join;
 pub mod oracle;
+pub mod parallel;
 pub mod project;
 pub mod scan;
 pub mod sort;
@@ -31,12 +76,12 @@ pub mod sort;
 #[cfg(test)]
 mod tests;
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
+use parking_lot::{Mutex, MutexGuard};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use sdb_sql::ast::Query;
 use sdb_sql::plan::PlanBuilder;
@@ -44,7 +89,7 @@ use sdb_storage::{Catalog, RecordBatch, Schema, Value};
 
 use crate::eval::{Evaluator, SubqueryResolver};
 use crate::secure::OracleRef;
-use crate::stats::ExecutionStats;
+use crate::stats::{ExecutionStats, ShardedStats};
 use crate::udf::UdfRegistry;
 use crate::{EngineError, Result};
 
@@ -57,7 +102,10 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 /// `close()`. Operators own their children; blocking operators (hash join
 /// build side, aggregation, sort) drain their input during `open()` or on the
 /// first `next_batch()` call.
-pub trait PhysicalOperator {
+///
+/// `Send` is a supertrait so whole plans can cross threads: a boxed operator
+/// tree may be built on one thread and driven on another.
+pub trait PhysicalOperator: Send {
     /// A short name for debugging and plan rendering (e.g. `"HashJoin"`).
     fn name(&self) -> &'static str;
 
@@ -75,36 +123,75 @@ pub trait PhysicalOperator {
 pub type BoxedOperator<'a> = Box<dyn PhysicalOperator + 'a>;
 
 /// Shared execution state for one query: catalog and registry references, the
-/// oracle connection, statistics, the blinding RNG and the subquery cache.
+/// oracle connection, sharded statistics, the per-worker blinding RNGs and
+/// the subquery cache.
+///
+/// The context is `Send + Sync` and shared as an `Arc` so parallel operators
+/// can hand it to scoped worker threads. Worker-local state (the statistics
+/// shard, the RNG) is selected by the thread's worker id
+/// ([`parallel::current_worker`]).
 pub struct ExecContext<'a> {
     catalog: &'a Catalog,
     registry: &'a UdfRegistry,
     oracle: Option<OracleRef>,
-    stats: RefCell<ExecutionStats>,
-    rng: RefCell<StdRng>,
-    subquery_cache: RefCell<HashMap<String, RecordBatch>>,
+    stats: ShardedStats,
+    /// One blinding RNG per worker; seeded runs use thread-indexed seeds
+    /// (`seed + worker`) so parallelism cannot change a seeded run's stream.
+    rngs: Vec<Mutex<StdRng>>,
+    rng_seed: Option<u64>,
+    /// Results of uncorrelated subqueries: bucketed by the cheap SQL
+    /// rendering, then matched by full structural equality on the query AST —
+    /// so two parameterisations that happen to display the same SQL text
+    /// cannot collide, and cache hits never rebuild a plan.
+    subquery_cache: Mutex<HashMap<String, Vec<(Query, RecordBatch)>>>,
     batch_size: usize,
+    parallelism: usize,
 }
 
 impl<'a> ExecContext<'a> {
     /// Creates a context. `oracle` is the connection back to the DO proxy for
     /// interactive protocol steps; pass `None` for plaintext-only workloads.
+    ///
+    /// Parallelism defaults to the number of available cores; batch size to
+    /// [`DEFAULT_BATCH_SIZE`].
     pub fn new(catalog: &'a Catalog, registry: &'a UdfRegistry, oracle: Option<OracleRef>) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ExecContext {
             catalog,
             registry,
             oracle,
-            stats: RefCell::new(ExecutionStats::default()),
-            rng: RefCell::new(StdRng::from_entropy()),
-            subquery_cache: RefCell::new(HashMap::new()),
+            stats: ShardedStats::new(parallelism),
+            rngs: Self::entropy_rngs(parallelism),
+            rng_seed: None,
+            subquery_cache: Mutex::new(HashMap::new()),
             batch_size: DEFAULT_BATCH_SIZE,
+            parallelism,
         }
     }
 
-    /// Uses a fixed RNG seed for the comparison-blinding factors (tests only).
+    fn entropy_rngs(workers: usize) -> Vec<Mutex<StdRng>> {
+        // One OS entropy draw, then derived per-worker streams: seeding every
+        // worker from the OS would cost one entropy read per core per query.
+        let mut master = StdRng::from_entropy();
+        (0..workers.max(1))
+            .map(|_| Mutex::new(StdRng::seed_from_u64(master.gen())))
+            .collect()
+    }
+
+    fn seeded_rngs(seed: u64, workers: usize) -> Vec<Mutex<StdRng>> {
+        (0..workers.max(1) as u64)
+            .map(|i| Mutex::new(StdRng::seed_from_u64(seed.wrapping_add(i))))
+            .collect()
+    }
+
+    /// Uses fixed, thread-indexed RNG seeds for the comparison-blinding
+    /// factors (worker `i` draws from `seed + i`; tests only).
     pub fn with_rng_seed(self, seed: u64) -> Self {
         ExecContext {
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            rngs: Self::seeded_rngs(seed, self.parallelism),
+            rng_seed: Some(seed),
             ..self
         }
     }
@@ -115,6 +202,27 @@ impl<'a> ExecContext<'a> {
     pub fn with_batch_size(self, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         ExecContext { batch_size, ..self }
+    }
+
+    /// Overrides the number of workers parallel operators may use (`1`
+    /// selects the serial plans). Resizes the statistics shards and the
+    /// per-worker RNG pool, preserving any configured seed.
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn with_parallelism(self, parallelism: usize) -> Self {
+        assert!(parallelism > 0, "parallelism must be positive");
+        if parallelism == self.parallelism {
+            return self;
+        }
+        ExecContext {
+            stats: ShardedStats::new(parallelism),
+            rngs: match self.rng_seed {
+                Some(seed) => Self::seeded_rngs(seed, parallelism),
+                None => Self::entropy_rngs(parallelism),
+            },
+            parallelism,
+            ..self
+        }
     }
 
     /// The catalog queries run against.
@@ -137,19 +245,26 @@ impl<'a> ExecContext<'a> {
         self.batch_size
     }
 
-    /// A snapshot of the statistics accumulated so far.
+    /// Number of workers parallel operators may fan out to (`1` = serial).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// A snapshot of the statistics accumulated so far, merged across all
+    /// worker shards.
     pub fn stats(&self) -> ExecutionStats {
-        self.stats.borrow().clone()
+        self.stats.snapshot()
     }
 
-    /// Mutable access to the statistics (operators record as they run).
-    pub(crate) fn stats_mut(&self) -> std::cell::RefMut<'_, ExecutionStats> {
-        self.stats.borrow_mut()
+    /// Locks the current worker's statistics shard (operators record as they
+    /// run; workers never contend with their siblings).
+    pub(crate) fn stats_mut(&self) -> MutexGuard<'_, ExecutionStats> {
+        self.stats.shard(parallel::current_worker())
     }
 
-    /// Mutable access to the blinding RNG.
-    pub(crate) fn rng_mut(&self) -> std::cell::RefMut<'_, StdRng> {
-        self.rng.borrow_mut()
+    /// Locks the current worker's blinding RNG.
+    pub(crate) fn rng_mut(&self) -> MutexGuard<'_, StdRng> {
+        self.rngs[parallel::current_worker() % self.rngs.len()].lock()
     }
 
     /// An expression evaluator wired to this context's registry and subquery
@@ -160,7 +275,7 @@ impl<'a> ExecContext<'a> {
 
     /// Folds an evaluator's UDF counter into the statistics.
     pub(crate) fn record_udf_calls(&self, evaluator: &Evaluator<'_>) {
-        self.stats.borrow_mut().udf_calls += evaluator.udf_calls();
+        self.stats_mut().udf_calls += evaluator.udf_calls();
     }
 }
 
@@ -192,20 +307,39 @@ impl SubqueryResolver for ExecContext<'_> {
 
 impl ExecContext<'_> {
     /// Plans and runs an uncorrelated subquery against the same catalog,
-    /// registry and oracle, caching the result by its SQL rendering. The
-    /// subquery's statistics are merged into this context's totals.
+    /// registry and oracle, caching the result. Entries are bucketed by the
+    /// SQL rendering and matched by structural equality on the query AST
+    /// (literal types and every parameter value included), so distinct
+    /// parameterisations that display the same SQL text get distinct cache
+    /// entries. The subquery's statistics are merged into this context's
+    /// totals.
+    ///
+    /// The whole lookup-or-execute runs under the cache lock: concurrent
+    /// parallel workers needing the same subquery wait for the first
+    /// execution instead of racing to duplicate it (and its oracle round
+    /// trips and statistics). Subqueries themselves run serially — they may
+    /// already be executing on a parallel worker, and nesting thread scopes
+    /// per subquery would oversubscribe the machine for work that is cached
+    /// after its first execution.
     fn run_subquery(&self, query: &Query) -> Result<RecordBatch> {
         let key = query.to_string();
-        if let Some(cached) = self.subquery_cache.borrow().get(&key) {
-            return Ok(cached.clone());
+        let mut cache = self.subquery_cache.lock();
+        if let Some(entries) = cache.get(&key) {
+            if let Some((_, batch)) = entries.iter().find(|(q, _)| q == query) {
+                return Ok(batch.clone());
+            }
         }
         let plan = PlanBuilder::build(query)?;
         let sub = ExecContext::new(self.catalog, self.registry, self.oracle.clone())
-            .with_batch_size(self.batch_size);
-        let batch = execute_plan(&Rc::new(sub), &plan, |sub_stats| {
-            self.stats.borrow_mut().merge(sub_stats);
+            .with_batch_size(self.batch_size)
+            .with_parallelism(1);
+        let batch = execute_plan(&Arc::new(sub), &plan, |sub_stats| {
+            self.stats_mut().merge(sub_stats);
         })?;
-        self.subquery_cache.borrow_mut().insert(key, batch.clone());
+        cache
+            .entry(key)
+            .or_default()
+            .push((query.clone(), batch.clone()));
         Ok(batch)
     }
 }
@@ -214,13 +348,13 @@ impl ExecContext<'_> {
 /// batches. `on_finish` receives the context's final statistics (used to merge
 /// subquery stats into a parent).
 pub(crate) fn execute_plan<'a>(
-    ctx: &Rc<ExecContext<'a>>,
+    ctx: &Arc<ExecContext<'a>>,
     plan: &sdb_sql::plan::LogicalPlan,
     on_finish: impl FnOnce(&ExecutionStats),
 ) -> Result<RecordBatch> {
-    let mut root = crate::planner::PhysicalPlanner::new(Rc::clone(ctx)).plan(plan)?;
+    let mut root = crate::planner::PhysicalPlanner::new(Arc::clone(ctx)).plan(plan)?;
     let batch = drain_operator(root.as_mut())?;
-    ctx.stats.borrow_mut().rows_returned = batch.num_rows();
+    ctx.stats_mut().rows_returned = batch.num_rows();
     on_finish(&ctx.stats());
     Ok(batch)
 }

@@ -24,7 +24,7 @@ use crate::secure::{
     OracleRow,
 };
 use crate::{EngineError, Result};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Physical operator materialising oracle-backed calls as virtual columns.
 ///
@@ -36,7 +36,7 @@ use std::rc::Rc;
 /// materialised input in a single round trip — exactly the guarantee ORDER BY
 /// and MIN/MAX over sensitive columns need.
 pub struct OracleResolve<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     input: BoxedOperator<'a>,
     calls: Vec<Expr>,
     /// True when any call demands whole-input resolution (rank surrogates).
@@ -46,7 +46,7 @@ pub struct OracleResolve<'a> {
 
 impl<'a> OracleResolve<'a> {
     /// Creates the operator for the given (deduplicated) oracle calls.
-    pub fn new(ctx: Rc<ExecContext<'a>>, input: BoxedOperator<'a>, calls: Vec<Expr>) -> Self {
+    pub fn new(ctx: Arc<ExecContext<'a>>, input: BoxedOperator<'a>, calls: Vec<Expr>) -> Self {
         let blocking = calls.iter().any(|call| match call {
             Expr::Function { name, .. } => name.eq_ignore_ascii_case(oracle_fns::RANK),
             _ => false,

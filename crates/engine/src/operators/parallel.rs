@@ -1,0 +1,116 @@
+//! The partition-parallel execution layer: worker identity and scoped-thread
+//! fan-out.
+//!
+//! Parallel operators split their (materialised) input into contiguous
+//! morsels — via [`sdb_storage::RecordBatch::partition`] or
+//! [`sdb_storage::partition_ranges`] — and run one closure per morsel on a
+//! `std::thread::scope` (the same pattern the proxy's upload path uses for
+//! row encryption). Each worker thread carries a *worker id* in a
+//! thread-local, which [`super::ExecContext`] uses to route statistics to the
+//! worker's own shard and RNG draws to the worker's own thread-indexed-seed
+//! generator. Merging always happens in morsel order, so parallel results are
+//! byte-identical to serial ones.
+
+use std::cell::Cell;
+
+use crate::Result;
+
+thread_local! {
+    /// The executing thread's worker id (0 on the main thread).
+    static WORKER_ID: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The current thread's worker id; selects the statistics shard and RNG.
+pub(crate) fn current_worker() -> usize {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Runs `f` with the thread's worker id set to `id`, restoring the previous
+/// id afterwards.
+pub(crate) fn run_as_worker<R>(id: usize, f: impl FnOnce() -> R) -> R {
+    WORKER_ID.with(|w| {
+        let previous = w.replace(id);
+        let result = f();
+        w.set(previous);
+        result
+    })
+}
+
+/// Fan-outs keep at least this many rows per worker: below it, spawning and
+/// joining a thread costs more than the per-row work it would absorb, so
+/// small inputs stay on the calling thread.
+pub(crate) const MIN_MORSEL_ROWS: usize = 128;
+
+/// How many workers a fan-out over `rows` rows should actually use: never
+/// more than the context allows, and never so many that a worker's morsel
+/// drops below [`MIN_MORSEL_ROWS`].
+pub(crate) fn effective_workers(parallelism: usize, rows: usize) -> usize {
+    parallelism.min(rows.div_ceil(MIN_MORSEL_ROWS)).max(1)
+}
+
+/// Fans `task` out across `workers` scoped threads (worker `i` receives index
+/// `i`) and collects the results in worker order. With one worker the task
+/// runs inline on the calling thread. A panicking worker propagates the
+/// panic; the first worker error (in worker order) is returned.
+pub(crate) fn scoped_workers<T: Send>(
+    workers: usize,
+    task: impl Fn(usize) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
+    if workers <= 1 {
+        return Ok(vec![task(0)?]);
+    }
+    std::thread::scope(|scope| {
+        let task = &task;
+        let handles: Vec<_> = (0..workers)
+            .map(|i| scope.spawn(move || run_as_worker(i, || task(i))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_id_is_scoped_and_restored() {
+        assert_eq!(current_worker(), 0);
+        let inner = run_as_worker(3, || {
+            let nested = run_as_worker(5, current_worker);
+            (current_worker(), nested)
+        });
+        assert_eq!(inner, (3, 5));
+        assert_eq!(current_worker(), 0);
+    }
+
+    #[test]
+    fn scoped_workers_preserve_order_and_ids() {
+        let results = scoped_workers(4, |i| Ok((i, current_worker()))).unwrap();
+        assert_eq!(results, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn scoped_workers_propagate_errors() {
+        let err = scoped_workers(3, |i| {
+            if i == 1 {
+                Err(crate::EngineError::Unsupported {
+                    detail: "boom".into(),
+                })
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn effective_worker_clamping() {
+        assert_eq!(effective_workers(8, 3), 1, "tiny inputs stay serial");
+        assert_eq!(effective_workers(8, 300), 3, "morsels keep ≥128 rows");
+        assert_eq!(effective_workers(2, 100_000), 2);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+}

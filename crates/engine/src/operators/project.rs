@@ -1,7 +1,7 @@
 //! Projection: expression evaluation into named output columns.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::ast::Expr;
 use sdb_sql::plan::ProjectionItem;
@@ -38,7 +38,7 @@ struct StagedBatch {
 /// [`super::oracle::OracleResolve`] child; wildcard expansion skips them so
 /// `SELECT *` output matches the logical input schema.
 pub struct Project<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     input: BoxedOperator<'a>,
     items: Vec<ProjectionItem>,
     virtual_columns: Vec<String>,
@@ -57,7 +57,7 @@ pub struct Project<'a> {
 impl<'a> Project<'a> {
     /// Creates a projection over `input`.
     pub fn new(
-        ctx: Rc<ExecContext<'a>>,
+        ctx: Arc<ExecContext<'a>>,
         input: BoxedOperator<'a>,
         items: Vec<ProjectionItem>,
         virtual_columns: Vec<String>,

@@ -1,19 +1,44 @@
-//! Base-table scan.
+//! Base-table scan: the serial chunked scan and its morsel-parallel variant.
 
-use std::rc::Rc;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
-use sdb_storage::{ColumnDef, RecordBatch, Schema};
+use sdb_storage::{partition_ranges, ColumnDef, RecordBatch, Schema};
 
+use super::parallel::{effective_workers, scoped_workers};
 use super::{ExecContext, PhysicalOperator};
 use crate::Result;
 
+/// Takes a snapshot of `table` with column names qualified by the visible
+/// table name (the alias if one was given) so joins and qualified references
+/// resolve; bare references still work through the schema's suffix matching.
+fn qualified_snapshot(
+    ctx: &ExecContext<'_>,
+    table: &str,
+    alias: Option<&str>,
+) -> Result<RecordBatch> {
+    let handle = ctx.catalog().table(table)?;
+    let guard = handle.read();
+    let batch = guard.scan();
+    let visible = alias.unwrap_or(table);
+    let qualified = Schema::new(
+        batch
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| ColumnDef {
+                name: format!("{visible}.{}", c.name),
+                data_type: c.data_type,
+                sensitivity: c.sensitivity,
+            })
+            .collect(),
+    );
+    Ok(RecordBatch::new(qualified, batch.columns().to_vec())?)
+}
+
 /// Scans a catalog table, emitting batches of at most `ctx.batch_size()` rows.
-///
-/// Column names are qualified with the visible table name (the alias if one
-/// was given) so joins and qualified references resolve; bare references still
-/// work through the schema's suffix matching.
 pub struct TableScan<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     table: String,
     alias: Option<String>,
     /// The table snapshot, taken at `open()`.
@@ -27,7 +52,7 @@ pub struct TableScan<'a> {
 
 impl<'a> TableScan<'a> {
     /// Creates a scan of `table` (visible under `alias` if given).
-    pub fn new(ctx: Rc<ExecContext<'a>>, table: &str, alias: Option<&str>) -> Self {
+    pub fn new(ctx: Arc<ExecContext<'a>>, table: &str, alias: Option<&str>) -> Self {
         TableScan {
             ctx,
             table: table.to_string(),
@@ -45,25 +70,11 @@ impl PhysicalOperator for TableScan<'_> {
     }
 
     fn open(&mut self) -> Result<()> {
-        let handle = self.ctx.catalog().table(&self.table)?;
-        let guard = handle.read();
-        let batch = guard.scan();
-        let visible = self.alias.as_deref().unwrap_or(&self.table);
-
-        // Qualify column names with the visible table name.
-        let qualified = Schema::new(
-            batch
-                .schema()
-                .columns()
-                .iter()
-                .map(|c| ColumnDef {
-                    name: format!("{visible}.{}", c.name),
-                    data_type: c.data_type,
-                    sensitivity: c.sensitivity,
-                })
-                .collect(),
-        );
-        self.source = Some(RecordBatch::new(qualified, batch.columns().to_vec())?);
+        self.source = Some(qualified_snapshot(
+            &self.ctx,
+            &self.table,
+            self.alias.as_deref(),
+        )?);
         self.offset = 0;
         self.emitted = false;
         Ok(())
@@ -108,6 +119,83 @@ impl PhysicalOperator for TableScan<'_> {
 
     fn close(&mut self) -> Result<()> {
         self.source = None;
+        Ok(())
+    }
+}
+
+/// Morsel-parallel table scan: `open()` splits the snapshot's row range into
+/// one contiguous morsel per worker and materialises each morsel's batches on
+/// a scoped worker thread; `next_batch()` then replays the chunks in global
+/// row order, accounting `rows_scanned` as chunks are actually handed
+/// downstream (so a consumer that stops early — `LIMIT` — reports roughly the
+/// same scan count as the serial scan).
+///
+/// The emitted rows (and their order) are identical to [`TableScan`]'s; only
+/// the batch boundaries may differ, since each morsel is chunked
+/// independently. Unlike the serial scan, the slicing work all happens at
+/// `open()` — a `LIMIT` above this operator saves emission, not
+/// materialisation (a limit-aware planner choice is a ROADMAP item).
+pub struct ParallelTableScan<'a> {
+    ctx: Arc<ExecContext<'a>>,
+    table: String,
+    alias: Option<String>,
+    chunks: VecDeque<RecordBatch>,
+}
+
+impl<'a> ParallelTableScan<'a> {
+    /// Creates a parallel scan of `table` (visible under `alias` if given).
+    pub fn new(ctx: Arc<ExecContext<'a>>, table: &str, alias: Option<&str>) -> Self {
+        ParallelTableScan {
+            ctx,
+            table: table.to_string(),
+            alias: alias.map(str::to_string),
+            chunks: VecDeque::new(),
+        }
+    }
+}
+
+impl PhysicalOperator for ParallelTableScan<'_> {
+    fn name(&self) -> &'static str {
+        "ParallelTableScan"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        let snapshot = qualified_snapshot(&self.ctx, &self.table, self.alias.as_deref())?;
+        let total = snapshot.num_rows();
+        if total == 0 {
+            // Empty table: one empty batch carrying the schema.
+            self.chunks = VecDeque::from([RecordBatch::empty(snapshot.schema().clone())]);
+            return Ok(());
+        }
+        let workers = effective_workers(self.ctx.parallelism(), total);
+        let ranges = partition_ranges(total, workers);
+        let batch_size = self.ctx.batch_size();
+        let snapshot = &snapshot;
+        let per_worker: Vec<Vec<RecordBatch>> = scoped_workers(workers, |i| {
+            let range = ranges[i].clone();
+            let mut out = Vec::with_capacity((range.len()).div_ceil(batch_size));
+            let mut offset = range.start;
+            while offset < range.end {
+                let take = batch_size.min(range.end - offset);
+                out.push(snapshot.slice(offset, take)?);
+                offset += take;
+            }
+            Ok(out)
+        })?;
+        self.chunks = per_worker.into_iter().flatten().collect();
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        let chunk = self.chunks.pop_front();
+        if let Some(chunk) = &chunk {
+            self.ctx.stats_mut().rows_scanned += chunk.num_rows();
+        }
+        Ok(chunk)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.chunks.clear();
         Ok(())
     }
 }

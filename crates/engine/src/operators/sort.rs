@@ -1,7 +1,7 @@
 //! The order-shaping operators: sort, limit and distinct.
 
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::plan::SortKey;
 use sdb_storage::{RecordBatch, Schema, Value};
@@ -16,7 +16,7 @@ use crate::Result;
 /// Oracle-backed sort keys (e.g. `SDB_RANK` surrogates) are materialised by an
 /// [`super::oracle::OracleResolve`] child inserted by the planner.
 pub struct Sort<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
     input: BoxedOperator<'a>,
     keys: Vec<SortKey>,
     done: bool,
@@ -24,7 +24,7 @@ pub struct Sort<'a> {
 
 impl<'a> Sort<'a> {
     /// Creates a sort over `input`.
-    pub fn new(ctx: Rc<ExecContext<'a>>, input: BoxedOperator<'a>, keys: Vec<SortKey>) -> Self {
+    pub fn new(ctx: Arc<ExecContext<'a>>, input: BoxedOperator<'a>, keys: Vec<SortKey>) -> Self {
         Sort {
             ctx,
             input,

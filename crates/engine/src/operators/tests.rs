@@ -1,7 +1,7 @@
 //! Unit tests for the individual physical operators: empty inputs, single
 //! batches, and multi-batch boundaries.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::ast::{BinaryOp, Expr, JoinKind, Literal};
 use sdb_sql::plan::{AggFunc, AggregateExpr, ProjectionItem, SortKey};
@@ -113,8 +113,8 @@ fn scan_chunks_by_batch_size() {
     let rows: Vec<(i64, i64)> = (0..5).map(|i| (i, i * 10)).collect();
     let catalog = catalog_with_numbers(&rows);
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(2));
-    let mut scan = TableScan::new(Rc::clone(&ctx), "numbers", None);
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(2));
+    let mut scan = TableScan::new(Arc::clone(&ctx), "numbers", None);
     scan.open().unwrap();
     let sizes: Vec<usize> = std::iter::from_fn(|| scan.next_batch().unwrap())
         .map(|b| b.num_rows())
@@ -128,11 +128,63 @@ fn scan_chunks_by_batch_size() {
 fn scan_of_empty_table_emits_schema_batch() {
     let catalog = catalog_with_numbers(&[]);
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let mut scan = TableScan::new(ctx, "numbers", Some("n"));
     let batch = drain_operator(&mut scan).unwrap();
     assert_eq!(batch.num_rows(), 0);
     assert_eq!(batch.schema().column_at(0).name, "n.a");
+}
+
+#[test]
+fn parallel_scan_matches_serial_rows_and_stats() {
+    use super::scan::ParallelTableScan;
+    // 300 rows: enough for the MIN_MORSEL_ROWS floor to grant three workers.
+    let rows: Vec<(i64, i64)> = (0..300).map(|i| (i, i * 10)).collect();
+    let catalog = catalog_with_numbers(&rows);
+    let reg = registry();
+
+    let serial_ctx = Arc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(32));
+    let mut serial = TableScan::new(Arc::clone(&serial_ctx), "numbers", None);
+    let expected = drain_operator(&mut serial).unwrap();
+
+    let ctx = Arc::new(
+        ExecContext::new(&catalog, &reg, None)
+            .with_batch_size(32)
+            .with_parallelism(3),
+    );
+    let mut scan = ParallelTableScan::new(Arc::clone(&ctx), "numbers", None);
+    let out = drain_operator(&mut scan).unwrap();
+    assert_eq!(
+        out, expected,
+        "parallel scan must preserve global row order"
+    );
+    assert_eq!(
+        ctx.stats().rows_scanned,
+        300,
+        "emitted chunks must account the full scan count"
+    );
+}
+
+#[test]
+fn parallel_scan_of_empty_table_emits_schema_batch() {
+    use super::scan::ParallelTableScan;
+    let catalog = catalog_with_numbers(&[]);
+    let reg = registry();
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None).with_parallelism(4));
+    let mut scan = ParallelTableScan::new(ctx, "numbers", Some("n"));
+    let batch = drain_operator(&mut scan).unwrap();
+    assert_eq!(batch.num_rows(), 0);
+    assert_eq!(batch.schema().column_at(0).name, "n.a");
+}
+
+/// Plans must be able to cross threads: `PhysicalOperator` has `Send` as a
+/// supertrait, so a boxed operator tree is `Send` (compile-time check).
+#[test]
+fn operator_trees_are_send() {
+    fn assert_send<T: Send>(_: &T) {}
+    let batches = int_batches(&ab_schema(), &[&[(1, 1)]]);
+    let op: BoxedOperator<'static> = FixedBatches::boxed(batches);
+    assert_send(&op);
 }
 
 // ---------------------------------------------------------------------------
@@ -143,13 +195,13 @@ fn scan_of_empty_table_emits_schema_batch() {
 fn filter_across_batches_and_empty_input() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
 
     // Predicate a > 2 over batches [(1,1),(3,3)] and [(5,5)].
     let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1), (3, 3)], &[(5, 5)]]));
     let predicate = Expr::binary(col("a"), BinaryOp::Gt, int(2));
-    let mut filter = Filter::new(Rc::clone(&ctx), input, predicate.clone());
+    let mut filter = Filter::new(Arc::clone(&ctx), input, predicate.clone());
     let out = drain_operator(&mut filter).unwrap();
     assert_eq!(out.num_rows(), 2);
     assert_eq!(out.column(0).get(0), &Value::Int(3));
@@ -170,7 +222,7 @@ fn filter_across_batches_and_empty_input() {
 fn project_computes_per_batch() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 10)], &[(2, 20)], &[]]));
     let items = vec![
@@ -218,11 +270,11 @@ fn join_sides(schema: &Schema) -> (BoxedOperator<'static>, BoxedOperator<'static
 fn hash_join_streams_probe_batches() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     let (left, right) = join_sides(&schema);
     let mut join = HashJoin::new(
-        Rc::clone(&ctx),
+        Arc::clone(&ctx),
         left,
         right,
         JoinKind::Inner,
@@ -253,13 +305,13 @@ fn hash_join_streams_probe_batches() {
 fn hash_join_with_empty_sides() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     let empty = || FixedBatches::boxed(vec![RecordBatch::empty(ab_schema())]);
 
     let left = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1)]]));
     let mut join = HashJoin::new(
-        Rc::clone(&ctx),
+        Arc::clone(&ctx),
         left,
         empty(),
         JoinKind::Inner,
@@ -286,7 +338,7 @@ fn hash_join_with_empty_sides() {
 fn nested_loop_join_applies_predicate() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     let (left, right) = join_sides(&schema);
     let on = Expr::binary(col("a"), BinaryOp::Lt, col("k"));
@@ -304,7 +356,7 @@ fn nested_loop_join_applies_predicate() {
 fn aggregate_groups_across_batch_boundaries() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     // Group 1 spans both batches.
     let input = FixedBatches::boxed(int_batches(&schema, &[&[(1, 10), (2, 20)], &[(1, 30)]]));
@@ -329,7 +381,7 @@ fn aggregate_groups_across_batch_boundaries() {
 fn global_aggregate_over_empty_input_yields_one_row() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let input = FixedBatches::boxed(vec![RecordBatch::empty(ab_schema())]);
     let mut aggregate = HashAggregate::new(
         ctx,
@@ -355,7 +407,7 @@ fn global_aggregate_over_empty_input_yields_one_row() {
 fn sort_merges_batches() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = ab_schema();
     let input = FixedBatches::boxed(int_batches(&schema, &[&[(3, 0), (1, 0)], &[(2, 0)]]));
     let keys = vec![SortKey {
@@ -477,9 +529,9 @@ fn rank_calls_resolve_in_one_round_trip_across_batches() {
 
     // Rank surrogates are only comparable within one request: multi-batch
     // input must still produce exactly one round trip.
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, Some(oracle.clone())));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, Some(oracle.clone())));
     let input = FixedBatches::boxed(encrypted_batches(3, 2));
-    let mut resolve = OracleResolve::new(Rc::clone(&ctx), input, vec![oracle_call("SDB_RANK")]);
+    let mut resolve = OracleResolve::new(Arc::clone(&ctx), input, vec![oracle_call("SDB_RANK")]);
     let out = drain_operator(&mut resolve).unwrap();
     assert_eq!(out.num_rows(), 6);
     assert_eq!(
@@ -492,10 +544,10 @@ fn rank_calls_resolve_in_one_round_trip_across_batches() {
 
     // Group tags are a stable PRF of the plaintext, so per-batch round trips
     // are correct (and preserve streaming).
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, Some(oracle)));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, Some(oracle)));
     let input = FixedBatches::boxed(encrypted_batches(3, 2));
     let mut resolve =
-        OracleResolve::new(Rc::clone(&ctx), input, vec![oracle_call("SDB_GROUP_TAG")]);
+        OracleResolve::new(Arc::clone(&ctx), input, vec![oracle_call("SDB_GROUP_TAG")]);
     let out = drain_operator(&mut resolve).unwrap();
     assert_eq!(out.num_rows(), 6);
     assert_eq!(ctx.stats().oracle_round_trips, 3, "tags resolve per batch");
@@ -509,7 +561,7 @@ fn rank_calls_resolve_in_one_round_trip_across_batches() {
 fn project_locks_computed_types_across_null_leading_batches() {
     let catalog = Catalog::new();
     let reg = registry();
-    let ctx = Rc::new(ExecContext::new(&catalog, &reg, None));
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
     let schema = Schema::new(vec![
         ColumnDef::public("a", DataType::Int),
         ColumnDef::public("name", DataType::Varchar),

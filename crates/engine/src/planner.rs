@@ -1,37 +1,42 @@
 //! Lowers [`LogicalPlan`]s into physical-operator trees.
 //!
 //! The planner is deliberately thin: operator selection (hash vs nested-loop
-//! join), oracle-call placement ([`OracleResolve`] children under the
-//! operators whose expressions need interactive protocol steps) and
-//! name-resolution schemas for join-key classification. Runtime concerns —
-//! expression binding, type inference, the actual oracle round trips — live in
-//! the operators themselves.
+//! join, serial vs parallel variants), oracle-call placement ([`OracleResolve`]
+//! children under the operators whose expressions need interactive protocol
+//! steps) and name-resolution schemas for join-key classification. Runtime
+//! concerns — expression binding, type inference, the actual oracle round
+//! trips — live in the operators themselves.
+//!
+//! When the context's `parallelism` knob is above one, scans lower to
+//! [`ParallelTableScan`] and aggregations to [`ParallelHashAggregate`]
+//! (morsel-parallel variants with byte-identical output); [`HashJoin`]
+//! parallelises its build side internally under the same knob.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sdb_sql::ast::{Expr, JoinKind};
 use sdb_sql::plan::{LogicalPlan, ProjectionItem};
 use sdb_storage::{ColumnDef, DataType, RecordBatch, Schema};
 
-use crate::operators::aggregate::HashAggregate;
+use crate::operators::aggregate::{HashAggregate, ParallelHashAggregate};
 use crate::operators::expr::{classify_equi_conjunct, conjoin, split_conjuncts};
 use crate::operators::filter::Filter;
 use crate::operators::join::{HashJoin, NestedLoopJoin};
 use crate::operators::oracle::{collect_oracle_calls_all, OracleResolve};
 use crate::operators::project::Project;
-use crate::operators::scan::TableScan;
+use crate::operators::scan::{ParallelTableScan, TableScan};
 use crate::operators::sort::{Distinct, Limit, Sort};
 use crate::operators::{BoxedOperator, ExecContext};
 use crate::Result;
 
 /// Plans physical execution for one query against a shared [`ExecContext`].
 pub struct PhysicalPlanner<'a> {
-    ctx: Rc<ExecContext<'a>>,
+    ctx: Arc<ExecContext<'a>>,
 }
 
 impl<'a> PhysicalPlanner<'a> {
     /// Creates a planner over the given context.
-    pub fn new(ctx: Rc<ExecContext<'a>>) -> Self {
+    pub fn new(ctx: Arc<ExecContext<'a>>) -> Self {
         PhysicalPlanner { ctx }
     }
 
@@ -66,14 +71,26 @@ impl<'a> PhysicalPlanner<'a> {
                         })
                         .collect(),
                 );
-                let scan = TableScan::new(Rc::clone(&self.ctx), table, alias.as_deref());
-                Ok((Box::new(scan), names))
+                let scan: BoxedOperator<'a> = if self.ctx.parallelism() > 1 {
+                    Box::new(ParallelTableScan::new(
+                        Arc::clone(&self.ctx),
+                        table,
+                        alias.as_deref(),
+                    ))
+                } else {
+                    Box::new(TableScan::new(
+                        Arc::clone(&self.ctx),
+                        table,
+                        alias.as_deref(),
+                    ))
+                };
+                Ok((scan, names))
             }
 
             LogicalPlan::Filter { input, predicate } => {
                 let (child, schema) = self.lower(input)?;
                 let child = self.with_oracle_resolve(child, std::slice::from_ref(predicate));
-                let filter = Filter::new(Rc::clone(&self.ctx), child, predicate.clone());
+                let filter = Filter::new(Arc::clone(&self.ctx), child, predicate.clone());
                 Ok((Box::new(filter), schema))
             }
 
@@ -105,7 +122,7 @@ impl<'a> PhysicalPlanner<'a> {
                     }
                 }
                 let project =
-                    Project::new(Rc::clone(&self.ctx), child, items.clone(), virtual_columns);
+                    Project::new(Arc::clone(&self.ctx), child, items.clone(), virtual_columns);
                 Ok((Box::new(project), Schema::new(names)))
             }
 
@@ -144,7 +161,7 @@ impl<'a> PhysicalPlanner<'a> {
                 let residual_left_join = *kind == JoinKind::Left && !residual.is_empty();
                 if left_keys.is_empty() || residual_left_join {
                     let join = NestedLoopJoin::new(
-                        Rc::clone(&self.ctx),
+                        Arc::clone(&self.ctx),
                         left_op,
                         right_op,
                         *kind,
@@ -154,7 +171,7 @@ impl<'a> PhysicalPlanner<'a> {
                 }
 
                 let join: BoxedOperator<'a> = Box::new(HashJoin::new(
-                    Rc::clone(&self.ctx),
+                    Arc::clone(&self.ctx),
                     left_op,
                     right_op,
                     *kind,
@@ -167,7 +184,7 @@ impl<'a> PhysicalPlanner<'a> {
                     Some(predicate) => {
                         let child =
                             self.with_oracle_resolve(join, std::slice::from_ref(&predicate));
-                        Box::new(Filter::new(Rc::clone(&self.ctx), child, predicate))
+                        Box::new(Filter::new(Arc::clone(&self.ctx), child, predicate))
                     }
                     None => join,
                 };
@@ -189,20 +206,29 @@ impl<'a> PhysicalPlanner<'a> {
                     .map(|(_, name)| placeholder_column(name))
                     .collect();
                 names.extend(aggregates.iter().map(|a| placeholder_column(&a.name)));
-                let aggregate = HashAggregate::new(
-                    Rc::clone(&self.ctx),
-                    child,
-                    group_by.clone(),
-                    aggregates.clone(),
-                );
-                Ok((Box::new(aggregate), Schema::new(names)))
+                let aggregate: BoxedOperator<'a> = if self.ctx.parallelism() > 1 {
+                    Box::new(ParallelHashAggregate::new(
+                        Arc::clone(&self.ctx),
+                        child,
+                        group_by.clone(),
+                        aggregates.clone(),
+                    ))
+                } else {
+                    Box::new(HashAggregate::new(
+                        Arc::clone(&self.ctx),
+                        child,
+                        group_by.clone(),
+                        aggregates.clone(),
+                    ))
+                };
+                Ok((aggregate, Schema::new(names)))
             }
 
             LogicalPlan::Sort { input, keys } => {
                 let (child, schema) = self.lower(input)?;
                 let exprs: Vec<Expr> = keys.iter().map(|k| k.expr.clone()).collect();
                 let child = self.with_oracle_resolve(child, &exprs);
-                let sort = Sort::new(Rc::clone(&self.ctx), child, keys.clone());
+                let sort = Sort::new(Arc::clone(&self.ctx), child, keys.clone());
                 Ok((Box::new(sort), schema))
             }
 
@@ -228,7 +254,7 @@ impl<'a> PhysicalPlanner<'a> {
         if calls.is_empty() {
             child
         } else {
-            Box::new(OracleResolve::new(Rc::clone(&self.ctx), child, calls))
+            Box::new(OracleResolve::new(Arc::clone(&self.ctx), child, calls))
         }
     }
 }
@@ -240,7 +266,7 @@ fn placeholder_column(name: &str) -> ColumnDef {
 
 /// Plans and executes a logical plan to completion, concatenating all output
 /// batches and recording `rows_returned`.
-pub fn execute_plan<'a>(ctx: &Rc<ExecContext<'a>>, plan: &LogicalPlan) -> Result<RecordBatch> {
+pub fn execute_plan<'a>(ctx: &Arc<ExecContext<'a>>, plan: &LogicalPlan) -> Result<RecordBatch> {
     crate::operators::execute_plan(ctx, plan, |_| {})
 }
 
@@ -309,7 +335,7 @@ mod tests {
     /// exercised alongside the single-batch default.
     fn run_batched(catalog: &Catalog, sql: &str, batch_size: usize) -> RecordBatch {
         let registry = UdfRegistry::with_sdb_udfs();
-        let ctx = Rc::new(ExecContext::new(catalog, &registry, None).with_batch_size(batch_size));
+        let ctx = Arc::new(ExecContext::new(catalog, &registry, None).with_batch_size(batch_size));
         let plan = PlanBuilder::build(&parse_query(sql)).unwrap();
         execute_plan(&ctx, &plan).unwrap_or_else(|e| panic!("query failed: {sql}: {e}"))
     }
@@ -513,7 +539,7 @@ mod tests {
     fn stats_track_scans_and_rows() {
         let catalog = setup_catalog();
         let registry = UdfRegistry::with_sdb_udfs();
-        let ctx = Rc::new(ExecContext::new(&catalog, &registry, None));
+        let ctx = Arc::new(ExecContext::new(&catalog, &registry, None));
         let plan =
             PlanBuilder::build(&parse_query("SELECT * FROM emp WHERE salary > 250")).unwrap();
         let batch = execute_plan(&ctx, &plan).unwrap();
@@ -527,7 +553,7 @@ mod tests {
     fn missing_table_and_column_errors() {
         let catalog = setup_catalog();
         let registry = UdfRegistry::with_sdb_udfs();
-        let ctx = Rc::new(ExecContext::new(&catalog, &registry, None));
+        let ctx = Arc::new(ExecContext::new(&catalog, &registry, None));
         let plan = PlanBuilder::build(&parse_query("SELECT * FROM nope")).unwrap();
         assert!(execute_plan(&ctx, &plan).is_err());
 
@@ -541,7 +567,7 @@ mod tests {
         // A filter that calls an oracle function must fail without an oracle
         // connected.
         let registry = UdfRegistry::with_sdb_udfs();
-        let ctx = Rc::new(ExecContext::new(&catalog, &registry, None));
+        let ctx = Arc::new(ExecContext::new(&catalog, &registry, None));
         let plan = PlanBuilder::build(&parse_query(
             "SELECT name FROM emp WHERE SDB_CMP_GT(salary, id, 'h', '35')",
         ))
@@ -583,8 +609,8 @@ mod tests {
     fn planner_selects_join_operators() {
         let catalog = setup_catalog();
         let registry = UdfRegistry::with_sdb_udfs();
-        let ctx = Rc::new(ExecContext::new(&catalog, &registry, None));
-        let planner = PhysicalPlanner::new(Rc::clone(&ctx));
+        let ctx = Arc::new(ExecContext::new(&catalog, &registry, None));
+        let planner = PhysicalPlanner::new(Arc::clone(&ctx));
 
         // Equi-join lowers to a hash join (under the projection).
         let plan = PlanBuilder::build(&parse_query(

@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use parking_lot::{Mutex, MutexGuard};
 use serde::{Deserialize, Serialize};
 
 /// Statistics collected while executing one query at the SP.
@@ -44,6 +45,43 @@ impl ExecutionStats {
         self.oracle_rows_shipped += other.oracle_rows_shipped;
         self.oracle_bytes_shipped += other.oracle_bytes_shipped;
         self.oracle_time += other.oracle_time;
+    }
+}
+
+/// Thread-safe execution statistics, sharded per worker so parallel operators
+/// never contend on one counter lock.
+///
+/// Worker `i` accumulates into shard `i % shards`; shard 0 doubles as the
+/// "main thread" shard and is the only one carrying the whole-query fields
+/// (`rows_returned`, `total_time` — `merge` deliberately skips them).
+/// [`ShardedStats::snapshot`] folds every shard into one [`ExecutionStats`].
+#[derive(Debug)]
+pub struct ShardedStats {
+    shards: Vec<Mutex<ExecutionStats>>,
+}
+
+impl ShardedStats {
+    /// Creates `workers.max(1)` empty shards.
+    pub fn new(workers: usize) -> Self {
+        ShardedStats {
+            shards: (0..workers.max(1))
+                .map(|_| Mutex::new(ExecutionStats::default()))
+                .collect(),
+        }
+    }
+
+    /// Locks worker `worker`'s shard for accumulation.
+    pub fn shard(&self, worker: usize) -> MutexGuard<'_, ExecutionStats> {
+        self.shards[worker % self.shards.len()].lock()
+    }
+
+    /// Folds every shard into one merged snapshot.
+    pub fn snapshot(&self) -> ExecutionStats {
+        let mut total = self.shards[0].lock().clone();
+        for shard in &self.shards[1..] {
+            total.merge(&shard.lock());
+        }
+        total
     }
 }
 
@@ -93,6 +131,35 @@ mod tests {
         assert_eq!(a.rows_scanned, 15);
         assert_eq!(a.oracle_round_trips, 3);
         assert_eq!(a.oracle_rows_shipped, 100);
+    }
+
+    #[test]
+    fn sharded_snapshot_merges_workers_and_keeps_shard0_totals() {
+        let sharded = ShardedStats::new(3);
+        {
+            let mut s0 = sharded.shard(0);
+            s0.rows_scanned = 10;
+            s0.rows_returned = 7;
+            s0.total_time = Duration::from_millis(5);
+        }
+        sharded.shard(1).rows_scanned = 20;
+        {
+            let mut s2 = sharded.shard(2);
+            s2.rows_scanned = 30;
+            s2.udf_calls = 4;
+        }
+        // Worker ids wrap around the shard count.
+        sharded.shard(4).oracle_round_trips = 2;
+
+        let snap = sharded.snapshot();
+        assert_eq!(snap.rows_scanned, 60);
+        assert_eq!(snap.udf_calls, 4);
+        assert_eq!(snap.oracle_round_trips, 2, "worker 4 lands in shard 1");
+        assert_eq!(
+            snap.rows_returned, 7,
+            "whole-query fields come from shard 0"
+        );
+        assert_eq!(snap.total_time, Duration::from_millis(5));
     }
 
     #[test]

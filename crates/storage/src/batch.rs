@@ -254,6 +254,41 @@ impl RecordBatch {
     pub fn approx_size_bytes(&self) -> usize {
         self.columns.iter().map(|c| c.approx_size_bytes()).sum()
     }
+
+    /// Splits the batch into at most `parts` contiguous, near-equal morsels
+    /// covering every row in order (the unit of work for partition-parallel
+    /// operators). Fewer than `parts` morsels come back when there are fewer
+    /// rows than partitions; an empty batch yields no morsels.
+    ///
+    /// Panics if `parts` is zero.
+    pub fn partition(&self, parts: usize) -> Vec<RecordBatch> {
+        partition_ranges(self.num_rows, parts)
+            .into_iter()
+            .map(|r| {
+                self.slice(r.start, r.end - r.start)
+                    .expect("partition ranges are in bounds")
+            })
+            .collect()
+    }
+}
+
+/// Splits `num_rows` rows into at most `parts` contiguous, near-equal ranges
+/// covering `0..num_rows` in order. Returns fewer (possibly zero) ranges when
+/// there are fewer rows than partitions — no range is ever empty.
+///
+/// Panics if `parts` is zero.
+pub fn partition_ranges(num_rows: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let parts = parts.min(num_rows);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        // Distribute the remainder over the leading ranges.
+        let len = num_rows / parts + usize::from(i < num_rows % parts);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -349,6 +384,44 @@ mod tests {
         let b = RecordBatch::empty(schema);
         assert_eq!(b.num_rows(), 0);
         assert_eq!(b.rows().count(), 0);
+    }
+
+    #[test]
+    fn partition_ranges_cover_all_rows_in_order() {
+        for (rows, parts) in [(0, 3), (1, 4), (5, 2), (7, 3), (8, 4), (100, 7)] {
+            let ranges = partition_ranges(rows, parts);
+            assert!(ranges.len() <= parts);
+            assert!(ranges.iter().all(|r| !r.is_empty()) || rows == 0);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, rows, "ranges must cover every row");
+            if !ranges.is_empty() {
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1, "ranges must be near-equal");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_reassembles_to_original() {
+        let b = sample();
+        let parts = b.partition(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].num_rows(), 2);
+        assert_eq!(parts[1].num_rows(), 1);
+        let mut acc = parts[0].clone();
+        acc.append(&parts[1]).unwrap();
+        assert_eq!(acc, b);
+
+        // More parts than rows: one single-row morsel per row.
+        assert_eq!(b.partition(10).len(), 3);
+        // Empty batches partition into nothing.
+        let empty = RecordBatch::empty(b.schema().clone());
+        assert!(empty.partition(4).is_empty());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use batch::RecordBatch;
+pub use batch::{partition_ranges, RecordBatch};
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
