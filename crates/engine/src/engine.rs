@@ -8,7 +8,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use sdb_sql::{parse_sql, PlanBuilder, Statement};
-use sdb_storage::{Catalog, ColumnDef, RecordBatch, Schema, Table, Value};
+use sdb_storage::{Catalog, ColumnDef, MemoryBudget, RecordBatch, Schema, Table, Value};
 
 use crate::eval::literal_to_value;
 use crate::operators::ExecContext;
@@ -38,6 +38,10 @@ pub struct SpEngine {
     /// Workers per query for the morsel-parallel operators (`1` = serial
     /// plans). Defaults to the available cores.
     parallelism: usize,
+    /// Memory budget for blocking operators. Defaults to the
+    /// `SDB_TEST_MEM_BUDGET` environment variable or unlimited; a limited
+    /// budget makes the planner select the spilling operator variants.
+    memory_budget: MemoryBudget,
 }
 
 impl SpEngine {
@@ -51,6 +55,7 @@ impl SpEngine {
             parallelism: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            memory_budget: MemoryBudget::from_env(),
         }
     }
 
@@ -78,9 +83,23 @@ impl SpEngine {
         self
     }
 
+    /// Bounds how much memory blocking operators (sort, aggregation) may
+    /// materialise per query before spilling to disk (builder style). With a
+    /// limited budget the planner selects the spilling operator variants,
+    /// whose results are byte-identical to the in-memory ones.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
     /// Rows per batch used for query execution.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// The per-query memory budget for blocking operators.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.memory_budget
     }
 
     /// Workers per query used by the parallel operators.
@@ -132,6 +151,7 @@ impl SpEngine {
                 let ctx = Arc::new(
                     ExecContext::new(&self.catalog, &self.registry, oracle)
                         .with_batch_size(self.batch_size)
+                        .with_memory_budget(self.memory_budget.clone())
                         .with_parallelism(self.parallelism),
                 );
                 let batch = planner::execute_plan(&ctx, &plan)?;

@@ -40,6 +40,7 @@ pub use engine::SpEngine;
 pub use error::EngineError;
 pub use operators::{BoxedOperator, ExecContext, PhysicalOperator, DEFAULT_BATCH_SIZE};
 pub use planner::PhysicalPlanner;
+pub use sdb_storage::MemoryBudget;
 pub use secure::{NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle};
 pub use stats::ExecutionStats;
 pub use udf::{ScalarUdf, UdfRegistry};

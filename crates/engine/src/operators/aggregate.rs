@@ -24,18 +24,20 @@ use crate::{EngineError, Result};
 
 /// Per-group accumulation state: the rendered key, the group-key values, the
 /// number of rows seen and each aggregate's argument values in row order.
-struct GroupState {
-    key: String,
-    key_values: Vec<Value>,
-    rows: usize,
-    arg_values: Vec<Vec<Value>>,
+/// Shared with [`super::spill_aggregate::SpillingHashAggregate`], which
+/// rebuilds these states from spilled partition rows.
+pub(super) struct GroupState {
+    pub(super) key: String,
+    pub(super) key_values: Vec<Value>,
+    pub(super) rows: usize,
+    pub(super) arg_values: Vec<Vec<Value>>,
 }
 
 /// Binds the grouping expressions and aggregate arguments to the input schema
 /// (this picks up oracle virtual columns and pre-computed expression columns
 /// by their rendered names). Argument-less aggregates (`COUNT(*)`) get a
 /// literal `1` placeholder.
-fn bind_aggregate_exprs(
+pub(super) fn bind_aggregate_exprs(
     group_by: &[(Expr, String)],
     aggregates: &[AggregateExpr],
     schema: &Schema,
@@ -130,7 +132,7 @@ fn merge_group_states(parts: Vec<Vec<GroupState>>) -> Vec<GroupState> {
 /// batch (group columns then aggregate columns, types inferred from the
 /// produced values). A global aggregate (no GROUP BY) over an empty input
 /// still produces one row.
-fn finalize_groups(
+pub(super) fn finalize_groups(
     group_by: &[(Expr, String)],
     aggregates: &[AggregateExpr],
     group_exprs: &[Expr],
@@ -223,6 +225,10 @@ impl PhysicalOperator for HashAggregate<'_> {
         "HashAggregate"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.done = false;
         self.input.open()
@@ -292,6 +298,10 @@ impl<'a> ParallelHashAggregate<'a> {
 impl PhysicalOperator for ParallelHashAggregate<'_> {
     fn name(&self) -> &'static str {
         "ParallelHashAggregate"
+    }
+
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
     }
 
     fn open(&mut self) -> Result<()> {

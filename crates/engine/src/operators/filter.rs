@@ -40,6 +40,10 @@ impl PhysicalOperator for Filter<'_> {
         "Filter"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.input.open()
     }

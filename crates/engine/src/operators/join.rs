@@ -133,6 +133,15 @@ impl PhysicalOperator for HashJoin<'_> {
         "HashJoin"
     }
 
+    fn describe(&self) -> String {
+        format!(
+            "{}({}, {})",
+            self.name(),
+            self.left.describe(),
+            self.right.describe()
+        )
+    }
+
     fn open(&mut self) -> Result<()> {
         self.left.open()?;
         self.right.open()?;
@@ -236,6 +245,15 @@ impl<'a> NestedLoopJoin<'a> {
 impl PhysicalOperator for NestedLoopJoin<'_> {
     fn name(&self) -> &'static str {
         "NestedLoopJoin"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}({}, {})",
+            self.name(),
+            self.left.describe(),
+            self.right.describe()
+        )
     }
 
     fn open(&mut self) -> Result<()> {

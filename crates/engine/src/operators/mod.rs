@@ -18,6 +18,10 @@
 //! * [`aggregate`] — hash aggregation with grouping, with a partitioned
 //!   parallel variant;
 //! * [`sort`] — sort, limit and distinct (the order-shaping operators);
+//! * [`external_sort`] — bounded-memory external merge sort through the
+//!   pager (selected when a [`MemoryBudget`] is set);
+//! * [`spill_aggregate`] — bounded-memory partition-and-spill aggregation
+//!   (likewise budget-selected);
 //! * [`oracle`] — the SDB oracle-call operator resolving interactive protocol
 //!   steps (comparisons, group tags, ranks) with one batched round trip per
 //!   call;
@@ -50,10 +54,16 @@
 //!   variants and how many workers each fan-out uses.
 //! * `batch_size` (default [`DEFAULT_BATCH_SIZE`]) is the number of rows per
 //!   batch flowing between operators.
+//! * `memory_budget` (default unlimited; `SDB_TEST_MEM_BUDGET` overrides the
+//!   default in bytes) bounds what the blocking operators materialise — when
+//!   limited, sort and aggregation lower to their spilling variants, which
+//!   park overflow in the context's [`Pager`] and produce byte-identical
+//!   results.
 //!
-//! Both are fields on [`ExecContext`] with builder-style setters, exposed
-//! through [`crate::SpEngine::with_parallelism`] and
-//! [`crate::SpEngine::with_batch_size`].
+//! All are fields on [`ExecContext`] with builder-style setters, exposed
+//! through [`crate::SpEngine::with_parallelism`],
+//! [`crate::SpEngine::with_batch_size`] and
+//! [`crate::SpEngine::with_memory_budget`].
 //!
 //! ## Statistics and RNG under parallelism
 //!
@@ -65,6 +75,7 @@
 
 pub mod aggregate;
 pub mod expr;
+pub mod external_sort;
 pub mod filter;
 pub mod join;
 pub mod oracle;
@@ -72,6 +83,7 @@ pub mod parallel;
 pub mod project;
 pub mod scan;
 pub mod sort;
+pub mod spill_aggregate;
 
 #[cfg(test)]
 mod tests;
@@ -85,7 +97,7 @@ use rand::{Rng, SeedableRng};
 
 use sdb_sql::ast::Query;
 use sdb_sql::plan::PlanBuilder;
-use sdb_storage::{Catalog, RecordBatch, Schema, Value};
+use sdb_storage::{Catalog, MemoryBudget, Pager, RecordBatch, Schema, Value};
 
 use crate::eval::{Evaluator, SubqueryResolver};
 use crate::secure::OracleRef;
@@ -108,6 +120,13 @@ pub const DEFAULT_BATCH_SIZE: usize = 4096;
 pub trait PhysicalOperator: Send {
     /// A short name for debugging and plan rendering (e.g. `"HashJoin"`).
     fn name(&self) -> &'static str;
+
+    /// A compact one-line rendering of this operator subtree, e.g.
+    /// `"Limit(Project(TableScan))"`. Leaves use their name; operators with
+    /// children override this to include them.
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
 
     /// Prepares the operator (and its children) for execution.
     fn open(&mut self) -> Result<()>;
@@ -146,6 +165,12 @@ pub struct ExecContext<'a> {
     subquery_cache: Mutex<HashMap<String, Vec<(Query, RecordBatch)>>>,
     batch_size: usize,
     parallelism: usize,
+    /// How much the blocking operators may materialise before spilling.
+    budget: MemoryBudget,
+    /// The query's buffer pool; spilling operators park runs and partitions
+    /// here. Shared so subtrees on different worker threads account against
+    /// one budget.
+    pager: Arc<Pager>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -158,6 +183,10 @@ impl<'a> ExecContext<'a> {
         let parallelism = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        // `SDB_TEST_MEM_BUDGET` (bytes) forces a default budget so whole test
+        // suites can be re-run through the spill paths; an explicit
+        // `with_memory_budget` still overrides it.
+        let budget = MemoryBudget::from_env();
         ExecContext {
             catalog,
             registry,
@@ -168,6 +197,8 @@ impl<'a> ExecContext<'a> {
             subquery_cache: Mutex::new(HashMap::new()),
             batch_size: DEFAULT_BATCH_SIZE,
             parallelism,
+            pager: Arc::new(Pager::new(&budget)),
+            budget,
         }
     }
 
@@ -192,6 +223,21 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             rngs: Self::seeded_rngs(seed, self.parallelism),
             rng_seed: Some(seed),
+            ..self
+        }
+    }
+
+    /// Bounds how much memory the blocking operators (sort, aggregation) may
+    /// materialise before spilling through the pager, and rebuilds the
+    /// query's buffer pool under the new budget. With a limited budget the
+    /// planner selects the spilling operator variants
+    /// ([`crate::operators::external_sort::ExternalSort`],
+    /// [`crate::operators::spill_aggregate::SpillingHashAggregate`]), whose
+    /// output is byte-identical to the in-memory ones.
+    pub fn with_memory_budget(self, budget: MemoryBudget) -> Self {
+        ExecContext {
+            pager: Arc::new(Pager::new(&budget)),
+            budget,
             ..self
         }
     }
@@ -250,10 +296,22 @@ impl<'a> ExecContext<'a> {
         self.parallelism
     }
 
+    /// The memory budget for blocking operators.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// The query's buffer pool.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
     /// A snapshot of the statistics accumulated so far, merged across all
-    /// worker shards.
+    /// worker shards, with the pager's spill counters folded in.
     pub fn stats(&self) -> ExecutionStats {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.absorb_pager(&self.pager.stats());
+        snapshot
     }
 
     /// Locks the current worker's statistics shard (operators record as they
@@ -332,6 +390,7 @@ impl ExecContext<'_> {
         let plan = PlanBuilder::build(query)?;
         let sub = ExecContext::new(self.catalog, self.registry, self.oracle.clone())
             .with_batch_size(self.batch_size)
+            .with_memory_budget(self.budget.clone())
             .with_parallelism(1);
         let batch = execute_plan(&Arc::new(sub), &plan, |sub_stats| {
             self.stats_mut().merge(sub_stats);

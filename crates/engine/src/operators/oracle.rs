@@ -66,6 +66,10 @@ impl PhysicalOperator for OracleResolve<'_> {
         "OracleResolve"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.done = false;
         self.input.open()

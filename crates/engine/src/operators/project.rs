@@ -212,6 +212,10 @@ impl PhysicalOperator for Project<'_> {
         "Project"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.locked = vec![None; self.locked.len()];
         self.staged.clear();

@@ -39,6 +39,10 @@ impl PhysicalOperator for Sort<'_> {
         "Sort"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.done = false;
         self.input.open()
@@ -114,6 +118,10 @@ impl PhysicalOperator for Limit<'_> {
         "Limit"
     }
 
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
     fn open(&mut self) -> Result<()> {
         self.remaining = self.n;
         self.emitted = false;
@@ -162,6 +170,10 @@ impl<'a> Distinct<'a> {
 impl PhysicalOperator for Distinct<'_> {
     fn name(&self) -> &'static str {
         "Distinct"
+    }
+
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
     }
 
     fn open(&mut self) -> Result<()> {

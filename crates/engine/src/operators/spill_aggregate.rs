@@ -1,0 +1,462 @@
+//! Bounded-memory hash aggregation: partition-and-spill with recursive
+//! re-aggregation.
+//!
+//! The operator streams its input and evaluates each row into a *prepared
+//! row* — a global arrival sequence number, the grouping-key values and every
+//! aggregate's argument value. Prepared rows accumulate in memory until the
+//! [`MemoryBudget`](sdb_storage::MemoryBudget) is exceeded, at which point
+//! they are hash-partitioned by grouping key into [`FANOUT`] spill streams
+//! parked in the pager (same-key rows always land in the same partition).
+//! At the end each partition is re-aggregated independently; a partition
+//! still larger than the budget is recursively re-partitioned with a
+//! different hash level, up to [`MAX_LEVELS`] (beyond that it is aggregated
+//! in memory — a single pathological group cannot be split by key).
+//!
+//! **Byte-identity with [`super::aggregate::HashAggregate`]:** the in-memory
+//! operator emits groups in global first-occurrence order with each group's
+//! argument values in global row order. Spilled rows keep their arrival
+//! order within every partition (writes happen in arrival order, reads in
+//! page order), so per-partition aggregation preserves row order; the final
+//! groups are then sorted by their minimum sequence number, which *is* the
+//! global first-occurrence order. If the input never exceeds the budget,
+//! nothing spills and the pending rows aggregate directly — the same code
+//! path minus the partitioning.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use sdb_sql::ast::Expr;
+use sdb_sql::plan::AggregateExpr;
+use sdb_storage::{Column, ColumnDef, DataType, PageId, RecordBatch, Schema, Value};
+
+use super::aggregate::{bind_aggregate_exprs, finalize_groups, GroupState};
+use super::expr::join_key_component;
+use super::{BoxedOperator, ExecContext, PhysicalOperator};
+use crate::Result;
+
+/// Number of spill partitions per level.
+const FANOUT: usize = 8;
+
+/// Maximum re-partitioning depth before giving up on splitting further.
+const MAX_LEVELS: u32 = 3;
+
+/// One input row, evaluated and ready to group or spill.
+struct PreparedRow {
+    /// Global arrival index (drives first-occurrence ordering).
+    seq: u64,
+    /// Rendered grouping key (the same derivation the in-memory operator
+    /// uses: components joined with a unit separator).
+    key: String,
+    key_values: Vec<Value>,
+    args: Vec<Value>,
+}
+
+impl PreparedRow {
+    fn approx_size(&self) -> usize {
+        16 + self.key.len()
+            + self
+                .key_values
+                .iter()
+                .chain(self.args.iter())
+                .map(Value::approx_size)
+                .sum::<usize>()
+    }
+}
+
+/// Hash aggregation that spills prepared rows through the pager when group
+/// state would exceed the memory budget. Output is byte-identical to
+/// [`super::aggregate::HashAggregate`].
+pub struct SpillingHashAggregate<'a> {
+    ctx: Arc<ExecContext<'a>>,
+    input: BoxedOperator<'a>,
+    group_by: Vec<(Expr, String)>,
+    aggregates: Vec<AggregateExpr>,
+    done: bool,
+}
+
+impl<'a> SpillingHashAggregate<'a> {
+    /// Creates a spilling aggregation over `input`.
+    pub fn new(
+        ctx: Arc<ExecContext<'a>>,
+        input: BoxedOperator<'a>,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggregateExpr>,
+    ) -> Self {
+        SpillingHashAggregate {
+            ctx,
+            input,
+            group_by,
+            aggregates,
+            done: false,
+        }
+    }
+
+    /// The page schema for spilled prepared rows: sequence number, then the
+    /// key values, then the aggregate argument values. The declared types are
+    /// placeholders — the page codec tags every value individually.
+    fn page_schema(&self) -> Schema {
+        let mut defs = vec![ColumnDef::public("__seq", DataType::Int)];
+        defs.extend(
+            (0..self.group_by.len()).map(|i| ColumnDef::public(&format!("__k{i}"), DataType::Int)),
+        );
+        defs.extend(
+            (0..self.aggregates.len())
+                .map(|j| ColumnDef::public(&format!("__a{j}"), DataType::Int)),
+        );
+        Schema::new(defs)
+    }
+
+    /// Evaluates one input batch into prepared rows.
+    fn prepare_batch(
+        &self,
+        batch: &RecordBatch,
+        group_exprs: &[Expr],
+        agg_args: &[Expr],
+        next_seq: &mut u64,
+        out: &mut Vec<PreparedRow>,
+        out_bytes: &mut usize,
+    ) -> Result<()> {
+        let evaluator = self.ctx.evaluator();
+        for row in 0..batch.num_rows() {
+            let mut key_values = Vec::with_capacity(group_exprs.len());
+            for e in group_exprs {
+                key_values.push(evaluator.evaluate(e, batch, row)?);
+            }
+            let key: String = key_values
+                .iter()
+                .map(join_key_component)
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            let mut args = Vec::with_capacity(agg_args.len());
+            for a in agg_args {
+                args.push(evaluator.evaluate(a, batch, row)?);
+            }
+            let prepared = PreparedRow {
+                seq: *next_seq,
+                key,
+                key_values,
+                args,
+            };
+            *next_seq += 1;
+            *out_bytes += prepared.approx_size();
+            out.push(prepared);
+        }
+        self.ctx.record_udf_calls(&evaluator);
+        Ok(())
+    }
+
+    /// Streams the input, spilling on overflow, and produces the final
+    /// groups in global first-occurrence order.
+    fn aggregate_input(&mut self) -> Result<(Vec<GroupState>, Vec<Expr>, Schema)> {
+        let limit = self.ctx.memory_budget().limit().unwrap_or(usize::MAX);
+        let page_schema = self.page_schema();
+        let mut input_schema = Schema::empty();
+        let mut bound: Option<(Vec<Expr>, Vec<Expr>)> = None;
+        let mut pending: Vec<PreparedRow> = Vec::new();
+        let mut pending_bytes = 0usize;
+        let mut partitions: Option<Vec<PartitionWriter>> = None;
+        let mut next_seq = 0u64;
+
+        while let Some(batch) = self.input.next_batch()? {
+            if bound.is_none() {
+                input_schema = batch.schema().clone();
+                bound = Some(bind_aggregate_exprs(
+                    &self.group_by,
+                    &self.aggregates,
+                    batch.schema(),
+                ));
+            }
+            let (group_exprs, agg_args) = bound.as_ref().expect("bound above");
+            self.prepare_batch(
+                &batch,
+                group_exprs,
+                agg_args,
+                &mut next_seq,
+                &mut pending,
+                &mut pending_bytes,
+            )?;
+            if pending_bytes > limit {
+                let writers = partitions.get_or_insert_with(|| {
+                    (0..FANOUT)
+                        .map(|_| PartitionWriter::new(page_schema.clone(), limit))
+                        .collect()
+                });
+                spill_rows(&self.ctx, writers, pending.drain(..), 0)?;
+                pending_bytes = 0;
+            }
+        }
+        let (group_exprs, _) = bound.unwrap_or_else(|| {
+            bind_aggregate_exprs(&self.group_by, &self.aggregates, &Schema::empty())
+        });
+
+        let groups = match partitions {
+            // Everything fit: aggregate the pending rows directly. They are
+            // in arrival order, so the groups come out exactly as the
+            // in-memory operator would produce them.
+            None => {
+                let mut groups = Vec::new();
+                group_rows_into(pending, &mut HashMap::new(), &mut Vec::new(), &mut groups);
+                groups
+            }
+            Some(mut writers) => {
+                spill_rows(&self.ctx, &mut writers, pending.drain(..), 0)?;
+                let mut collected: Vec<(u64, GroupState)> = Vec::new();
+                for writer in writers {
+                    let run = writer.finish(&self.ctx)?;
+                    self.aggregate_partition(run, 1, &page_schema, &mut collected)?;
+                }
+                // Minimum sequence number == global first occurrence.
+                collected.sort_by_key(|(min_seq, _)| *min_seq);
+                collected.into_iter().map(|(_, state)| state).collect()
+            }
+        };
+        Ok((groups, group_exprs, input_schema))
+    }
+
+    /// Re-aggregates one spilled partition, recursively re-partitioning at
+    /// the next hash level while it exceeds the budget (and further levels
+    /// remain).
+    fn aggregate_partition(
+        &self,
+        run: PartitionRun,
+        level: u32,
+        page_schema: &Schema,
+        out: &mut Vec<(u64, GroupState)>,
+    ) -> Result<()> {
+        let limit = self.ctx.memory_budget().limit().unwrap_or(usize::MAX);
+        if run.bytes > limit && level <= MAX_LEVELS {
+            // Still too big: split by a different hash of the same keys.
+            let mut writers: Vec<PartitionWriter> = (0..FANOUT)
+                .map(|_| PartitionWriter::new(page_schema.clone(), limit))
+                .collect();
+            for &page in &run.pages {
+                let batch = self.ctx.pager().read_page(page)?;
+                let rows = decode_rows(&batch, self.group_by.len(), self.aggregates.len())?;
+                self.ctx.pager().free_page(page)?;
+                spill_rows(&self.ctx, &mut writers, rows.into_iter(), level)?;
+            }
+            for writer in writers {
+                let sub = writer.finish(&self.ctx)?;
+                if sub.rows > 0 {
+                    self.aggregate_partition(sub, level + 1, page_schema, out)?;
+                }
+            }
+            return Ok(());
+        }
+        // Small enough (or unsplittable): fold the partition's rows into
+        // group states page by page, keeping only one page resident.
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<GroupState> = Vec::new();
+        let mut min_seqs: Vec<u64> = Vec::new();
+        for &page in &run.pages {
+            let batch = self.ctx.pager().read_page(page)?;
+            let rows = decode_rows(&batch, self.group_by.len(), self.aggregates.len())?;
+            self.ctx.pager().free_page(page)?;
+            group_rows_into(rows, &mut index, &mut min_seqs, &mut groups);
+        }
+        out.extend(min_seqs.into_iter().zip(groups));
+        Ok(())
+    }
+}
+
+impl PhysicalOperator for SpillingHashAggregate<'_> {
+    fn name(&self) -> &'static str {
+        "SpillingHashAggregate"
+    }
+
+    fn describe(&self) -> String {
+        format!("{}({})", self.name(), self.input.describe())
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.done = false;
+        self.input.open()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let (groups, group_exprs, input_schema) = self.aggregate_input()?;
+        finalize_groups(
+            &self.group_by,
+            &self.aggregates,
+            &group_exprs,
+            groups,
+            &input_schema,
+        )
+        .map(Some)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// Deterministic partition assignment: same key, same level → same
+/// partition; a different level reshuffles keys.
+fn partition_of(key: &str, level: u32) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    level.hash(&mut hasher);
+    key.hash(&mut hasher);
+    (hasher.finish() % FANOUT as u64) as usize
+}
+
+/// Routes prepared rows (in arrival order) to their partitions' writers.
+fn spill_rows(
+    ctx: &ExecContext<'_>,
+    writers: &mut [PartitionWriter],
+    rows: impl Iterator<Item = PreparedRow>,
+    level: u32,
+) -> Result<()> {
+    for row in rows {
+        let p = partition_of(&row.key, level);
+        writers[p].push(ctx, row)?;
+    }
+    Ok(())
+}
+
+/// Folds prepared rows (already in arrival order) into group states,
+/// continuing an existing index/groups pair across calls (one call per
+/// partition page). `min_seqs[i]` is group `i`'s first arrival.
+fn group_rows_into(
+    rows: Vec<PreparedRow>,
+    index: &mut HashMap<String, usize>,
+    min_seqs: &mut Vec<u64>,
+    groups: &mut Vec<GroupState>,
+) {
+    for row in rows {
+        let g = match index.get(&row.key) {
+            Some(&g) => g,
+            None => {
+                index.insert(row.key.clone(), groups.len());
+                min_seqs.push(row.seq);
+                groups.push(GroupState {
+                    key: row.key,
+                    key_values: row.key_values,
+                    rows: 0,
+                    arg_values: vec![Vec::new(); row.args.len()],
+                });
+                groups.len() - 1
+            }
+        };
+        groups[g].rows += 1;
+        for (acc, value) in groups[g].arg_values.iter_mut().zip(row.args) {
+            acc.push(value);
+        }
+    }
+}
+
+/// A finished partition: its pages plus size bookkeeping.
+struct PartitionRun {
+    pages: Vec<PageId>,
+    bytes: usize,
+    rows: usize,
+}
+
+/// Buffers prepared rows for one partition and flushes them to pager pages.
+struct PartitionWriter {
+    schema: Schema,
+    buffer: Vec<PreparedRow>,
+    buffer_bytes: usize,
+    /// Flush threshold: keeps per-writer buffers a small fraction of the
+    /// budget so FANOUT writers cannot hoard it.
+    flush_bytes: usize,
+    pages: Vec<PageId>,
+    total_bytes: usize,
+    total_rows: usize,
+}
+
+impl PartitionWriter {
+    fn new(schema: Schema, limit: usize) -> Self {
+        PartitionWriter {
+            schema,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            flush_bytes: (limit / (2 * FANOUT)).max(1),
+            pages: Vec::new(),
+            total_bytes: 0,
+            total_rows: 0,
+        }
+    }
+
+    fn push(&mut self, ctx: &ExecContext<'_>, row: PreparedRow) -> Result<()> {
+        let size = row.approx_size();
+        self.buffer_bytes += size;
+        self.total_bytes += size;
+        self.total_rows += 1;
+        self.buffer.push(row);
+        if self.buffer_bytes >= self.flush_bytes || self.buffer.len() >= ctx.batch_size() {
+            self.flush(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let batch = encode_rows(&self.schema, std::mem::take(&mut self.buffer));
+        self.buffer_bytes = 0;
+        self.pages.push(ctx.pager().append_page(batch)?);
+        Ok(())
+    }
+
+    fn finish(mut self, ctx: &ExecContext<'_>) -> Result<PartitionRun> {
+        self.flush(ctx)?;
+        Ok(PartitionRun {
+            pages: self.pages,
+            bytes: self.total_bytes,
+            rows: self.total_rows,
+        })
+    }
+}
+
+/// Packs prepared rows into a page batch (columns: seq, keys, args).
+fn encode_rows(schema: &Schema, rows: Vec<PreparedRow>) -> RecordBatch {
+    let mut columns: Vec<Column> = schema
+        .columns()
+        .iter()
+        .map(|c| Column::new(c.data_type))
+        .collect();
+    for row in rows {
+        let base = 1 + row.key_values.len();
+        columns[0].push_unchecked(Value::Int(row.seq as i64));
+        for (i, v) in row.key_values.into_iter().enumerate() {
+            columns[1 + i].push_unchecked(v);
+        }
+        for (j, v) in row.args.into_iter().enumerate() {
+            columns[base + j].push_unchecked(v);
+        }
+    }
+    RecordBatch::new(schema.clone(), columns).expect("columns match the page schema")
+}
+
+/// Unpacks a page batch back into prepared rows (re-deriving the rendered
+/// key from the key values — the same derivation that produced it).
+fn decode_rows(batch: &RecordBatch, num_keys: usize, num_args: usize) -> Result<Vec<PreparedRow>> {
+    let mut rows = Vec::with_capacity(batch.num_rows());
+    for r in 0..batch.num_rows() {
+        let seq = batch.column(0).get(r).as_i64()? as u64;
+        let key_values: Vec<Value> = (0..num_keys)
+            .map(|i| batch.column(1 + i).get(r).clone())
+            .collect();
+        let args: Vec<Value> = (0..num_args)
+            .map(|j| batch.column(1 + num_keys + j).get(r).clone())
+            .collect();
+        let key: String = key_values
+            .iter()
+            .map(join_key_component)
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        rows.push(PreparedRow {
+            seq,
+            key,
+            key_values,
+            args,
+        });
+    }
+    Ok(rows)
+}

@@ -597,3 +597,203 @@ fn project_locks_computed_types_across_null_leading_batches() {
     assert!(out.column(0).get(0).is_null());
     assert_eq!(out.column(0).get(2), &Value::Str("high".into()));
 }
+
+// ---------------------------------------------------------------------------
+// ExternalSort / SpillingHashAggregate (bounded-memory variants)
+// ---------------------------------------------------------------------------
+
+/// A context whose tiny budget forces the spilling operators to actually
+/// spill on a few hundred rows.
+fn tiny_budget_ctx<'a>(
+    catalog: &'a Catalog,
+    reg: &'a UdfRegistry,
+    batch_size: usize,
+) -> Arc<ExecContext<'a>> {
+    Arc::new(
+        ExecContext::new(catalog, reg, None)
+            .with_memory_budget(sdb_storage::MemoryBudget::bytes(256))
+            .with_batch_size(batch_size),
+    )
+}
+
+fn spillable_rows() -> Vec<(i64, i64)> {
+    // Many duplicate keys (a % 5) so sort stability and group merging are
+    // both exercised; values are distinct so misordered rows are visible.
+    (0..400).map(|i| (i % 5, i)).collect()
+}
+
+#[test]
+fn external_sort_is_byte_identical_to_in_memory_sort() {
+    use super::external_sort::ExternalSort;
+
+    let rows = spillable_rows();
+    let catalog = catalog_with_numbers(&rows);
+    let reg = registry();
+    let keys = vec![SortKey {
+        expr: col("a"),
+        desc: false,
+    }];
+
+    let in_memory_ctx = Arc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(32));
+    let mut reference = Sort::new(
+        Arc::clone(&in_memory_ctx),
+        Box::new(TableScan::new(Arc::clone(&in_memory_ctx), "numbers", None)),
+        keys.clone(),
+    );
+    let expected = drain_operator(&mut reference).unwrap();
+
+    let ctx = tiny_budget_ctx(&catalog, &reg, 32);
+    let mut external = ExternalSort::new(
+        Arc::clone(&ctx),
+        Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+        keys,
+    );
+    let out = drain_operator(&mut external).unwrap();
+
+    assert_eq!(
+        expected, out,
+        "spill-forced sort must match the stable sort"
+    );
+    let stats = ctx.stats();
+    assert!(
+        stats.pages_spilled > 0,
+        "256-byte budget must spill: {stats:?}"
+    );
+    assert!(stats.spill_bytes_read > 0, "merge must fault pages back in");
+    assert_eq!(ctx.pager().resident_bytes(), 0, "all pages freed at close");
+}
+
+#[test]
+fn external_sort_empty_input_matches_sort() {
+    use super::external_sort::ExternalSort;
+
+    let catalog = catalog_with_numbers(&[]);
+    let reg = registry();
+    let ctx = tiny_budget_ctx(&catalog, &reg, 32);
+    let keys = vec![SortKey {
+        expr: col("a"),
+        desc: true,
+    }];
+    let mut reference = Sort::new(
+        Arc::clone(&ctx),
+        Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+        keys.clone(),
+    );
+    let expected = drain_operator(&mut reference).unwrap();
+    let mut external = ExternalSort::new(
+        Arc::clone(&ctx),
+        Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+        keys,
+    );
+    assert_eq!(expected, drain_operator(&mut external).unwrap());
+}
+
+#[test]
+fn spilling_aggregate_is_byte_identical_to_hash_aggregate() {
+    use super::spill_aggregate::SpillingHashAggregate;
+
+    let rows = spillable_rows();
+    let catalog = catalog_with_numbers(&rows);
+    let reg = registry();
+    let group_by = vec![(col("a"), "a".to_string())];
+    let aggregates = vec![
+        AggregateExpr {
+            func: AggFunc::Sum,
+            arg: Some(col("b")),
+            distinct: false,
+            name: "s".into(),
+        },
+        AggregateExpr {
+            func: AggFunc::Count,
+            arg: Some(col("b")),
+            distinct: true,
+            name: "dc".into(),
+        },
+        AggregateExpr {
+            func: AggFunc::Min,
+            arg: Some(col("b")),
+            distinct: false,
+            name: "lo".into(),
+        },
+    ];
+
+    let in_memory_ctx = Arc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(32));
+    let mut reference = HashAggregate::new(
+        Arc::clone(&in_memory_ctx),
+        Box::new(TableScan::new(Arc::clone(&in_memory_ctx), "numbers", None)),
+        group_by.clone(),
+        aggregates.clone(),
+    );
+    let expected = drain_operator(&mut reference).unwrap();
+
+    let ctx = tiny_budget_ctx(&catalog, &reg, 32);
+    let mut spilling = SpillingHashAggregate::new(
+        Arc::clone(&ctx),
+        Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+        group_by,
+        aggregates,
+    );
+    let out = drain_operator(&mut spilling).unwrap();
+
+    assert_eq!(
+        expected, out,
+        "groups must come back in first-occurrence order"
+    );
+    assert!(ctx.stats().pages_spilled > 0, "256-byte budget must spill");
+    assert_eq!(ctx.pager().resident_bytes(), 0, "partition pages all freed");
+}
+
+#[test]
+fn spilling_aggregate_global_and_empty_inputs() {
+    use super::spill_aggregate::SpillingHashAggregate;
+
+    let aggregates = vec![AggregateExpr {
+        func: AggFunc::Count,
+        arg: None,
+        distinct: false,
+        name: "n".into(),
+    }];
+    for rows in [vec![], spillable_rows()] {
+        let catalog = catalog_with_numbers(&rows);
+        let reg = registry();
+        let ctx = tiny_budget_ctx(&catalog, &reg, 32);
+        let mut reference = HashAggregate::new(
+            Arc::clone(&ctx),
+            Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+            vec![],
+            aggregates.clone(),
+        );
+        let expected = drain_operator(&mut reference).unwrap();
+        let mut spilling = SpillingHashAggregate::new(
+            Arc::clone(&ctx),
+            Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None)),
+            vec![],
+            aggregates.clone(),
+        );
+        assert_eq!(
+            expected,
+            drain_operator(&mut spilling).unwrap(),
+            "global aggregate over {} rows",
+            rows.len()
+        );
+    }
+}
+
+#[test]
+fn describe_renders_operator_trees() {
+    let catalog = catalog_with_numbers(&[(1, 2)]);
+    let reg = registry();
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, None));
+    let scan: BoxedOperator<'_> = Box::new(TableScan::new(Arc::clone(&ctx), "numbers", None));
+    let filter: BoxedOperator<'_> = Box::new(Filter::new(
+        Arc::clone(&ctx),
+        scan,
+        Expr::Binary {
+            left: Box::new(col("a")),
+            op: BinaryOp::Gt,
+            right: Box::new(int(0)),
+        },
+    ));
+    let limit = Limit::new(filter, 1);
+    assert_eq!(limit.describe(), "Limit(Filter(TableScan))");
+}

@@ -11,6 +11,20 @@
 //! [`ParallelTableScan`] and aggregations to [`ParallelHashAggregate`]
 //! (morsel-parallel variants with byte-identical output); [`HashJoin`]
 //! parallelises its build side internally under the same knob.
+//!
+//! Two further selection rules:
+//!
+//! * **Bounded memory** — with a limited
+//!   [`MemoryBudget`](sdb_storage::MemoryBudget) on the context, `Sort`
+//!   lowers to [`ExternalSort`] and `Aggregate` to
+//!   [`SpillingHashAggregate`], which spill through the pager instead of
+//!   materialising; their output is byte-identical to the in-memory
+//!   operators.
+//! * **Limit-aware scans** — when a `Limit` sits above a scan with only
+//!   streaming operators (filter, project, distinct, other limits) in
+//!   between, the scan stays the lazy serial [`TableScan`] even at
+//!   `parallelism > 1`: [`ParallelTableScan`] materialises every chunk at
+//!   `open()`, so a `LIMIT k` over it saves emission but not slicing.
 
 use std::sync::Arc;
 
@@ -20,12 +34,14 @@ use sdb_storage::{ColumnDef, DataType, RecordBatch, Schema};
 
 use crate::operators::aggregate::{HashAggregate, ParallelHashAggregate};
 use crate::operators::expr::{classify_equi_conjunct, conjoin, split_conjuncts};
+use crate::operators::external_sort::ExternalSort;
 use crate::operators::filter::Filter;
 use crate::operators::join::{HashJoin, NestedLoopJoin};
 use crate::operators::oracle::{collect_oracle_calls_all, OracleResolve};
 use crate::operators::project::Project;
 use crate::operators::scan::{ParallelTableScan, TableScan};
 use crate::operators::sort::{Distinct, Limit, Sort};
+use crate::operators::spill_aggregate::SpillingHashAggregate;
 use crate::operators::{BoxedOperator, ExecContext};
 use crate::Result;
 
@@ -42,7 +58,7 @@ impl<'a> PhysicalPlanner<'a> {
 
     /// Lowers a logical plan into an executable operator tree.
     pub fn plan(&self, plan: &LogicalPlan) -> Result<BoxedOperator<'a>> {
-        self.lower(plan).map(|(op, _)| op)
+        self.lower(plan, false).map(|(op, _)| op)
     }
 
     /// Recursive lowering; returns the operator plus a *name-resolution
@@ -50,7 +66,13 @@ impl<'a> PhysicalPlanner<'a> {
     /// keys by side. Oracle virtual columns are not part of these schemas —
     /// raw plans reference oracle steps as function calls, never by their
     /// materialised column names.
-    fn lower(&self, plan: &LogicalPlan) -> Result<(BoxedOperator<'a>, Schema)> {
+    ///
+    /// `under_limit` is true when a `Limit` sits above this node with only
+    /// streaming operators in between: a scan reached that way stays the
+    /// lazy serial [`TableScan`] so the limit can stop slicing early.
+    /// Blocking operators (sort, aggregate, join) reset the flag — they
+    /// drain their input completely regardless of any limit above them.
+    fn lower(&self, plan: &LogicalPlan, under_limit: bool) -> Result<(BoxedOperator<'a>, Schema)> {
         match plan {
             LogicalPlan::Scan { table, alias } => {
                 // Resolve the table at plan time: missing tables fail before
@@ -71,7 +93,10 @@ impl<'a> PhysicalPlanner<'a> {
                         })
                         .collect(),
                 );
-                let scan: BoxedOperator<'a> = if self.ctx.parallelism() > 1 {
+                // A scan feeding a limit through streaming operators stays
+                // lazy and serial: the parallel scan slices every chunk at
+                // open(), wasting the work a LIMIT would skip.
+                let scan: BoxedOperator<'a> = if self.ctx.parallelism() > 1 && !under_limit {
                     Box::new(ParallelTableScan::new(
                         Arc::clone(&self.ctx),
                         table,
@@ -88,14 +113,14 @@ impl<'a> PhysicalPlanner<'a> {
             }
 
             LogicalPlan::Filter { input, predicate } => {
-                let (child, schema) = self.lower(input)?;
+                let (child, schema) = self.lower(input, under_limit)?;
                 let child = self.with_oracle_resolve(child, std::slice::from_ref(predicate));
                 let filter = Filter::new(Arc::clone(&self.ctx), child, predicate.clone());
                 Ok((Box::new(filter), schema))
             }
 
             LogicalPlan::Project { input, items } => {
-                let (child, schema) = self.lower(input)?;
+                let (child, schema) = self.lower(input, under_limit)?;
                 let computed: Vec<Expr> = items
                     .iter()
                     .filter_map(|item| match item {
@@ -132,8 +157,8 @@ impl<'a> PhysicalPlanner<'a> {
                 kind,
                 on,
             } => {
-                let (left_op, left_schema) = self.lower(left)?;
-                let (right_op, right_schema) = self.lower(right)?;
+                let (left_op, left_schema) = self.lower(left, false)?;
+                let (right_op, right_schema) = self.lower(right, false)?;
                 let combined = left_schema.join(&right_schema);
 
                 // Split the ON condition into hash-joinable equality pairs and
@@ -196,7 +221,7 @@ impl<'a> PhysicalPlanner<'a> {
                 group_by,
                 aggregates,
             } => {
-                let (child, _) = self.lower(input)?;
+                let (child, _) = self.lower(input, false)?;
                 let mut exprs: Vec<Expr> = group_by.iter().map(|(e, _)| e.clone()).collect();
                 exprs.extend(aggregates.iter().filter_map(|a| a.arg.clone()));
                 let child = self.with_oracle_resolve(child, &exprs);
@@ -206,7 +231,15 @@ impl<'a> PhysicalPlanner<'a> {
                     .map(|(_, name)| placeholder_column(name))
                     .collect();
                 names.extend(aggregates.iter().map(|a| placeholder_column(&a.name)));
-                let aggregate: BoxedOperator<'a> = if self.ctx.parallelism() > 1 {
+                let budgeted = self.ctx.memory_budget().is_limited();
+                let aggregate: BoxedOperator<'a> = if budgeted {
+                    Box::new(SpillingHashAggregate::new(
+                        Arc::clone(&self.ctx),
+                        child,
+                        group_by.clone(),
+                        aggregates.clone(),
+                    ))
+                } else if self.ctx.parallelism() > 1 {
                     Box::new(ParallelHashAggregate::new(
                         Arc::clone(&self.ctx),
                         child,
@@ -225,20 +258,28 @@ impl<'a> PhysicalPlanner<'a> {
             }
 
             LogicalPlan::Sort { input, keys } => {
-                let (child, schema) = self.lower(input)?;
+                let (child, schema) = self.lower(input, false)?;
                 let exprs: Vec<Expr> = keys.iter().map(|k| k.expr.clone()).collect();
                 let child = self.with_oracle_resolve(child, &exprs);
-                let sort = Sort::new(Arc::clone(&self.ctx), child, keys.clone());
-                Ok((Box::new(sort), schema))
+                let sort: BoxedOperator<'a> = if self.ctx.memory_budget().is_limited() {
+                    Box::new(ExternalSort::new(
+                        Arc::clone(&self.ctx),
+                        child,
+                        keys.clone(),
+                    ))
+                } else {
+                    Box::new(Sort::new(Arc::clone(&self.ctx), child, keys.clone()))
+                };
+                Ok((sort, schema))
             }
 
             LogicalPlan::Distinct { input } => {
-                let (child, schema) = self.lower(input)?;
+                let (child, schema) = self.lower(input, under_limit)?;
                 Ok((Box::new(Distinct::new(child)), schema))
             }
 
             LogicalPlan::Limit { input, n } => {
-                let (child, schema) = self.lower(input)?;
+                let (child, schema) = self.lower(input, true)?;
                 Ok((Box::new(Limit::new(child, *n as usize)), schema))
             }
         }
@@ -603,6 +644,73 @@ mod tests {
         );
         assert_eq!(batch.column(1).get(2).as_str().unwrap(), "ops");
         assert!(batch.column(1).get(4).is_null(), "eve has no dept at all");
+    }
+
+    #[test]
+    fn limit_above_streaming_operators_keeps_lazy_serial_scan() {
+        let catalog = setup_catalog();
+        let registry = UdfRegistry::with_sdb_udfs();
+        let ctx = Arc::new(ExecContext::new(&catalog, &registry, None).with_parallelism(4));
+        let planner = PhysicalPlanner::new(Arc::clone(&ctx));
+        let plan_of = |sql: &str| PlanBuilder::build(&parse_query(sql)).unwrap();
+
+        // LIMIT above project/filter: the scan stays lazy and serial so the
+        // limit can stop slicing early.
+        let op = planner
+            .plan(&plan_of("SELECT name FROM emp WHERE salary > 0 LIMIT 2"))
+            .unwrap();
+        assert_eq!(op.describe(), "Limit(Project(Filter(TableScan)))");
+
+        // No limit: the parallel scan is selected at parallelism > 1.
+        let op = planner.plan(&plan_of("SELECT name FROM emp")).unwrap();
+        assert_eq!(op.describe(), "Project(ParallelTableScan)");
+
+        // A blocking operator (sort) between limit and scan drains its
+        // input completely, so laziness buys nothing — keep the parallel
+        // scan.
+        let op = planner
+            .plan(&plan_of("SELECT name FROM emp ORDER BY name LIMIT 2"))
+            .unwrap();
+        assert!(
+            op.describe().contains("ParallelTableScan"),
+            "blocking operators reset the limit flag: {}",
+            op.describe()
+        );
+    }
+
+    #[test]
+    fn memory_budget_selects_spilling_variants() {
+        let catalog = setup_catalog();
+        let registry = UdfRegistry::with_sdb_udfs();
+        let sql = "SELECT dept_id, COUNT(*) AS c FROM emp GROUP BY dept_id ORDER BY dept_id";
+        let plan = PlanBuilder::build(&parse_query(sql)).unwrap();
+
+        let budgeted = Arc::new(
+            ExecContext::new(&catalog, &registry, None)
+                .with_memory_budget(sdb_storage::MemoryBudget::bytes(1024))
+                .with_parallelism(1),
+        );
+        let tree = PhysicalPlanner::new(budgeted)
+            .plan(&plan)
+            .unwrap()
+            .describe();
+        assert!(tree.contains("ExternalSort"), "{tree}");
+        assert!(tree.contains("SpillingHashAggregate"), "{tree}");
+
+        // An explicit unlimited budget keeps the in-memory operators (set
+        // explicitly so a CI-level SDB_TEST_MEM_BUDGET cannot leak in).
+        let unbudgeted = Arc::new(
+            ExecContext::new(&catalog, &registry, None)
+                .with_memory_budget(sdb_storage::MemoryBudget::unlimited())
+                .with_parallelism(1),
+        );
+        let tree = PhysicalPlanner::new(unbudgeted)
+            .plan(&plan)
+            .unwrap()
+            .describe();
+        assert!(tree.starts_with("Sort("), "{tree}");
+        assert!(!tree.contains("ExternalSort"), "{tree}");
+        assert!(!tree.contains("Spilling"), "{tree}");
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub struct ExecutionStats {
     /// Total wall-clock execution time at the SP (including oracle waits).
     #[serde(with = "duration_micros")]
     pub total_time: Duration,
+    /// Pages written to spill files by the pager (bounded-memory execution).
+    pub pages_spilled: usize,
+    /// Encoded bytes written to spill files.
+    pub spill_bytes_written: usize,
+    /// Encoded bytes read back from spill files.
+    pub spill_bytes_read: usize,
+    /// Pages evicted from the buffer pool (spilled-dirty or already clean).
+    pub pages_evicted: usize,
+    /// Most pages resident in the buffer pool at any one time (merged across
+    /// contexts with `max`, not summed — it is a high-water mark).
+    pub peak_resident_pages: usize,
 }
 
 impl ExecutionStats {
@@ -45,6 +56,20 @@ impl ExecutionStats {
         self.oracle_rows_shipped += other.oracle_rows_shipped;
         self.oracle_bytes_shipped += other.oracle_bytes_shipped;
         self.oracle_time += other.oracle_time;
+        self.pages_spilled += other.pages_spilled;
+        self.spill_bytes_written += other.spill_bytes_written;
+        self.spill_bytes_read += other.spill_bytes_read;
+        self.pages_evicted += other.pages_evicted;
+        self.peak_resident_pages = self.peak_resident_pages.max(other.peak_resident_pages);
+    }
+
+    /// Folds a pager's spill counters into this record.
+    pub fn absorb_pager(&mut self, pager: &sdb_storage::PagerStats) {
+        self.pages_spilled += pager.pages_spilled;
+        self.spill_bytes_written += pager.spill_bytes_written;
+        self.spill_bytes_read += pager.spill_bytes_read;
+        self.pages_evicted += pager.pages_evicted;
+        self.peak_resident_pages = self.peak_resident_pages.max(pager.peak_resident_pages);
     }
 }
 
@@ -112,6 +137,46 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(stats.server_time(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn merge_sums_spill_counters_but_maxes_the_peak() {
+        let mut a = ExecutionStats {
+            pages_spilled: 3,
+            spill_bytes_written: 300,
+            peak_resident_pages: 8,
+            ..Default::default()
+        };
+        let b = ExecutionStats {
+            pages_spilled: 2,
+            spill_bytes_read: 150,
+            pages_evicted: 5,
+            peak_resident_pages: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pages_spilled, 5);
+        assert_eq!(a.spill_bytes_written, 300);
+        assert_eq!(a.spill_bytes_read, 150);
+        assert_eq!(a.pages_evicted, 5);
+        assert_eq!(a.peak_resident_pages, 8, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn absorb_pager_counters() {
+        let mut stats = ExecutionStats {
+            peak_resident_pages: 2,
+            ..Default::default()
+        };
+        stats.absorb_pager(&sdb_storage::PagerStats {
+            pages_spilled: 4,
+            spill_bytes_written: 400,
+            spill_bytes_read: 100,
+            pages_evicted: 6,
+            peak_resident_pages: 9,
+        });
+        assert_eq!(stats.pages_spilled, 4);
+        assert_eq!(stats.peak_resident_pages, 9);
     }
 
     #[test]

@@ -73,21 +73,7 @@ impl Column {
     /// Rough serialised size in bytes, used for key-store / storage accounting
     /// (experiment E2).
     pub fn approx_size_bytes(&self) -> usize {
-        self.values.iter().map(approx_value_size).sum()
-    }
-}
-
-fn approx_value_size(v: &Value) -> usize {
-    match v {
-        Value::Null => 1,
-        Value::Int(_) => 8,
-        Value::Decimal { .. } => 9,
-        Value::Str(s) => s.len() + 4,
-        Value::Date(_) => 4,
-        Value::Bool(_) => 1,
-        Value::Encrypted(e) => (e.bits() as usize).div_ceil(8) + 4,
-        Value::EncryptedRowId(r) => r.size_bytes(),
-        Value::Tag(_) => 8,
+        self.values.iter().map(Value::approx_size).sum()
     }
 }
 

@@ -17,6 +17,7 @@ pub mod batch;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod pager;
 pub mod persist;
 pub mod schema;
 pub mod table;
@@ -26,6 +27,7 @@ pub use batch::{partition_ranges, RecordBatch};
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
+pub use pager::{MemoryBudget, PageId, Pager, PagerStats, PinnedPage};
 pub use schema::{ColumnDef, Schema, Sensitivity};
 pub use table::Table;
 pub use value::{DataType, Value};

@@ -1,0 +1,121 @@
+//! The pager: bounded-memory page management for larger-than-RAM execution.
+//!
+//! Blocking operators (external sort runs, spilled aggregation partitions)
+//! park intermediate [`crate::RecordBatch`]es here as *pages*. The
+//! [`Pager`] keeps decoded pages resident in a fixed-capacity pool of frames
+//! (pin/unpin, dirty tracking, clock eviction); when the pool exceeds the
+//! configured [`MemoryBudget`] it evicts unpinned pages, encoding dirty ones
+//! through the compact binary [`codec`] into an append-only spill file in a
+//! temp directory. Spill files are created lazily on the first eviction and
+//! deleted when the pager is dropped — including on error paths, since drop
+//! runs during unwinding too.
+//!
+//! The budget is a *soft* bound on resident page bytes: pinned pages can
+//! never be evicted, so a caller that pins more than the budget (e.g. a
+//! k-way merge holding one page per run) temporarily exceeds it. Eviction
+//! resumes as soon as pins are released.
+
+mod codec;
+mod pool;
+
+pub use codec::{decode_batch, encode_batch};
+pub use pool::{PageId, Pager, PagerStats, PinnedPage};
+
+use std::path::{Path, PathBuf};
+
+/// How much memory a query's blocking operators may keep resident before
+/// they spill, and where spill files go.
+///
+/// The default is [`MemoryBudget::unlimited`]: nothing spills and no files
+/// are created. A limited budget bounds both the pager's resident page bytes
+/// and the operators' in-memory accumulation (sort runs, pending aggregation
+/// rows); each side is bounded independently, so worst-case residency is a
+/// small constant multiple of the budget, not the budget itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: Option<usize>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl MemoryBudget {
+    /// No bound: operators materialise freely and the pager never evicts.
+    pub fn unlimited() -> Self {
+        MemoryBudget::default()
+    }
+
+    /// A bound of `limit` bytes (approximate, via
+    /// [`crate::RecordBatch::approx_size_bytes`] accounting).
+    ///
+    /// Panics if `limit` is zero — use [`MemoryBudget::unlimited`] for "no
+    /// budget".
+    pub fn bytes(limit: usize) -> Self {
+        assert!(limit > 0, "a memory budget must be positive");
+        MemoryBudget {
+            bytes: Some(limit),
+            spill_dir: None,
+        }
+    }
+
+    /// Reads the `SDB_TEST_MEM_BUDGET` environment variable (bytes) as the
+    /// default budget, falling back to unlimited. This is the CI hook that
+    /// re-runs entire test suites through the spill paths.
+    pub fn from_env() -> Self {
+        match std::env::var("SDB_TEST_MEM_BUDGET")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(limit) if limit > 0 => MemoryBudget::bytes(limit),
+            _ => MemoryBudget::unlimited(),
+        }
+    }
+
+    /// Overrides the directory spill files are created in (default: the
+    /// system temp dir). The directory must already exist.
+    pub fn with_spill_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.spill_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// The byte limit, or `None` when unlimited.
+    pub fn limit(&self) -> Option<usize> {
+        self.bytes
+    }
+
+    /// True when a byte limit is set (the planner's cue to select the
+    /// spilling operator variants).
+    pub fn is_limited(&self) -> bool {
+        self.bytes.is_some()
+    }
+
+    /// The directory spill files are created in.
+    pub fn spill_dir(&self) -> PathBuf {
+        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        let b = MemoryBudget::default();
+        assert!(!b.is_limited());
+        assert_eq!(b.limit(), None);
+        assert_eq!(b.spill_dir(), std::env::temp_dir());
+    }
+
+    #[test]
+    fn limited_budget_with_custom_dir() {
+        let b = MemoryBudget::bytes(4096).with_spill_dir("/some/dir");
+        assert!(b.is_limited());
+        assert_eq!(b.limit(), Some(4096));
+        assert_eq!(b.spill_dir(), PathBuf::from("/some/dir"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_rejected() {
+        let _ = MemoryBudget::bytes(0);
+    }
+}

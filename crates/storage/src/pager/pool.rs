@@ -1,0 +1,521 @@
+//! The fixed-capacity buffer pool of page frames and its spill file.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::{codec, MemoryBudget};
+use crate::{RecordBatch, Result, StorageError};
+
+/// Opaque handle to a page owned by a [`Pager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId(u64);
+
+/// Counters describing the pager's spill and eviction activity, surfaced
+/// through the engine's execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Dirty pages encoded and written to the spill file.
+    pub pages_spilled: usize,
+    /// Encoded bytes written to the spill file.
+    pub spill_bytes_written: usize,
+    /// Encoded bytes read back from the spill file.
+    pub spill_bytes_read: usize,
+    /// Pages dropped from the pool (spilled-dirty or already-clean).
+    pub pages_evicted: usize,
+    /// Most pages resident in the pool at any one time.
+    pub peak_resident_pages: usize,
+}
+
+/// A resident page frame.
+struct Frame {
+    batch: Arc<RecordBatch>,
+    /// Approximate resident size, fixed at admission.
+    bytes: usize,
+    /// Not yet written to the spill file.
+    dirty: bool,
+    /// Pin count; pinned frames are never evicted.
+    pins: usize,
+    /// Clock reference bit: set on access, cleared by a passing hand.
+    referenced: bool,
+}
+
+/// Location of an encoded page in the spill file.
+#[derive(Clone, Copy)]
+struct DiskSlot {
+    offset: u64,
+    len: usize,
+}
+
+/// The pool state behind the pager's mutex.
+struct Inner {
+    frames: HashMap<u64, Frame>,
+    disk: HashMap<u64, DiskSlot>,
+    /// Resident page ids in clock order, swept by `hand`.
+    clock: Vec<u64>,
+    hand: usize,
+    resident_bytes: usize,
+    next_page: u64,
+    spill: Option<SpillFile>,
+    stats: PagerStats,
+}
+
+/// A bounded buffer pool of [`RecordBatch`] pages with clock eviction and
+/// spill-to-disk. See the [module docs](super) for the design.
+///
+/// All methods take `&self`; the pager is shared across a query's worker
+/// threads behind an `Arc`.
+pub struct Pager {
+    capacity: Option<usize>,
+    spill_dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl Pager {
+    /// Creates a pager bounded by `budget`. No file is created until the
+    /// first eviction of a dirty page.
+    pub fn new(budget: &MemoryBudget) -> Self {
+        Pager {
+            capacity: budget.limit(),
+            spill_dir: budget.spill_dir(),
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                disk: HashMap::new(),
+                clock: Vec::new(),
+                hand: 0,
+                resident_bytes: 0,
+                next_page: 0,
+                spill: None,
+                stats: PagerStats::default(),
+            }),
+        }
+    }
+
+    /// Admits a new page, evicting older unpinned pages if the pool is over
+    /// budget. The page starts dirty (it exists nowhere but the pool).
+    pub fn append_page(&self, batch: RecordBatch) -> Result<PageId> {
+        let mut inner = self.inner.lock();
+        let id = inner.next_page;
+        inner.next_page += 1;
+        let bytes = batch.approx_size_bytes().max(1);
+        inner.frames.insert(
+            id,
+            Frame {
+                batch: Arc::new(batch),
+                bytes,
+                dirty: true,
+                pins: 0,
+                referenced: true,
+            },
+        );
+        inner.clock.push(id);
+        inner.resident_bytes += bytes;
+        inner.stats.peak_resident_pages = inner.stats.peak_resident_pages.max(inner.frames.len());
+        self.evict_to_capacity(&mut inner)?;
+        Ok(PageId(id))
+    }
+
+    /// Pins a page, faulting it back in from the spill file if it was
+    /// evicted, and returns a guard that unpins on drop. Pinned pages are
+    /// never evicted.
+    pub fn pin(self: &Arc<Self>, id: PageId) -> Result<PinnedPage> {
+        let batch = {
+            let mut inner = self.inner.lock();
+            self.fault_in(&mut inner, id)?;
+            let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
+            frame.pins += 1;
+            frame.referenced = true;
+            let batch = Arc::clone(&frame.batch);
+            // Evict only after taking the pin, so a fault under pressure can
+            // never throw its own page back out.
+            self.evict_to_capacity(&mut inner)?;
+            batch
+        };
+        Ok(PinnedPage {
+            pager: Arc::clone(self),
+            id,
+            batch,
+        })
+    }
+
+    /// Reads a page without holding a pin: the returned `Arc` keeps the data
+    /// alive even if the frame is evicted afterwards, but the pool may
+    /// reclaim the frame's budget immediately.
+    pub fn read_page(&self, id: PageId) -> Result<Arc<RecordBatch>> {
+        let mut inner = self.inner.lock();
+        self.fault_in(&mut inner, id)?;
+        let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
+        frame.referenced = true;
+        let batch = Arc::clone(&frame.batch);
+        self.evict_to_capacity(&mut inner)?;
+        Ok(batch)
+    }
+
+    /// Drops a page from the pool and forgets its spill slot (the slot's
+    /// bytes are reclaimed when the spill file is deleted on drop).
+    ///
+    /// Freeing a pinned page is an invariant violation and errors.
+    pub fn free_page(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get(&id.0) {
+            if frame.pins > 0 {
+                return Err(StorageError::Invalid {
+                    detail: format!("cannot free pinned page {:?}", id),
+                });
+            }
+            let bytes = frame.bytes;
+            inner.frames.remove(&id.0);
+            inner.resident_bytes -= bytes;
+            if let Some(pos) = inner.clock.iter().position(|&p| p == id.0) {
+                inner.clock.remove(pos);
+                if inner.hand > pos {
+                    inner.hand -= 1;
+                }
+            }
+        }
+        inner.disk.remove(&id.0);
+        Ok(())
+    }
+
+    /// A snapshot of the spill/eviction counters.
+    pub fn stats(&self) -> PagerStats {
+        self.inner.lock().stats
+    }
+
+    /// Bytes of decoded pages currently resident in the pool.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// The spill file's path, if one has been created.
+    pub fn spill_path(&self) -> Option<PathBuf> {
+        self.inner.lock().spill.as_ref().map(|s| s.path.clone())
+    }
+
+    fn unpin(&self, id: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get_mut(&id.0) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+        // Unpinning may finally allow an overdue eviction; a failure here
+        // only delays it until the next append/pin.
+        let _ = self.evict_to_capacity(&mut inner);
+    }
+
+    /// Ensures `id` is resident, reading and decoding it from the spill file
+    /// if necessary (and possibly evicting something else to make room).
+    fn fault_in(&self, inner: &mut Inner, id: PageId) -> Result<()> {
+        if inner.frames.contains_key(&id.0) {
+            return Ok(());
+        }
+        let slot = *inner.disk.get(&id.0).ok_or_else(|| StorageError::Invalid {
+            detail: format!("unknown page {id:?}"),
+        })?;
+        let spill = inner.spill.as_mut().ok_or_else(|| StorageError::Invalid {
+            detail: "page is on disk but no spill file exists".into(),
+        })?;
+        let bytes = spill.read(slot)?;
+        inner.stats.spill_bytes_read += slot.len;
+        let batch = codec::decode_batch(&bytes)?;
+        let size = batch.approx_size_bytes().max(1);
+        inner.frames.insert(
+            id.0,
+            Frame {
+                batch: Arc::new(batch),
+                bytes: size,
+                // Already safely on disk; evicting it again costs no write.
+                dirty: false,
+                pins: 0,
+                referenced: true,
+            },
+        );
+        inner.clock.push(id.0);
+        inner.resident_bytes += size;
+        inner.stats.peak_resident_pages = inner.stats.peak_resident_pages.max(inner.frames.len());
+        Ok(())
+    }
+
+    /// Clock sweep: while over budget, evict the first unpinned page whose
+    /// reference bit is clear, clearing set bits along the way. Dirty
+    /// victims are encoded and appended to the spill file first. Gives up
+    /// (leaving the pool over budget) when every resident page is pinned.
+    fn evict_to_capacity(&self, inner: &mut Inner) -> Result<()> {
+        let Some(capacity) = self.capacity else {
+            return Ok(());
+        };
+        let mut scanned_since_evict = 0;
+        while inner.resident_bytes > capacity && !inner.clock.is_empty() {
+            if scanned_since_evict > 2 * inner.clock.len() {
+                // Every page is pinned (or freshly referenced by a pinner):
+                // nothing can go. The budget is a soft bound.
+                return Ok(());
+            }
+            if inner.hand >= inner.clock.len() {
+                inner.hand = 0;
+            }
+            let id = inner.clock[inner.hand];
+            let frame = inner.frames.get_mut(&id).expect("clock tracks frames");
+            if frame.pins > 0 {
+                inner.hand += 1;
+                scanned_since_evict += 1;
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                inner.hand += 1;
+                scanned_since_evict += 1;
+                continue;
+            }
+            // Victim found.
+            if frame.dirty {
+                let encoded = codec::encode_batch(&frame.batch);
+                if inner.spill.is_none() {
+                    inner.spill = Some(SpillFile::create(&self.spill_dir)?);
+                }
+                let spill = inner.spill.as_mut().expect("created above");
+                let slot = spill.append(&encoded)?;
+                inner.stats.pages_spilled += 1;
+                inner.stats.spill_bytes_written += slot.len;
+                inner.disk.insert(id, slot);
+            }
+            let frame = inner.frames.remove(&id).expect("still resident");
+            inner.resident_bytes -= frame.bytes;
+            inner.clock.remove(inner.hand);
+            inner.stats.pages_evicted += 1;
+            scanned_since_evict = 0;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Pager")
+            .field("capacity", &self.capacity)
+            .field("resident_pages", &inner.frames.len())
+            .field("resident_bytes", &inner.resident_bytes)
+            .field("spilled_pages", &inner.disk.len())
+            .finish()
+    }
+}
+
+/// A pinned page: dereferences to the batch; unpins on drop.
+pub struct PinnedPage {
+    pager: Arc<Pager>,
+    id: PageId,
+    batch: Arc<RecordBatch>,
+}
+
+impl PinnedPage {
+    /// The pinned page's id.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+}
+
+impl std::ops::Deref for PinnedPage {
+    type Target = RecordBatch;
+
+    fn deref(&self) -> &RecordBatch {
+        &self.batch
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.pager.unpin(self.id);
+    }
+}
+
+/// Serialises spill-file naming across the process.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An append-only spill file, deleted from disk when dropped (drop also runs
+/// while unwinding, so error paths clean up too).
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl SpillFile {
+    fn create(dir: &std::path::Path) -> Result<Self> {
+        let name = format!(
+            "sdb-spill-{}-{}.pages",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| StorageError::Persistence {
+                detail: format!("cannot create spill file {}: {e}", path.display()),
+            })?;
+        Ok(SpillFile { file, path, len: 0 })
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<DiskSlot> {
+        let offset = self.len;
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| self.file.write_all(bytes))
+            .map_err(|e| StorageError::Persistence {
+                detail: format!("spill write failed: {e}"),
+            })?;
+        self.len += bytes.len() as u64;
+        Ok(DiskSlot {
+            offset,
+            len: bytes.len(),
+        })
+    }
+
+    fn read(&mut self, slot: DiskSlot) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; slot.len];
+        self.file
+            .seek(SeekFrom::Start(slot.offset))
+            .and_then(|_| self.file.read_exact(&mut buf))
+            .map_err(|e| StorageError::Persistence {
+                detail: format!("spill read failed: {e}"),
+            })?;
+        Ok(buf)
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, DataType, Schema, Value};
+
+    fn batch(tag: i64, rows: usize) -> RecordBatch {
+        let schema = Schema::new(vec![
+            ColumnDef::public("id", DataType::Int),
+            ColumnDef::public("s", DataType::Varchar),
+        ]);
+        RecordBatch::from_rows(
+            schema,
+            (0..rows)
+                .map(|i| {
+                    vec![
+                        Value::Int(tag * 1000 + i as i64),
+                        Value::Str(format!("row-{tag}-{i}")),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_pager_never_spills() {
+        let pager = Arc::new(Pager::new(&MemoryBudget::unlimited()));
+        let ids: Vec<_> = (0..20)
+            .map(|i| pager.append_page(batch(i, 50)).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pager.read_page(*id).unwrap().as_ref(), &batch(i as i64, 50));
+        }
+        assert_eq!(pager.stats().pages_spilled, 0);
+        assert!(pager.spill_path().is_none());
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_pages_fault_back_identical() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page * 2)));
+        let ids: Vec<_> = (0..10)
+            .map(|i| pager.append_page(batch(i, 50)).unwrap())
+            .collect();
+        let stats = pager.stats();
+        assert!(stats.pages_spilled > 0, "must have spilled: {stats:?}");
+        assert!(stats.spill_bytes_written > 0);
+        assert!(pager.resident_bytes() <= one_page * 2 + one_page);
+        assert!(pager.spill_path().unwrap().exists());
+
+        // Every page reads back byte-identical, in any order.
+        for (i, id) in ids.iter().enumerate().rev() {
+            assert_eq!(pager.read_page(*id).unwrap().as_ref(), &batch(i as i64, 50));
+        }
+        assert!(pager.stats().spill_bytes_read > 0);
+        assert!(pager.stats().peak_resident_pages >= 2);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page)));
+        let first = pager.append_page(batch(0, 50)).unwrap();
+        let pinned = pager.pin(first).unwrap();
+        // Push the pool far over budget; the pinned page must stay put.
+        for i in 1..6 {
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        assert_eq!(&*pinned, &batch(0, 50));
+        assert_eq!(pinned.id(), first);
+        drop(pinned);
+        // Now it can be evicted; freeing it while pinned would have errored.
+        for i in 6..10 {
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        assert_eq!(pager.read_page(first).unwrap().as_ref(), &batch(0, 50));
+    }
+
+    #[test]
+    fn free_rejects_pinned_and_forgets_pages() {
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(64)));
+        let id = pager.append_page(batch(0, 10)).unwrap();
+        let pin = pager.pin(id).unwrap();
+        assert!(pager.free_page(id).is_err(), "pinned pages cannot be freed");
+        drop(pin);
+        pager.free_page(id).unwrap();
+        assert!(pager.read_page(id).is_err(), "freed pages are gone");
+        // Freeing twice is a no-op.
+        pager.free_page(id).unwrap();
+    }
+
+    #[test]
+    fn spill_file_removed_on_drop() {
+        let dir = std::env::temp_dir();
+        let path = {
+            let pager = Arc::new(Pager::new(&MemoryBudget::bytes(32).with_spill_dir(&dir)));
+            for i in 0..8 {
+                pager.append_page(batch(i, 20)).unwrap();
+            }
+            let path = pager.spill_path().expect("tiny budget must spill");
+            assert!(path.exists());
+            path
+        };
+        assert!(!path.exists(), "drop must delete the spill file");
+    }
+
+    #[test]
+    fn eviction_prefers_unreferenced_pages() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page * 3)));
+        let hot = pager.append_page(batch(0, 50)).unwrap();
+        let cold = pager.append_page(batch(1, 50)).unwrap();
+        // Keep touching the hot page while admitting new ones.
+        for i in 2..8 {
+            pager.read_page(hot).unwrap();
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        // Both still readable regardless of which frame was chosen.
+        assert_eq!(pager.read_page(hot).unwrap().as_ref(), &batch(0, 50));
+        assert_eq!(pager.read_page(cold).unwrap().as_ref(), &batch(1, 50));
+        assert!(pager.stats().pages_evicted > 0);
+    }
+}

@@ -229,6 +229,22 @@ impl Value {
         Value::Decimal { units, scale }
     }
 
+    /// Rough serialised size in bytes, used for storage accounting and the
+    /// memory-budget bookkeeping of the spilling operators.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Decimal { .. } => 9,
+            Value::Str(s) => s.len() + 4,
+            Value::Date(_) => 4,
+            Value::Bool(_) => 1,
+            Value::Encrypted(e) => (e.bits() as usize).div_ceil(8) + 4,
+            Value::EncryptedRowId(r) => r.size_bytes(),
+            Value::Tag(_) => 8,
+        }
+    }
+
     /// Renders the value the way the CLI / examples print result rows.
     pub fn render(&self) -> String {
         match self {
