@@ -1,0 +1,110 @@
+//! Grace hash join benchmark: the in-memory hash join vs the spilling
+//! Grace join under a deliberately tight `MemoryBudget`, joining a 5k-row
+//! dimension table against a 200k-row fact table (the fact table is the
+//! build side, so the budgeted legs must partition and spill it). The
+//! interesting numbers are the spilling legs' distance from the unbudgeted
+//! path and that residency stays bounded while output stays byte-identical.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdb_engine::{MemoryBudget, SpEngine};
+use sdb_storage::{Catalog, ColumnDef, DataType, Schema, Value};
+
+const FACT_ROWS: usize = 200_000;
+const DIM_ROWS: usize = 5_000;
+
+/// Keeps roughly this many bytes of build-side state resident — small enough
+/// to force multi-partition spilling at 200k fact rows.
+const BUDGET_BYTES: usize = 256 * 1024;
+
+/// Deterministic pseudo-random stream (keeps the bench reproducible without
+/// an RNG dependency).
+fn mix(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+}
+
+/// `fact(id, k, val)` joined against `dim(k, label)` on `k` (4k distinct
+/// keys, so every dim row finds ~50 fact matches).
+fn shared_catalog() -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new());
+    let fact = catalog
+        .create_table(
+            "fact",
+            Schema::new(vec![
+                ColumnDef::public("id", DataType::Int),
+                ColumnDef::public("k", DataType::Int),
+                ColumnDef::public("val", DataType::Int),
+            ]),
+        )
+        .expect("fresh catalog");
+    {
+        let mut t = fact.write();
+        for i in 0..FACT_ROWS {
+            let r = mix(i as u64);
+            t.insert_row(vec![
+                Value::Int(i as i64),
+                Value::Int((r % 4096) as i64),
+                Value::Int((r % 1000) as i64),
+            ])
+            .expect("schema matches");
+        }
+    }
+    let dim = catalog
+        .create_table(
+            "dim",
+            Schema::new(vec![
+                ColumnDef::public("k", DataType::Int),
+                ColumnDef::public("label", DataType::Varchar),
+            ]),
+        )
+        .expect("fresh catalog");
+    {
+        let mut t = dim.write();
+        for k in 0..DIM_ROWS {
+            t.insert_row(vec![Value::Int(k as i64), Value::Str(format!("g{k}"))])
+                .expect("schema matches");
+        }
+    }
+    catalog
+}
+
+fn grace_join(c: &mut Criterion) {
+    let catalog = shared_catalog();
+    let in_memory = SpEngine::with_catalog(Arc::clone(&catalog));
+    let spilling = SpEngine::with_catalog(Arc::clone(&catalog))
+        .with_memory_budget(MemoryBudget::bytes(BUDGET_BYTES));
+
+    // The fact table on the right is the build side the budget must bound.
+    let join_sql = "SELECT d.label, f.val FROM dim d JOIN fact f ON d.k = f.k WHERE f.val < 100";
+
+    let mut group = c.benchmark_group("hash_join_200k_build");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| {
+            black_box(
+                in_memory
+                    .execute_sql(join_sql)
+                    .expect("join")
+                    .batch
+                    .num_rows(),
+            )
+        })
+    });
+    group.bench_function("grace_256k_budget", |b| {
+        b.iter(|| {
+            let out = spilling.execute_sql(join_sql).expect("join");
+            assert!(
+                out.stats.join_spilled_rows > 0,
+                "budget must force the Grace partition path"
+            );
+            black_box(out.batch.num_rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grace_join);
+criterion_main!(benches);

@@ -28,7 +28,7 @@ const SMALL_PRIMES: [u32; 46] = [
 /// Returns `true` if `n` is (very probably) prime.
 ///
 /// Deterministically handles small values, filters with trial division by small
-/// primes, then runs [`MILLER_RABIN_ROUNDS`] rounds of Miller–Rabin with random
+/// primes, then runs `MILLER_RABIN_ROUNDS` rounds of Miller–Rabin with random
 /// bases drawn from `rng`.
 pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
     let two = BigUint::from(2u32);

@@ -17,7 +17,8 @@ use serde::{Deserialize, Serialize};
 use crate::prf::{Prf, PrfKey};
 use crate::{CryptoError, Result};
 
-/// A ciphertext produced by [`SiesCipher::encrypt`].
+/// A ciphertext produced by [`SiesCipher::encrypt_bytes`] (or its
+/// [`SiesCipher::encrypt_biguint`] wrapper).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SiesCiphertext {
     /// Random per-encryption nonce.

@@ -28,6 +28,26 @@ pub struct QueryOutput {
 }
 
 /// The service-provider engine.
+///
+/// The README quickstart, runnable (this example executes under
+/// `cargo test` as a doc-test):
+///
+/// ```
+/// use sdb_engine::{MemoryBudget, SpEngine};
+///
+/// let engine = SpEngine::new()
+///     .with_parallelism(2)                              // workers per query
+///     .with_batch_size(4096)                            // rows per batch
+///     .with_memory_budget(MemoryBudget::bytes(64 << 20)); // spill past 64 MiB
+///
+/// engine.execute_sql("CREATE TABLE accounts (id INT, owner VARCHAR(20), balance INT)")?;
+/// engine.execute_sql("INSERT INTO accounts VALUES (1, 'ann', 10), (2, 'bob', 20)")?;
+///
+/// let out = engine.execute_sql("SELECT owner FROM accounts WHERE balance > 15")?;
+/// assert_eq!(out.batch.num_rows(), 1);
+/// assert_eq!(out.batch.column(0).get(0).as_str()?, "bob");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct SpEngine {
     catalog: Arc<Catalog>,
     registry: UdfRegistry,
@@ -69,6 +89,23 @@ impl SpEngine {
 
     /// Overrides the rows-per-batch knob for every query this engine runs
     /// (builder style). Panics if `batch_size` is zero.
+    ///
+    /// Results are byte-identical at any batch size; the knob trades
+    /// per-batch overhead against peak batch memory.
+    ///
+    /// ```
+    /// use sdb_engine::SpEngine;
+    ///
+    /// let engine = SpEngine::new().with_batch_size(2);
+    /// engine.execute_sql("CREATE TABLE t (a INT)")?;
+    /// engine.execute_sql("INSERT INTO t VALUES (3), (1), (2), (5), (4)")?;
+    ///
+    /// // Five rows flow through the pipeline as three 2-row batches.
+    /// let out = engine.execute_sql("SELECT a FROM t ORDER BY a")?;
+    /// assert_eq!(out.batch.num_rows(), 5);
+    /// assert_eq!(engine.batch_size(), 2);
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         self.batch_size = batch_size;
@@ -77,16 +114,59 @@ impl SpEngine {
 
     /// Overrides the per-query worker count (builder style; `1` selects the
     /// serial plans). Panics if `parallelism` is zero.
+    ///
+    /// Defaults to the available cores. Parallel plans fan heavy operator
+    /// phases out over contiguous row morsels and merge in morsel order, so
+    /// results are byte-identical to serial execution.
+    ///
+    /// ```
+    /// use sdb_engine::SpEngine;
+    ///
+    /// let engine = SpEngine::new().with_parallelism(4);
+    /// engine.execute_sql("CREATE TABLE t (a INT, g INT)")?;
+    /// engine.execute_sql("INSERT INTO t VALUES (10, 1), (20, 1), (30, 2)")?;
+    ///
+    /// let out = engine.execute_sql("SELECT g, SUM(a) AS s FROM t GROUP BY g ORDER BY g")?;
+    /// assert_eq!(out.batch.num_rows(), 2);
+    /// assert_eq!(engine.parallelism(), 4);
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         assert!(parallelism > 0, "parallelism must be positive");
         self.parallelism = parallelism;
         self
     }
 
-    /// Bounds how much memory blocking operators (sort, aggregation) may
-    /// materialise per query before spilling to disk (builder style). With a
-    /// limited budget the planner selects the spilling operator variants,
-    /// whose results are byte-identical to the in-memory ones.
+    /// Bounds how much memory blocking operators (sort, aggregation, hash
+    /// join build sides) may materialise per query before spilling to disk
+    /// (builder style). With a limited budget the planner selects the
+    /// spilling operator variants ([`ExternalSort`], [`SpillingHashAggregate`]
+    /// and [`GraceHashJoin`]), whose results are byte-identical to the
+    /// in-memory ones; spill activity is reported in [`ExecutionStats`].
+    ///
+    /// ```
+    /// use sdb_engine::{MemoryBudget, SpEngine};
+    ///
+    /// let engine = SpEngine::new().with_memory_budget(MemoryBudget::bytes(4 << 10));
+    /// engine.execute_sql("CREATE TABLE t (a INT, b INT)")?;
+    /// for chunk in 0..20 {
+    ///     let rows: Vec<String> = (0..50)
+    ///         .map(|i| format!("({}, {})", chunk * 50 + i, (chunk * 50 + i) % 7))
+    ///         .collect();
+    ///     engine.execute_sql(&format!("INSERT INTO t VALUES {}", rows.join(", ")))?;
+    /// }
+    ///
+    /// // 1000 rows cannot be sorted inside 4 KiB: runs spill through the
+    /// // pager, and the result is still exactly the sorted table.
+    /// let out = engine.execute_sql("SELECT a FROM t ORDER BY b, a")?;
+    /// assert_eq!(out.batch.num_rows(), 1000);
+    /// assert!(out.stats.pages_spilled > 0);
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
+    ///
+    /// [`ExternalSort`]: crate::operators::external_sort::ExternalSort
+    /// [`SpillingHashAggregate`]: crate::operators::spill_aggregate::SpillingHashAggregate
+    /// [`GraceHashJoin`]: crate::operators::grace_join::GraceHashJoin
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
         self

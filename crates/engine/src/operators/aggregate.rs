@@ -2,11 +2,11 @@
 //! parallel variant.
 //!
 //! Both operators share the same building blocks so their output is
-//! byte-identical: [`group_morsel`] folds a contiguous run of rows into
+//! byte-identical: `group_morsel` folds a contiguous run of rows into
 //! per-group states (group-key values plus the evaluated argument values of
-//! every aggregate, in row order), [`merge_group_states`] combines per-morsel
+//! every aggregate, in row order), `merge_group_states` combines per-morsel
 //! states in morsel order (preserving global first-occurrence group order and
-//! global row order within each group), and [`finalize_groups`] computes the
+//! global row order within each group), and `finalize_groups` computes the
 //! aggregate values and infers the output schema.
 
 use std::collections::HashMap;

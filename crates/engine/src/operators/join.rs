@@ -39,10 +39,14 @@ pub struct HashJoin<'a> {
     build: Option<BuildSide>,
 }
 
-struct BuildSide {
-    right_schema: Schema,
-    right_rows: RecordBatch,
-    index: HashMap<String, Vec<usize>>,
+/// A fully-built hash-join build side: the materialised right rows (original
+/// columns only) plus the key index. Shared with the spilling
+/// [`super::grace_join::GraceHashJoin`], whose in-memory mode is exactly this
+/// operator's build/probe path.
+pub(super) struct BuildSide {
+    pub(super) right_schema: Schema,
+    pub(super) right_rows: RecordBatch,
+    pub(super) index: HashMap<String, Vec<usize>>,
 }
 
 impl<'a> HashJoin<'a> {
@@ -69,63 +73,126 @@ impl<'a> HashJoin<'a> {
             build: None,
         }
     }
+}
 
-    /// Evaluates the (resolved and bound) key expressions for one row; `None`
-    /// when any component is NULL (NULL join keys never match).
-    fn key_of(
-        ctx: &ExecContext<'_>,
-        exprs: &[Expr],
-        batch: &RecordBatch,
-        row: usize,
-    ) -> Result<Option<String>> {
-        let evaluator = ctx.evaluator();
-        let mut parts = Vec::with_capacity(exprs.len());
-        for e in exprs {
-            let v = evaluator.evaluate(e, batch, row)?;
-            if v.is_null() {
-                ctx.record_udf_calls(&evaluator);
-                return Ok(None);
-            }
-            parts.push(join_key_component(&v));
+/// Evaluates the (resolved and bound) key expressions for one row; `None`
+/// when any component is NULL (NULL join keys never match).
+pub(super) fn key_of(
+    ctx: &ExecContext<'_>,
+    exprs: &[Expr],
+    batch: &RecordBatch,
+    row: usize,
+) -> Result<Option<String>> {
+    let evaluator = ctx.evaluator();
+    let mut parts = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = evaluator.evaluate(e, batch, row)?;
+        if v.is_null() {
+            ctx.record_udf_calls(&evaluator);
+            return Ok(None);
         }
-        ctx.record_udf_calls(&evaluator);
-        Ok(Some(parts.join("\u{1f}")))
+        parts.push(join_key_component(&v));
     }
+    ctx.record_udf_calls(&evaluator);
+    Ok(Some(parts.join("\u{1f}")))
+}
 
-    /// Indexes the build side by key. With more than one worker, each worker
-    /// indexes one contiguous morsel of rows (global row numbers) and the
-    /// partial indexes are merged in morsel order.
-    fn build_index(
-        ctx: &ExecContext<'_>,
-        keys: &[Expr],
-        working: &RecordBatch,
-    ) -> Result<HashMap<String, Vec<usize>>> {
-        let workers = effective_workers(ctx.parallelism(), working.num_rows());
-        let ranges = partition_ranges(working.num_rows(), workers.max(1));
-        let partials: Vec<HashMap<String, Vec<usize>>> = scoped_workers(workers, |i| {
-            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-            if let Some(range) = ranges.get(i) {
-                for row in range.clone() {
-                    if let Some(key) = Self::key_of(ctx, keys, working, row)? {
-                        index.entry(key).or_default().push(row);
-                    }
+/// Evaluates the rendered join key for every row of a batch. With more than
+/// one worker each contiguous morsel evaluates on its own scoped thread and
+/// the per-morsel results are concatenated in morsel order, so the output
+/// vector is in row order regardless of parallelism.
+pub(super) fn keys_of_batch(
+    ctx: &ExecContext<'_>,
+    keys: &[Expr],
+    working: &RecordBatch,
+) -> Result<Vec<Option<String>>> {
+    let workers = effective_workers(ctx.parallelism(), working.num_rows());
+    let ranges = partition_ranges(working.num_rows(), workers.max(1));
+    let parts: Vec<Vec<Option<String>>> = scoped_workers(workers.max(1), |i| {
+        let mut out = Vec::new();
+        if let Some(range) = ranges.get(i) {
+            out.reserve(range.len());
+            for row in range.clone() {
+                out.push(key_of(ctx, keys, working, row)?);
+            }
+        }
+        Ok(out)
+    })?;
+    Ok(parts.into_iter().flatten().collect())
+}
+
+/// Indexes the build side by key. With more than one worker, each worker
+/// indexes one contiguous morsel of rows (global row numbers) and the
+/// partial indexes are merged in morsel order.
+pub(super) fn build_index(
+    ctx: &ExecContext<'_>,
+    keys: &[Expr],
+    working: &RecordBatch,
+) -> Result<HashMap<String, Vec<usize>>> {
+    let workers = effective_workers(ctx.parallelism(), working.num_rows());
+    let ranges = partition_ranges(working.num_rows(), workers.max(1));
+    let partials: Vec<HashMap<String, Vec<usize>>> = scoped_workers(workers, |i| {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        if let Some(range) = ranges.get(i) {
+            for row in range.clone() {
+                if let Some(key) = key_of(ctx, keys, working, row)? {
+                    index.entry(key).or_default().push(row);
                 }
             }
-            Ok(index)
-        })?;
-        let mut merged: HashMap<String, Vec<usize>> = HashMap::new();
-        // Morsel order: each key's row list stays in ascending global order.
-        for partial in partials {
-            if merged.is_empty() {
-                merged = partial;
-                continue;
-            }
-            for (key, rows) in partial {
-                merged.entry(key).or_default().extend(rows);
+        }
+        Ok(index)
+    })?;
+    let mut merged: HashMap<String, Vec<usize>> = HashMap::new();
+    // Morsel order: each key's row list stays in ascending global order.
+    for partial in partials {
+        if merged.is_empty() {
+            merged = partial;
+            continue;
+        }
+        for (key, rows) in partial {
+            merged.entry(key).or_default().extend(rows);
+        }
+    }
+    Ok(merged)
+}
+
+/// Probes one left batch against a built right side, producing the joined
+/// output batch (LEFT JOIN rows null-pad when unmatched). Resolves
+/// oracle-backed calls in `left_keys` against a working copy of the batch;
+/// output rows come from the original columns.
+pub(super) fn probe_batch(
+    ctx: &ExecContext<'_>,
+    build: &BuildSide,
+    kind: JoinKind,
+    left_keys: &[Expr],
+    batch: RecordBatch,
+) -> Result<RecordBatch> {
+    let combined_schema = batch.schema().join(&build.right_schema);
+    let right_width = build.right_schema.len();
+
+    let mut keys = left_keys.to_vec();
+    let working = resolve_for_exprs(ctx, batch.clone(), &mut keys)?;
+
+    let mut rows = Vec::new();
+    for lrow in 0..working.num_rows() {
+        let mut matched = false;
+        if let Some(key) = key_of(ctx, &keys, &working, lrow)? {
+            if let Some(matches) = build.index.get(&key) {
+                for &rrow in matches {
+                    let mut row = batch.row(lrow);
+                    row.extend(build.right_rows.row(rrow));
+                    rows.push(row);
+                    matched = true;
+                }
             }
         }
-        Ok(merged)
+        if !matched && kind == JoinKind::Left {
+            let mut row = batch.row(lrow);
+            row.extend(std::iter::repeat_n(Value::Null, right_width));
+            rows.push(row);
+        }
     }
+    RecordBatch::from_rows(combined_schema, rows).map_err(Into::into)
 }
 
 impl PhysicalOperator for HashJoin<'_> {
@@ -155,7 +222,7 @@ impl PhysicalOperator for HashJoin<'_> {
         // output rows come from the original (unaugmented) columns.
         let mut right_keys = self.right_keys.clone();
         let working = resolve_for_exprs(&self.ctx, right_rows.clone(), &mut right_keys)?;
-        let index = Self::build_index(&self.ctx, &right_keys, &working)?;
+        let index = build_index(&self.ctx, &right_keys, &working)?;
         self.build = Some(BuildSide {
             right_schema,
             right_rows,
@@ -169,36 +236,7 @@ impl PhysicalOperator for HashJoin<'_> {
         let Some(batch) = self.left.next_batch()? else {
             return Ok(None);
         };
-        let combined_schema = batch.schema().join(&build.right_schema);
-        let right_width = build.right_schema.len();
-
-        // Resolve oracle calls in the left keys against a working copy of this
-        // batch; output rows come from the original columns.
-        let mut left_keys = self.left_keys.clone();
-        let working = resolve_for_exprs(&self.ctx, batch.clone(), &mut left_keys)?;
-
-        let mut rows = Vec::new();
-        for lrow in 0..working.num_rows() {
-            let mut matched = false;
-            if let Some(key) = Self::key_of(&self.ctx, &left_keys, &working, lrow)? {
-                if let Some(matches) = build.index.get(&key) {
-                    for &rrow in matches {
-                        let mut row = batch.row(lrow);
-                        row.extend(build.right_rows.row(rrow));
-                        rows.push(row);
-                        matched = true;
-                    }
-                }
-            }
-            if !matched && self.kind == JoinKind::Left {
-                let mut row = batch.row(lrow);
-                row.extend(std::iter::repeat_n(Value::Null, right_width));
-                rows.push(row);
-            }
-        }
-        RecordBatch::from_rows(combined_schema, rows)
-            .map(Some)
-            .map_err(Into::into)
+        probe_batch(&self.ctx, build, self.kind, &self.left_keys, batch).map(Some)
     }
 
     fn close(&mut self) -> Result<()> {

@@ -15,6 +15,8 @@
 //! * [`project`] — projection / expression evaluation;
 //! * [`join`] — hash equi-join (parallel build side) and the nested-loop
 //!   fallback;
+//! * [`grace_join`] — bounded-memory Grace-style spilling hash join
+//!   (selected when a [`MemoryBudget`] is set);
 //! * [`aggregate`] — hash aggregation with grouping, with a partitioned
 //!   parallel variant;
 //! * [`sort`] — sort, limit and distinct (the order-shaping operators);
@@ -56,9 +58,9 @@
 //!   batch flowing between operators.
 //! * `memory_budget` (default unlimited; `SDB_TEST_MEM_BUDGET` overrides the
 //!   default in bytes) bounds what the blocking operators materialise — when
-//!   limited, sort and aggregation lower to their spilling variants, which
-//!   park overflow in the context's [`Pager`] and produce byte-identical
-//!   results.
+//!   limited, sort, aggregation and hash joins lower to their spilling
+//!   variants, which park overflow in the context's [`Pager`] and produce
+//!   byte-identical results.
 //!
 //! All are fields on [`ExecContext`] with builder-style setters, exposed
 //! through [`crate::SpEngine::with_parallelism`],
@@ -77,6 +79,7 @@ pub mod aggregate;
 pub mod expr;
 pub mod external_sort;
 pub mod filter;
+pub mod grace_join;
 pub mod join;
 pub mod oracle;
 pub mod parallel;
@@ -147,8 +150,7 @@ pub type BoxedOperator<'a> = Box<dyn PhysicalOperator + 'a>;
 ///
 /// The context is `Send + Sync` and shared as an `Arc` so parallel operators
 /// can hand it to scoped worker threads. Worker-local state (the statistics
-/// shard, the RNG) is selected by the thread's worker id
-/// ([`parallel::current_worker`]).
+/// shard, the RNG) is selected by the thread's worker id (see [`parallel`]).
 pub struct ExecContext<'a> {
     catalog: &'a Catalog,
     registry: &'a UdfRegistry,

@@ -5,11 +5,11 @@
 //! row* — a global arrival sequence number, the grouping-key values and every
 //! aggregate's argument value. Prepared rows accumulate in memory until the
 //! [`MemoryBudget`](sdb_storage::MemoryBudget) is exceeded, at which point
-//! they are hash-partitioned by grouping key into [`FANOUT`] spill streams
+//! they are hash-partitioned by grouping key into `FANOUT` spill streams
 //! parked in the pager (same-key rows always land in the same partition).
 //! At the end each partition is re-aggregated independently; a partition
 //! still larger than the budget is recursively re-partitioned with a
-//! different hash level, up to [`MAX_LEVELS`] (beyond that it is aggregated
+//! different hash level, up to `MAX_LEVELS` (beyond that it is aggregated
 //! in memory — a single pathological group cannot be split by key).
 //!
 //! **Byte-identity with [`super::aggregate::HashAggregate`]:** the in-memory
@@ -28,18 +28,19 @@ use std::sync::Arc;
 
 use sdb_sql::ast::Expr;
 use sdb_sql::plan::AggregateExpr;
-use sdb_storage::{Column, ColumnDef, DataType, PageId, RecordBatch, Schema, Value};
+use sdb_storage::{ColumnDef, DataType, PageStream, PageStreamWriter, RecordBatch, Schema, Value};
 
 use super::aggregate::{bind_aggregate_exprs, finalize_groups, GroupState};
 use super::expr::join_key_component;
 use super::{BoxedOperator, ExecContext, PhysicalOperator};
 use crate::Result;
 
-/// Number of spill partitions per level.
-const FANOUT: usize = 8;
+/// Number of spill partitions per level (shared with
+/// [`super::grace_join::GraceHashJoin`], which partitions the same way).
+pub(super) const FANOUT: usize = 8;
 
 /// Maximum re-partitioning depth before giving up on splitting further.
-const MAX_LEVELS: u32 = 3;
+pub(super) const MAX_LEVELS: u32 = 3;
 
 /// One input row, evaluated and ready to group or spill.
 struct PreparedRow {
@@ -61,6 +62,16 @@ impl PreparedRow {
                 .chain(self.args.iter())
                 .map(Value::approx_size)
                 .sum::<usize>()
+    }
+
+    /// The page layout of a prepared row: sequence number, key values, then
+    /// argument values ([`decode_rows`] inverts this).
+    fn into_values(self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(1 + self.key_values.len() + self.args.len());
+        out.push(Value::Int(self.seq as i64));
+        out.extend(self.key_values);
+        out.extend(self.args);
+        out
     }
 }
 
@@ -146,6 +157,16 @@ impl<'a> SpillingHashAggregate<'a> {
         Ok(())
     }
 
+    /// One partition writer per fanout slot, flushing at a small fraction of
+    /// the budget so `FANOUT` writers cannot hoard it.
+    fn partition_writers(&self, page_schema: &Schema) -> Vec<PageStreamWriter> {
+        let limit = self.ctx.memory_budget().limit().unwrap_or(usize::MAX);
+        let flush_bytes = (limit / (2 * FANOUT)).max(1);
+        (0..FANOUT)
+            .map(|_| PageStreamWriter::new(page_schema.clone(), flush_bytes, self.ctx.batch_size()))
+            .collect()
+    }
+
     /// Streams the input, spilling on overflow, and produces the final
     /// groups in global first-occurrence order.
     fn aggregate_input(&mut self) -> Result<(Vec<GroupState>, Vec<Expr>, Schema)> {
@@ -155,7 +176,7 @@ impl<'a> SpillingHashAggregate<'a> {
         let mut bound: Option<(Vec<Expr>, Vec<Expr>)> = None;
         let mut pending: Vec<PreparedRow> = Vec::new();
         let mut pending_bytes = 0usize;
-        let mut partitions: Option<Vec<PartitionWriter>> = None;
+        let mut partitions: Option<Vec<PageStreamWriter>> = None;
         let mut next_seq = 0u64;
 
         while let Some(batch) = self.input.next_batch()? {
@@ -177,11 +198,10 @@ impl<'a> SpillingHashAggregate<'a> {
                 &mut pending_bytes,
             )?;
             if pending_bytes > limit {
-                let writers = partitions.get_or_insert_with(|| {
-                    (0..FANOUT)
-                        .map(|_| PartitionWriter::new(page_schema.clone(), limit))
-                        .collect()
-                });
+                if partitions.is_none() {
+                    partitions = Some(self.partition_writers(&page_schema));
+                }
+                let writers = partitions.as_mut().expect("created above");
                 spill_rows(&self.ctx, writers, pending.drain(..), 0)?;
                 pending_bytes = 0;
             }
@@ -203,7 +223,7 @@ impl<'a> SpillingHashAggregate<'a> {
                 spill_rows(&self.ctx, &mut writers, pending.drain(..), 0)?;
                 let mut collected: Vec<(u64, GroupState)> = Vec::new();
                 for writer in writers {
-                    let run = writer.finish(&self.ctx)?;
+                    let run = writer.finish(self.ctx.pager())?;
                     self.aggregate_partition(run, 1, &page_schema, &mut collected)?;
                 }
                 // Minimum sequence number == global first occurrence.
@@ -219,40 +239,37 @@ impl<'a> SpillingHashAggregate<'a> {
     /// remain).
     fn aggregate_partition(
         &self,
-        run: PartitionRun,
+        run: PageStream,
         level: u32,
         page_schema: &Schema,
         out: &mut Vec<(u64, GroupState)>,
     ) -> Result<()> {
         let limit = self.ctx.memory_budget().limit().unwrap_or(usize::MAX);
-        if run.bytes > limit && level <= MAX_LEVELS {
+        if run.bytes() > limit && level <= MAX_LEVELS {
             // Still too big: split by a different hash of the same keys.
-            let mut writers: Vec<PartitionWriter> = (0..FANOUT)
-                .map(|_| PartitionWriter::new(page_schema.clone(), limit))
-                .collect();
-            for &page in &run.pages {
-                let batch = self.ctx.pager().read_page(page)?;
+            let mut writers = self.partition_writers(page_schema);
+            let mut reader = run.reader();
+            while let Some(batch) = reader.next_batch(self.ctx.pager())? {
                 let rows = decode_rows(&batch, self.group_by.len(), self.aggregates.len())?;
-                self.ctx.pager().free_page(page)?;
                 spill_rows(&self.ctx, &mut writers, rows.into_iter(), level)?;
             }
             for writer in writers {
-                let sub = writer.finish(&self.ctx)?;
-                if sub.rows > 0 {
+                let sub = writer.finish(self.ctx.pager())?;
+                if !sub.is_empty() {
                     self.aggregate_partition(sub, level + 1, page_schema, out)?;
                 }
             }
             return Ok(());
         }
         // Small enough (or unsplittable): fold the partition's rows into
-        // group states page by page, keeping only one page resident.
+        // group states page by page, keeping only one page resident (the
+        // reader frees each page as it is consumed).
         let mut index: HashMap<String, usize> = HashMap::new();
         let mut groups: Vec<GroupState> = Vec::new();
         let mut min_seqs: Vec<u64> = Vec::new();
-        for &page in &run.pages {
-            let batch = self.ctx.pager().read_page(page)?;
+        let mut reader = run.reader();
+        while let Some(batch) = reader.next_batch(self.ctx.pager())? {
             let rows = decode_rows(&batch, self.group_by.len(), self.aggregates.len())?;
-            self.ctx.pager().free_page(page)?;
             group_rows_into(rows, &mut index, &mut min_seqs, &mut groups);
         }
         out.extend(min_seqs.into_iter().zip(groups));
@@ -296,8 +313,9 @@ impl PhysicalOperator for SpillingHashAggregate<'_> {
 }
 
 /// Deterministic partition assignment: same key, same level → same
-/// partition; a different level reshuffles keys.
-fn partition_of(key: &str, level: u32) -> usize {
+/// partition; a different level reshuffles keys. Shared with the Grace hash
+/// join so both spilling operators split identically.
+pub(super) fn partition_of(key: &str, level: u32) -> usize {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     level.hash(&mut hasher);
     key.hash(&mut hasher);
@@ -307,13 +325,13 @@ fn partition_of(key: &str, level: u32) -> usize {
 /// Routes prepared rows (in arrival order) to their partitions' writers.
 fn spill_rows(
     ctx: &ExecContext<'_>,
-    writers: &mut [PartitionWriter],
+    writers: &mut [PageStreamWriter],
     rows: impl Iterator<Item = PreparedRow>,
     level: u32,
 ) -> Result<()> {
     for row in rows {
         let p = partition_of(&row.key, level);
-        writers[p].push(ctx, row)?;
+        writers[p].push_row(ctx.pager(), row.into_values())?;
     }
     Ok(())
 }
@@ -347,91 +365,6 @@ fn group_rows_into(
             acc.push(value);
         }
     }
-}
-
-/// A finished partition: its pages plus size bookkeeping.
-struct PartitionRun {
-    pages: Vec<PageId>,
-    bytes: usize,
-    rows: usize,
-}
-
-/// Buffers prepared rows for one partition and flushes them to pager pages.
-struct PartitionWriter {
-    schema: Schema,
-    buffer: Vec<PreparedRow>,
-    buffer_bytes: usize,
-    /// Flush threshold: keeps per-writer buffers a small fraction of the
-    /// budget so FANOUT writers cannot hoard it.
-    flush_bytes: usize,
-    pages: Vec<PageId>,
-    total_bytes: usize,
-    total_rows: usize,
-}
-
-impl PartitionWriter {
-    fn new(schema: Schema, limit: usize) -> Self {
-        PartitionWriter {
-            schema,
-            buffer: Vec::new(),
-            buffer_bytes: 0,
-            flush_bytes: (limit / (2 * FANOUT)).max(1),
-            pages: Vec::new(),
-            total_bytes: 0,
-            total_rows: 0,
-        }
-    }
-
-    fn push(&mut self, ctx: &ExecContext<'_>, row: PreparedRow) -> Result<()> {
-        let size = row.approx_size();
-        self.buffer_bytes += size;
-        self.total_bytes += size;
-        self.total_rows += 1;
-        self.buffer.push(row);
-        if self.buffer_bytes >= self.flush_bytes || self.buffer.len() >= ctx.batch_size() {
-            self.flush(ctx)?;
-        }
-        Ok(())
-    }
-
-    fn flush(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
-        if self.buffer.is_empty() {
-            return Ok(());
-        }
-        let batch = encode_rows(&self.schema, std::mem::take(&mut self.buffer));
-        self.buffer_bytes = 0;
-        self.pages.push(ctx.pager().append_page(batch)?);
-        Ok(())
-    }
-
-    fn finish(mut self, ctx: &ExecContext<'_>) -> Result<PartitionRun> {
-        self.flush(ctx)?;
-        Ok(PartitionRun {
-            pages: self.pages,
-            bytes: self.total_bytes,
-            rows: self.total_rows,
-        })
-    }
-}
-
-/// Packs prepared rows into a page batch (columns: seq, keys, args).
-fn encode_rows(schema: &Schema, rows: Vec<PreparedRow>) -> RecordBatch {
-    let mut columns: Vec<Column> = schema
-        .columns()
-        .iter()
-        .map(|c| Column::new(c.data_type))
-        .collect();
-    for row in rows {
-        let base = 1 + row.key_values.len();
-        columns[0].push_unchecked(Value::Int(row.seq as i64));
-        for (i, v) in row.key_values.into_iter().enumerate() {
-            columns[1 + i].push_unchecked(v);
-        }
-        for (j, v) in row.args.into_iter().enumerate() {
-            columns[base + j].push_unchecked(v);
-        }
-    }
-    RecordBatch::new(schema.clone(), columns).expect("columns match the page schema")
 }
 
 /// Unpacks a page batch back into prepared rows (re-deriving the rendered

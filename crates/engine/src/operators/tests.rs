@@ -779,6 +779,172 @@ fn spilling_aggregate_global_and_empty_inputs() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// GraceHashJoin (bounded-memory hash join)
+// ---------------------------------------------------------------------------
+
+/// Join inputs with duplicate and NULL keys: `rows` become `(key, payload)`
+/// pairs, `None` keys become SQL NULLs.
+fn keyed_batches(schema: &Schema, chunks: &[&[(Option<i64>, i64)]]) -> Vec<RecordBatch> {
+    chunks
+        .iter()
+        .map(|chunk| {
+            RecordBatch::from_rows(
+                schema.clone(),
+                chunk
+                    .iter()
+                    .map(|&(k, v)| vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(v)])
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Cross-checks GraceHashJoin (tiny budget, forced spilling) against the
+/// in-memory HashJoin on the same inputs, for both join kinds.
+#[test]
+fn grace_join_is_byte_identical_to_hash_join() {
+    use super::grace_join::GraceHashJoin;
+
+    let schema = ab_schema();
+    let right_schema = Schema::new(vec![
+        ColumnDef::public("k", DataType::Int),
+        ColumnDef::public("v", DataType::Int),
+    ]);
+    // Build side: 300 rows over 10 keys (plus NULLs that must never match),
+    // split across many batches. Probe side: duplicate keys, a NULL key and
+    // keys with no match.
+    let build_rows: Vec<(Option<i64>, i64)> = (0..300)
+        .map(|i| {
+            if i % 29 == 0 {
+                (None, i)
+            } else {
+                (Some(i % 10), i)
+            }
+        })
+        .collect();
+    let probe_rows: Vec<(Option<i64>, i64)> = (0..60)
+        .map(|i| {
+            if i % 13 == 0 {
+                (None, 1000 + i)
+            } else {
+                (Some(i % 15), 1000 + i)
+            }
+        })
+        .collect();
+    let build_chunks: Vec<&[(Option<i64>, i64)]> = build_rows.chunks(32).collect();
+    let probe_chunks: Vec<&[(Option<i64>, i64)]> = probe_rows.chunks(7).collect();
+
+    let catalog = Catalog::new();
+    let reg = registry();
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        let unlimited = Arc::new(ExecContext::new(&catalog, &reg, None).with_batch_size(16));
+        let mut reference = HashJoin::new(
+            Arc::clone(&unlimited),
+            FixedBatches::boxed(keyed_batches(&schema, &probe_chunks)),
+            FixedBatches::boxed(keyed_batches(&right_schema, &build_chunks)),
+            kind,
+            vec![col("a")],
+            vec![col("k")],
+        );
+        let expected = drain_operator(&mut reference).unwrap();
+
+        let ctx = tiny_budget_ctx(&catalog, &reg, 16);
+        let mut grace = GraceHashJoin::new(
+            Arc::clone(&ctx),
+            FixedBatches::boxed(keyed_batches(&schema, &probe_chunks)),
+            FixedBatches::boxed(keyed_batches(&right_schema, &build_chunks)),
+            kind,
+            vec![col("a")],
+            vec![col("k")],
+        );
+        let out = drain_operator(&mut grace).unwrap();
+        assert_eq!(expected, out, "{kind:?} join diverged");
+        let stats = ctx.stats();
+        assert!(
+            stats.join_spilled_rows > 0,
+            "a 256-byte budget must force partitioning: {stats:?}"
+        );
+        assert!(stats.join_build_partitions > 0);
+        assert_eq!(
+            ctx.pager().resident_bytes(),
+            0,
+            "all partition and output pages freed"
+        );
+    }
+}
+
+/// One giant key cannot be split by re-partitioning: recursion must bottom
+/// out and join the pathological partition in memory, still correctly.
+#[test]
+fn grace_join_survives_single_key_skew() {
+    use super::grace_join::GraceHashJoin;
+
+    let schema = ab_schema();
+    let right_schema = Schema::new(vec![
+        ColumnDef::public("k", DataType::Int),
+        ColumnDef::public("v", DataType::Int),
+    ]);
+    let build_rows: Vec<(Option<i64>, i64)> = (0..200).map(|i| (Some(7), i)).collect();
+    let build_chunks: Vec<&[(Option<i64>, i64)]> = build_rows.chunks(25).collect();
+    let probe: &[(Option<i64>, i64)] = &[(Some(7), 1), (Some(8), 2), (Some(7), 3)];
+
+    let catalog = Catalog::new();
+    let reg = registry();
+    let ctx = tiny_budget_ctx(&catalog, &reg, 16);
+    let mut grace = GraceHashJoin::new(
+        Arc::clone(&ctx),
+        FixedBatches::boxed(keyed_batches(&schema, &[probe])),
+        FixedBatches::boxed(keyed_batches(&right_schema, &build_chunks)),
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("k")],
+    );
+    let out = drain_operator(&mut grace).unwrap();
+    // Two probe rows match all 200 build rows each; the a=8 row matches none.
+    assert_eq!(out.num_rows(), 400);
+    assert_eq!(ctx.pager().resident_bytes(), 0);
+}
+
+/// Empty sides under a budget behave exactly like the in-memory join: an
+/// empty build side joins nothing, an empty (but schema-carrying) probe side
+/// yields an empty combined batch.
+#[test]
+fn grace_join_with_empty_sides() {
+    use super::grace_join::GraceHashJoin;
+
+    let catalog = Catalog::new();
+    let reg = registry();
+    let schema = ab_schema();
+    let empty = || FixedBatches::boxed(vec![RecordBatch::empty(ab_schema())]);
+
+    let ctx = tiny_budget_ctx(&catalog, &reg, 16);
+    let left = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1)]]));
+    let mut join = GraceHashJoin::new(
+        Arc::clone(&ctx),
+        left,
+        empty(),
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("a")],
+    );
+    assert_eq!(drain_operator(&mut join).unwrap().num_rows(), 0);
+
+    let right = FixedBatches::boxed(int_batches(&schema, &[&[(1, 1)]]));
+    let mut join = GraceHashJoin::new(
+        Arc::clone(&ctx),
+        empty(),
+        right,
+        JoinKind::Inner,
+        vec![col("a")],
+        vec![col("a")],
+    );
+    let out = drain_operator(&mut join).unwrap();
+    assert_eq!(out.num_rows(), 0);
+    assert_eq!(out.num_columns(), 4);
+}
+
 #[test]
 fn describe_renders_operator_trees() {
     let catalog = catalog_with_numbers(&[(1, 2)]);

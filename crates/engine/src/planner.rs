@@ -16,10 +16,12 @@
 //!
 //! * **Bounded memory** — with a limited
 //!   [`MemoryBudget`](sdb_storage::MemoryBudget) on the context, `Sort`
-//!   lowers to [`ExternalSort`] and `Aggregate` to
-//!   [`SpillingHashAggregate`], which spill through the pager instead of
-//!   materialising; their output is byte-identical to the in-memory
-//!   operators.
+//!   lowers to [`ExternalSort`], `Aggregate` to [`SpillingHashAggregate`]
+//!   and hash equi-joins to [`GraceHashJoin`], which spill through the pager
+//!   instead of materialising; their output is byte-identical to the
+//!   in-memory operators. (LEFT JOINs with residual ON conjuncts still take
+//!   the nested-loop path under a budget — residuals decide matching there,
+//!   and both plans must agree.)
 //! * **Limit-aware scans** — when a `Limit` sits above a scan with only
 //!   streaming operators (filter, project, distinct, other limits) in
 //!   between, the scan stays the lazy serial [`TableScan`] even at
@@ -36,6 +38,7 @@ use crate::operators::aggregate::{HashAggregate, ParallelHashAggregate};
 use crate::operators::expr::{classify_equi_conjunct, conjoin, split_conjuncts};
 use crate::operators::external_sort::ExternalSort;
 use crate::operators::filter::Filter;
+use crate::operators::grace_join::GraceHashJoin;
 use crate::operators::join::{HashJoin, NestedLoopJoin};
 use crate::operators::oracle::{collect_oracle_calls_all, OracleResolve};
 use crate::operators::project::Project;
@@ -195,14 +198,28 @@ impl<'a> PhysicalPlanner<'a> {
                     return Ok((Box::new(join), combined));
                 }
 
-                let join: BoxedOperator<'a> = Box::new(HashJoin::new(
-                    Arc::clone(&self.ctx),
-                    left_op,
-                    right_op,
-                    *kind,
-                    left_keys,
-                    right_keys,
-                ));
+                // With a limited budget the build side must not materialise
+                // unboundedly: the Grace-style spilling join partitions both
+                // sides through the pager on overflow, byte-identical output.
+                let join: BoxedOperator<'a> = if self.ctx.memory_budget().is_limited() {
+                    Box::new(GraceHashJoin::new(
+                        Arc::clone(&self.ctx),
+                        left_op,
+                        right_op,
+                        *kind,
+                        left_keys,
+                        right_keys,
+                    ))
+                } else {
+                    Box::new(HashJoin::new(
+                        Arc::clone(&self.ctx),
+                        left_op,
+                        right_op,
+                        *kind,
+                        left_keys,
+                        right_keys,
+                    ))
+                };
                 // Residual conjuncts become an ordinary filter above the join
                 // (oracle-backed residuals resolve there like any predicate).
                 let op = match conjoin(residual) {
@@ -711,6 +728,71 @@ mod tests {
         assert!(tree.starts_with("Sort("), "{tree}");
         assert!(!tree.contains("ExternalSort"), "{tree}");
         assert!(!tree.contains("Spilling"), "{tree}");
+    }
+
+    #[test]
+    fn projection_types_stay_stable_across_null_leading_batches() {
+        // ROADMAP regression ("Projection type stability across batches"):
+        // at batch_size=2 the first batch's CASE values are all NULL (salaries
+        // 100 and 200 fail the predicate); the later typed rows must still
+        // concat cleanly, with the first concrete type (VARCHAR) winning for
+        // the whole column.
+        let catalog = setup_catalog();
+        let batch = run(
+            &catalog,
+            "SELECT CASE WHEN salary > 250 THEN name END AS c FROM emp",
+        );
+        assert_eq!(batch.num_rows(), 5);
+        assert_eq!(batch.schema().column_at(0).data_type, DataType::Varchar);
+        assert!(
+            batch.column(0).get(0).is_null(),
+            "salary 100 fails the CASE"
+        );
+        assert_eq!(batch.column(0).get(4), &Value::Str("eve".into()));
+    }
+
+    #[test]
+    fn memory_budget_selects_grace_join() {
+        let catalog = setup_catalog();
+        let registry = UdfRegistry::with_sdb_udfs();
+        let equi = "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id";
+        let residual_left =
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept_id = d.id AND d.dept_name <> 'x'";
+
+        let budgeted = Arc::new(
+            ExecContext::new(&catalog, &registry, None)
+                .with_memory_budget(sdb_storage::MemoryBudget::bytes(1024))
+                .with_parallelism(1),
+        );
+        let planner = PhysicalPlanner::new(budgeted);
+        let tree = planner
+            .plan(&PlanBuilder::build(&parse_query(equi)).unwrap())
+            .unwrap()
+            .describe();
+        assert!(tree.contains("GraceHashJoin"), "{tree}");
+
+        // Residual LEFT JOINs keep the nested-loop plan even under a budget:
+        // residuals decide matching there, and both plans must agree.
+        let tree = planner
+            .plan(&PlanBuilder::build(&parse_query(residual_left)).unwrap())
+            .unwrap()
+            .describe();
+        assert!(tree.contains("NestedLoopJoin"), "{tree}");
+
+        // An explicit unlimited budget keeps the in-memory hash join.
+        let unbudgeted = Arc::new(
+            ExecContext::new(&catalog, &registry, None)
+                .with_memory_budget(sdb_storage::MemoryBudget::unlimited())
+                .with_parallelism(1),
+        );
+        let tree = PhysicalPlanner::new(unbudgeted)
+            .plan(&PlanBuilder::build(&parse_query(equi)).unwrap())
+            .unwrap()
+            .describe();
+        assert!(
+            tree.contains("HashJoin") && !tree.contains("Grace"),
+            "{tree}"
+        );
     }
 
     #[test]

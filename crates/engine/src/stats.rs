@@ -39,6 +39,12 @@ pub struct ExecutionStats {
     /// Most pages resident in the buffer pool at any one time (merged across
     /// contexts with `max`, not summed — it is a high-water mark).
     pub peak_resident_pages: usize,
+    /// Build-side partition streams written by Grace hash joins, counted
+    /// across every recursion level (zero when no join spilled).
+    pub join_build_partitions: usize,
+    /// Build + probe rows routed through pager partition streams by Grace
+    /// hash joins, re-partitioning passes included.
+    pub join_spilled_rows: usize,
 }
 
 impl ExecutionStats {
@@ -61,6 +67,8 @@ impl ExecutionStats {
         self.spill_bytes_read += other.spill_bytes_read;
         self.pages_evicted += other.pages_evicted;
         self.peak_resident_pages = self.peak_resident_pages.max(other.peak_resident_pages);
+        self.join_build_partitions += other.join_build_partitions;
+        self.join_spilled_rows += other.join_spilled_rows;
     }
 
     /// Folds a pager's spill counters into this record.
@@ -152,6 +160,8 @@ mod tests {
             spill_bytes_read: 150,
             pages_evicted: 5,
             peak_resident_pages: 5,
+            join_build_partitions: 8,
+            join_spilled_rows: 1_000,
             ..Default::default()
         };
         a.merge(&b);
@@ -160,6 +170,8 @@ mod tests {
         assert_eq!(a.spill_bytes_read, 150);
         assert_eq!(a.pages_evicted, 5);
         assert_eq!(a.peak_resident_pages, 8, "peak is a high-water mark");
+        assert_eq!(a.join_build_partitions, 8, "join counters sum");
+        assert_eq!(a.join_spilled_rows, 1_000);
     }
 
     #[test]

@@ -110,6 +110,130 @@ const SPILL_QUERIES: &[&str] = &[
     "SELECT DISTINCT grp FROM big ORDER BY grp",
 ];
 
+/// Join-heavy plans for the Grace hash join: inner and LEFT joins, residual
+/// ON conjuncts, self joins and join-above-aggregate shapes. The flag says
+/// whether the plan's *build* (right) side is big enough that a 4KB budget
+/// must actually spill it — joins whose build side is the 5-row `dim` table
+/// stay on the in-memory path even under a budget, and the residual LEFT
+/// JOIN keeps the nested-loop plan, which never spills. Only some queries
+/// carry a top-level ORDER BY: hash-join output order itself is part of the
+/// byte-identity contract, so most compare raw join order.
+const JOIN_QUERIES: &[(&str, bool)] = &[
+    // Small probe side, spilling build side (dim ⋈ big).
+    (
+        "SELECT d.label, b.id FROM dim d JOIN big b ON d.k = b.grp",
+        true,
+    ),
+    // Self join on a composite key: both sides big, collisions on (grp, val).
+    (
+        "SELECT a.id, b.id FROM big a JOIN big b ON a.grp = b.grp AND a.val = b.val \
+         WHERE a.id < 500",
+        true,
+    ),
+    // LEFT JOIN null-padding: dim rows without matches (grp spans 0..7 only).
+    (
+        "SELECT d.label, b.id FROM dim d LEFT JOIN big b ON d.k = b.grp",
+        true,
+    ),
+    // LEFT JOIN with a small build side: the in-memory fallback path.
+    (
+        "SELECT b.id, d.label FROM big b LEFT JOIN dim d ON b.grp = d.k",
+        false,
+    ),
+    // Residual ON conjunct above an inner hash join (filter above the join).
+    (
+        "SELECT d.label, b.id FROM dim d JOIN big b ON d.k = b.grp AND b.val > 25",
+        true,
+    ),
+    // LEFT JOIN with a residual: stays nested-loop under every budget —
+    // residuals decide matching, and both plans must agree.
+    (
+        "SELECT d.label, b.id FROM dim d LEFT JOIN big b ON d.k = b.grp AND b.val < 3",
+        false,
+    ),
+    // Join feeding a blocking consumer (external sort above the join).
+    (
+        "SELECT d.label, b.id FROM dim d JOIN big b ON d.k = b.grp ORDER BY b.val, b.id",
+        true,
+    ),
+    // Join plus a scalar subquery that itself runs (and spills) under the
+    // inherited budget.
+    (
+        "SELECT d.label, b.id FROM dim d JOIN big b ON d.k = b.grp \
+         WHERE b.val > (SELECT AVG(val) FROM big)",
+        true,
+    ),
+];
+
+/// The Grace hash join acceptance bar: inner + LEFT + residual-ON joins,
+/// byte-identical to the unbudgeted in-memory plans across the whole knob
+/// matrix, with the big-build-side plans actually spilling.
+#[test]
+fn grace_join_matches_in_memory_across_knob_matrix() {
+    let catalog = generated_catalog(3_000);
+    for &(sql, expect_spill) in JOIN_QUERIES {
+        let query = parse_query(sql);
+        let (reference, _) = run(
+            &catalog,
+            &query,
+            1,
+            DEFAULT_BATCH_SIZE,
+            MemoryBudget::unlimited(),
+        );
+        let mut spilled_somewhere = false;
+        for budget_bytes in [4 * 1024, 64 * 1024] {
+            for parallelism in [1, 4] {
+                for batch_size in [2, DEFAULT_BATCH_SIZE] {
+                    let (out, stats) = run(
+                        &catalog,
+                        &query,
+                        parallelism,
+                        batch_size,
+                        MemoryBudget::bytes(budget_bytes),
+                    );
+                    assert_eq!(
+                        reference, out,
+                        "budget={budget_bytes} parallelism={parallelism} \
+                         batch_size={batch_size} diverged for: {sql}"
+                    );
+                    spilled_somewhere |= stats.join_spilled_rows > 0;
+                }
+            }
+        }
+        assert_eq!(
+            spilled_somewhere, expect_spill,
+            "build-side spill expectation wrong for: {sql}"
+        );
+    }
+}
+
+/// Grace-join metrics surface in the merged snapshot: partition and spilled
+/// row counts, plus pager page traffic, at serial and parallel settings.
+#[test]
+fn grace_join_metrics_surface_in_stats() {
+    let catalog = generated_catalog(3_000);
+    let query = parse_query("SELECT d.label, b.id FROM dim d JOIN big b ON d.k = b.grp");
+    for parallelism in [1, 4] {
+        let (_, stats) = run(
+            &catalog,
+            &query,
+            parallelism,
+            DEFAULT_BATCH_SIZE,
+            MemoryBudget::bytes(4 * 1024),
+        );
+        assert!(
+            stats.join_build_partitions > 0,
+            "parallelism {parallelism}: {stats:?}"
+        );
+        assert!(stats.join_spilled_rows >= 3_000, "whole build side routed");
+        assert!(
+            stats.pages_spilled > 0,
+            "partition pages hit the spill file"
+        );
+        assert!(stats.spill_bytes_read > 0, "pair joining reads them back");
+    }
+}
+
 /// The acceptance bar: tiny and moderate budgets, across the parallelism ×
 /// batch-size matrix, all byte-identical to the unbudgeted reference.
 #[test]

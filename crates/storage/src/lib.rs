@@ -27,7 +27,10 @@ pub use batch::{partition_ranges, RecordBatch};
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
-pub use pager::{MemoryBudget, PageId, Pager, PagerStats, PinnedPage};
+pub use pager::{
+    MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamWriter, Pager, PagerStats,
+    PinnedPage,
+};
 pub use schema::{ColumnDef, Schema, Sensitivity};
 pub use table::Table;
 pub use value::{DataType, Value};

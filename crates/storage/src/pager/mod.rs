@@ -5,7 +5,8 @@
 //! [`Pager`] keeps decoded pages resident in a fixed-capacity pool of frames
 //! (pin/unpin, dirty tracking, clock eviction); when the pool exceeds the
 //! configured [`MemoryBudget`] it evicts unpinned pages, encoding dirty ones
-//! through the compact binary [`codec`] into an append-only spill file in a
+//! through the compact binary page codec ([`encode_batch`]) into an
+//! append-only spill file in a
 //! temp directory. Spill files are created lazily on the first eviction and
 //! deleted when the pager is dropped — including on error paths, since drop
 //! runs during unwinding too.
@@ -17,9 +18,11 @@
 
 mod codec;
 mod pool;
+mod stream;
 
 pub use codec::{decode_batch, encode_batch};
 pub use pool::{PageId, Pager, PagerStats, PinnedPage};
+pub use stream::{PageStream, PageStreamReader, PageStreamWriter};
 
 use std::path::{Path, PathBuf};
 

@@ -3,7 +3,7 @@
 //! This crate intentionally has no code of its own: it exists to host the
 //! system-level integration tests under `tests/` and the runnable demos under
 //! `examples/`, which exercise the full DO-proxy + SP-engine stack. The actual
-//! functionality lives in the `crates/` members — start with the [`sdb`] core
-//! crate.
+//! functionality lives in the `crates/` members — start with the `sdb` core
+//! crate (`crates/core`) and the architecture tour in `ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
