@@ -262,7 +262,46 @@ impl SdbClient {
             Statement::Query(_) => Err(SdbError::Usage {
                 detail: "use query() for SELECT statements".into(),
             }),
+            Statement::Analyze { table } => {
+                match table {
+                    Some(table) => self.analyze(&table)?,
+                    None => {
+                        for table in self.uploaded_tables() {
+                            self.analyze(&table)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Statement::Explain(_) => Err(SdbError::Usage {
+                detail: "use explain() for EXPLAIN statements".into(),
+            }),
         }
+    }
+
+    /// Refreshes the SP-side optimizer statistics for one uploaded table
+    /// (upload itself analyzes automatically; call this after incremental
+    /// INSERTs when estimates drift).
+    pub fn analyze(&self, table: &str) -> Result<()> {
+        let name = table.to_ascii_lowercase();
+        if !self.uploaded.contains(&name) {
+            return Err(SdbError::Usage {
+                detail: format!("table {name} is not uploaded; upload before ANALYZE"),
+            });
+        }
+        self.engine.analyze(&name)?;
+        Ok(())
+    }
+
+    /// Explains a query end to end: rewrites it at the proxy (exactly as
+    /// [`SdbClient::query`] would) and renders the SP's chosen physical plan
+    /// with per-node row and cost estimates — including the oracle round
+    /// trips the rewritten predicates will pay. Nothing executes.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let rewritten = self.proxy.rewrite(sql)?;
+        let mut lines = vec![format!("rewritten: {}", rewritten.server_sql)];
+        lines.extend(self.engine.explain_sql(&rewritten.server_sql)?);
+        Ok(lines.join("\n"))
     }
 
     /// Loads an already-built plaintext table into the staging area (bulk loading
@@ -751,6 +790,48 @@ mod tests {
         // smaller than the outsourced data is the qualitative claim; at this tiny
         // scale just check it does not dominate.
         assert!(client.keystore_size_bytes() < 10 * client.sp_storage_size_bytes());
+    }
+
+    #[test]
+    fn explain_and_analyze_roundtrip() {
+        let (mut client, _) = fixture();
+        // Upload auto-analyzed: stats exist for the encrypted tables at the SP.
+        assert!(client.engine().catalog().table_stats("emp").is_some());
+
+        let text = client
+            .explain(
+                "SELECT e.name, d.dept_name FROM emp e \
+                 JOIN dept d ON e.dept_id = d.id WHERE e.salary > 2000",
+            )
+            .unwrap();
+        assert!(text.contains("rewritten:"), "{text}");
+        assert!(text.contains("physical plan"), "{text}");
+        assert!(text.contains("rows≈"), "{text}");
+        assert!(
+            text.contains("trips="),
+            "oracle round trips must be priced: {text}"
+        );
+
+        // ANALYZE refreshes after incremental inserts; unknown tables fail.
+        client
+            .execute("INSERT INTO emp VALUES (7, 'gil', 10, 1.00, 1, DATE '2021-01-01', 'kestrel')")
+            .unwrap();
+        client.analyze("emp").unwrap();
+        assert_eq!(
+            client
+                .engine()
+                .catalog()
+                .table_stats("emp")
+                .unwrap()
+                .row_count,
+            6
+        );
+        client.execute("ANALYZE").unwrap();
+        assert!(client.analyze("nope").is_err());
+        assert!(matches!(
+            client.execute("EXPLAIN SELECT id FROM emp"),
+            Err(SdbError::Usage { .. })
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use sdb_sql::{parse_sql, PlanBuilder, Statement};
-use sdb_storage::{Catalog, ColumnDef, MemoryBudget, RecordBatch, Schema, Table, Value};
+use sdb_storage::{Catalog, ColumnDef, DataType, MemoryBudget, RecordBatch, Schema, Table, Value};
 
 use crate::eval::literal_to_value;
 use crate::operators::ExecContext;
@@ -62,6 +62,9 @@ pub struct SpEngine {
     /// `SDB_TEST_MEM_BUDGET` environment variable or unlimited; a limited
     /// budget makes the planner select the spilling operator variants.
     memory_budget: MemoryBudget,
+    /// Whether the cost-based optimizer rewrites logical plans before
+    /// physical planning (default on).
+    optimizer: bool,
 }
 
 impl SpEngine {
@@ -76,6 +79,7 @@ impl SpEngine {
                 .map(|n| n.get())
                 .unwrap_or(1),
             memory_budget: MemoryBudget::from_env(),
+            optimizer: true,
         }
     }
 
@@ -172,6 +176,107 @@ impl SpEngine {
         self
     }
 
+    /// Enables or disables the cost-based optimizer (builder style;
+    /// default on).
+    ///
+    /// With the optimizer on, queries over `ANALYZE`d tables get their
+    /// inner-join regions reordered so the smallest estimated relation
+    /// becomes the hash-join build side, priced by a cost model that counts
+    /// oracle round trips first. The result *set* is always identical to the
+    /// syntactic plan's; the row order of queries without a total `ORDER BY`
+    /// is unspecified either way. Tables without statistics keep their
+    /// syntactic plans, as do regions under a `LIMIT` with no `Sort` in
+    /// between (there, production order decides the surviving rows).
+    ///
+    /// ```
+    /// use sdb_engine::SpEngine;
+    ///
+    /// let engine = SpEngine::new();
+    /// engine.execute_sql("CREATE TABLE t (a INT)")?;
+    /// engine.execute_sql("INSERT INTO t VALUES (1), (2), (3)")?;
+    /// engine.execute_sql("ANALYZE t")?;
+    /// assert_eq!(engine.catalog().table_stats("t").unwrap().row_count, 3);
+    ///
+    /// // EXPLAIN renders the physical tree plus per-node estimates.
+    /// let out = engine.execute_sql("EXPLAIN SELECT a FROM t WHERE a > 1")?;
+    /// assert!(out.batch.num_rows() > 0);
+    ///
+    /// let syntactic = SpEngine::new().with_optimizer(false);
+    /// assert!(!syntactic.optimizer_enabled());
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
+    pub fn with_optimizer(mut self, optimizer: bool) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Whether the cost-based optimizer is enabled.
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimizer
+    }
+
+    /// Collects optimizer statistics for one table (the `ANALYZE <table>`
+    /// statement does the same through SQL).
+    pub fn analyze(&self, table: &str) -> Result<std::sync::Arc<sdb_storage::TableStats>> {
+        Ok(self.catalog.analyze(table)?)
+    }
+
+    /// Collects optimizer statistics for every registered table.
+    pub fn analyze_all(&self) -> Result<()> {
+        self.catalog.analyze_all()?;
+        Ok(())
+    }
+
+    /// Renders the `EXPLAIN` output for a query: the chosen physical
+    /// operator tree followed by per-node row and cost estimates.
+    pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
+        match parse_sql(sql)? {
+            Statement::Query(query) | Statement::Explain(query) => self.explain_query(&query),
+            other => Err(EngineError::Unsupported {
+                detail: format!("EXPLAIN only applies to queries, found {other}"),
+            }),
+        }
+    }
+
+    fn explain_query(&self, query: &sdb_sql::ast::Query) -> Result<Vec<String>> {
+        let plan = PlanBuilder::build(query)?;
+        let ctx = Arc::new(self.fresh_context(None));
+        let optimized = if self.optimizer {
+            ctx.optimizer().optimize(&plan)
+        } else {
+            plan.clone()
+        };
+        let physical = crate::planner::PhysicalPlanner::new(Arc::clone(&ctx)).plan(&optimized)?;
+
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "physical plan (optimizer {}, parallelism {}, budget {}):",
+            if self.optimizer { "on" } else { "off" },
+            self.parallelism,
+            match self.memory_budget.limit() {
+                Some(limit) => format!("{limit}B"),
+                None => "unlimited".to_string(),
+            }
+        ));
+        for line in crate::optimizer::render_physical_tree(&physical.describe()) {
+            lines.push(format!("  {line}"));
+        }
+        lines.push("estimates (logical nodes):".to_string());
+        for line in ctx.optimizer().annotate(&optimized) {
+            lines.push(format!("  {line}"));
+        }
+        Ok(lines)
+    }
+
+    /// A fresh execution context carrying this engine's knobs.
+    fn fresh_context(&self, oracle: Option<crate::secure::OracleRef>) -> ExecContext<'_> {
+        ExecContext::new(&self.catalog, &self.registry, oracle)
+            .with_batch_size(self.batch_size)
+            .with_memory_budget(self.memory_budget.clone())
+            .with_optimizer(self.optimizer)
+            .with_parallelism(self.parallelism)
+    }
+
     /// Rows per batch used for query execution.
     pub fn batch_size(&self) -> usize {
         self.batch_size
@@ -207,9 +312,13 @@ impl SpEngine {
         *self.oracle.write() = None;
     }
 
-    /// Registers a fully-built table (the upload path used by the proxy).
+    /// Registers a fully-built table (the upload path used by the proxy)
+    /// and collects its optimizer statistics, so uploaded tables are
+    /// immediately eligible for cost-based planning.
     pub fn load_table(&self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
         self.catalog.register_table(table)?;
+        self.catalog.analyze(&name)?;
         Ok(())
     }
 
@@ -228,16 +337,38 @@ impl SpEngine {
             Statement::Query(query) => {
                 let plan = PlanBuilder::build(query)?;
                 let oracle = self.oracle.read().clone();
-                let ctx = Arc::new(
-                    ExecContext::new(&self.catalog, &self.registry, oracle)
-                        .with_batch_size(self.batch_size)
-                        .with_memory_budget(self.memory_budget.clone())
-                        .with_parallelism(self.parallelism),
-                );
+                let ctx = Arc::new(self.fresh_context(oracle));
                 let batch = planner::execute_plan(&ctx, &plan)?;
                 Ok(QueryOutput {
                     stats: ctx.stats(),
                     batch,
+                })
+            }
+            Statement::Explain(query) => {
+                let lines = self.explain_query(query)?;
+                let schema = Schema::new(vec![ColumnDef::public("plan", DataType::Varchar)]);
+                let rows = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+                Ok(QueryOutput {
+                    batch: RecordBatch::from_rows(schema, rows)?,
+                    stats: ExecutionStats::default(),
+                })
+            }
+            Statement::Analyze { table } => {
+                let analyzed = match table {
+                    Some(table) => vec![self.catalog.analyze(table)?],
+                    None => self.catalog.analyze_all()?,
+                };
+                let schema = Schema::new(vec![
+                    ColumnDef::public("table", DataType::Varchar),
+                    ColumnDef::public("rows", DataType::Int),
+                ]);
+                let rows = analyzed
+                    .iter()
+                    .map(|s| vec![Value::Str(s.table.clone()), Value::Int(s.row_count as i64)])
+                    .collect();
+                Ok(QueryOutput {
+                    batch: RecordBatch::from_rows(schema, rows)?,
+                    stats: ExecutionStats::default(),
                 })
             }
             Statement::CreateTable { name, columns } => {

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod operators;
+pub mod optimizer;
 pub mod planner;
 pub mod secure;
 pub mod stats;
@@ -39,6 +40,7 @@ pub mod udf;
 pub use engine::SpEngine;
 pub use error::EngineError;
 pub use operators::{BoxedOperator, ExecContext, PhysicalOperator, DEFAULT_BATCH_SIZE};
+pub use optimizer::Optimizer;
 pub use planner::PhysicalPlanner;
 pub use sdb_storage::MemoryBudget;
 pub use secure::{NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle};

@@ -24,6 +24,11 @@
 //!    recursively re-partitions *both* streams at the next hash level
 //!    (bounded depth, like the spilling aggregate); beyond that it is joined
 //!    in memory — a single pathological key cannot be split further.
+//!    Partition pairs are independent up to the final ordered merge, so with
+//!    `parallelism > 1` they join concurrently on scoped worker threads
+//!    (`scoped_workers`); concurrency is additionally capped so the
+//!    workers' simultaneous build materialisations stay within roughly one
+//!    memory budget (`budget / largest build partition`).
 //! 3. **Merge** — each pair's output (sequence number attached) parks in an
 //!    output stream; the drain phase k-way-merges all output streams by
 //!    sequence number.
@@ -61,8 +66,13 @@ use sdb_storage::{
     Schema, Value,
 };
 
+use parking_lot::Mutex;
+
+use sdb_storage::partition_ranges;
+
 use super::join::{build_index, keys_of_batch, probe_batch, BuildSide};
 use super::oracle::resolve_for_exprs;
+use super::parallel::scoped_workers;
 use super::spill_aggregate::{partition_of, FANOUT, MAX_LEVELS};
 use super::{BoxedOperator, ExecContext, PhysicalOperator};
 use crate::Result;
@@ -245,12 +255,18 @@ impl<'a> GraceHashJoin<'a> {
             }
         };
 
-        // Join every partition pair, recursing on oversized build partitions.
+        // Join every partition pair, recursing on oversized build
+        // partitions. Pairs are independent (their outputs merge by sequence
+        // number below), so they fan out across workers.
         let output_schema = left_schema.join(&right_schema);
-        let mut outputs: Vec<PageStream> = Vec::new();
-        for (build, probe) in build_streams.into_iter().zip(probe_streams) {
-            self.join_partition(build, probe, 1, &output_schema, &mut outputs)?;
-        }
+        let joiner = PairJoiner {
+            ctx: &self.ctx,
+            kind: self.kind,
+            flush_bytes: self.flush_bytes(),
+        };
+        let pairs: Vec<(PageStream, PageStream)> =
+            build_streams.into_iter().zip(probe_streams).collect();
+        let outputs = joiner.join_pairs(pairs, &output_schema)?;
 
         let mut cursors = Vec::new();
         let mut heap = BinaryHeap::new();
@@ -334,6 +350,77 @@ impl<'a> GraceHashJoin<'a> {
         self.ctx.stats_mut().join_spilled_rows += routed;
         Ok(())
     }
+}
+
+/// The pair-joining phase of the Grace join, factored out of the operator so
+/// it can be shared (`Sync`) across scoped worker threads: partition pairs
+/// are independent up to the final sequence-number merge.
+struct PairJoiner<'j, 'a> {
+    ctx: &'j Arc<ExecContext<'a>>,
+    kind: JoinKind,
+    flush_bytes: usize,
+}
+
+impl PairJoiner<'_, '_> {
+    fn new_writers(&self, schema: &Schema) -> Vec<PageStreamWriter> {
+        (0..FANOUT)
+            .map(|_| PageStreamWriter::new(schema.clone(), self.flush_bytes, self.ctx.batch_size()))
+            .collect()
+    }
+
+    /// Joins every partition pair, fanning independent pairs out across
+    /// scoped workers. Concurrency is capped both by the parallelism knob
+    /// and by the budget: each in-flight pair may materialise up to one
+    /// build partition, so at most `budget / largest build partition`
+    /// workers run at once (serial when one partition alone approaches the
+    /// budget). Outputs come back in pair order — the sequence-number merge
+    /// above does not depend on it, but determinism keeps debugging sane.
+    fn join_pairs(
+        &self,
+        pairs: Vec<(PageStream, PageStream)>,
+        output_schema: &Schema,
+    ) -> Result<Vec<PageStream>> {
+        let workers = self.pair_workers(&pairs);
+        if workers <= 1 {
+            let mut outputs = Vec::new();
+            for (build, probe) in pairs {
+                self.join_partition(build, probe, 1, output_schema, &mut outputs)?;
+            }
+            return Ok(outputs);
+        }
+        let ranges = partition_ranges(pairs.len(), workers);
+        let cells: Vec<Mutex<Option<(PageStream, PageStream)>>> =
+            pairs.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let results: Vec<Vec<PageStream>> = scoped_workers(workers, |i| {
+            let mut outputs = Vec::new();
+            if let Some(range) = ranges.get(i) {
+                for idx in range.clone() {
+                    let (build, probe) =
+                        cells[idx].lock().take().expect("each pair is joined once");
+                    self.join_partition(build, probe, 1, output_schema, &mut outputs)?;
+                }
+            }
+            Ok(outputs)
+        })?;
+        Ok(results.into_iter().flatten().collect())
+    }
+
+    /// How many workers may join pairs concurrently without the combined
+    /// build materialisations running far past the budget.
+    fn pair_workers(&self, pairs: &[(PageStream, PageStream)]) -> usize {
+        let parallelism = self.ctx.parallelism().min(pairs.len()).max(1);
+        if parallelism <= 1 {
+            return 1;
+        }
+        let Some(limit) = self.ctx.memory_budget().limit() else {
+            return parallelism;
+        };
+        let largest = pairs.iter().map(|(b, _)| b.bytes()).max().unwrap_or(0);
+        if largest == 0 {
+            return parallelism;
+        }
+        parallelism.min((limit / largest).max(1))
+    }
 
     /// Joins one build/probe partition pair, re-partitioning both at the
     /// next hash level while the build side still exceeds the budget (and
@@ -385,7 +472,7 @@ impl<'a> GraceHashJoin<'a> {
 
         let mut out = PageStreamWriter::new(
             out_page_schema(output_schema),
-            self.flush_bytes(),
+            self.flush_bytes,
             self.ctx.batch_size(),
         );
         let mut reader = probe.reader();

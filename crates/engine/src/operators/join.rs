@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sdb_sql::ast::{Expr, JoinKind};
-use sdb_storage::{partition_ranges, RecordBatch, Schema, Value};
+use sdb_storage::{partition_ranges, PageStream, PageStreamWriter, RecordBatch, Schema, Value};
 
 use super::expr::join_key_component;
 use super::oracle::resolve_for_exprs;
@@ -251,13 +251,32 @@ impl PhysicalOperator for HashJoin<'_> {
 /// The rewriter never emits oracle calls inside non-equi ON conditions, so the
 /// predicate is evaluated directly (it may still use plain UDFs and
 /// subqueries).
+///
+/// With an unlimited [`MemoryBudget`](sdb_storage::MemoryBudget) the right
+/// side materialises in RAM as before. Under a limited budget it streams
+/// into a pager [`PageStream`] instead (a *block-nested-loop*): each left
+/// batch runs one non-consuming pass over the right side's pages
+/// ([`PageStream::scan`]), holding one page in memory at a time, and
+/// per-left-row match lists are accumulated so the emitted row order is
+/// byte-identical to the in-memory loop (left-major, right rows in arrival
+/// order). The pass costs IO per left batch — the classic block-nested-loop
+/// trade — but the right side no longer occupies unbounded memory, closing
+/// the engine's last unbounded materialisation.
 pub struct NestedLoopJoin<'a> {
     ctx: Arc<ExecContext<'a>>,
     left: BoxedOperator<'a>,
     right: BoxedOperator<'a>,
     kind: JoinKind,
     on: Option<Expr>,
-    right_rows: Option<RecordBatch>,
+    right_side: Option<RightSide>,
+}
+
+/// How the right side was materialised at `open()`.
+enum RightSide {
+    /// Unlimited budget: the whole input in RAM.
+    InMemory(RecordBatch),
+    /// Limited budget: parked in the pager, scanned per left batch.
+    Paged { schema: Schema, stream: PageStream },
 }
 
 impl<'a> NestedLoopJoin<'a> {
@@ -275,8 +294,119 @@ impl<'a> NestedLoopJoin<'a> {
             right,
             kind,
             on,
-            right_rows: None,
+            right_side: None,
         }
+    }
+
+    /// Evaluates the ON condition for one combined row (`None` = cross join
+    /// keeps everything).
+    fn keep_row(
+        &self,
+        evaluator: &crate::eval::Evaluator<'_>,
+        combined_schema: &Schema,
+        row: &[Value],
+    ) -> Result<bool> {
+        match &self.on {
+            None => Ok(true),
+            Some(pred) => {
+                let probe = RecordBatch::from_rows(combined_schema.clone(), vec![row.to_vec()])?;
+                evaluator.evaluate_predicate(pred, &probe, 0)
+            }
+        }
+    }
+
+    /// Streams the right input into a pager page stream (budgeted path).
+    fn park_right(&mut self) -> Result<RightSide> {
+        let limit = self
+            .ctx
+            .memory_budget()
+            .limit()
+            .expect("paged path requires a limited budget");
+        let flush_bytes = (limit / 4).max(1);
+        let mut schema = Schema::empty();
+        let mut writer: Option<PageStreamWriter> = None;
+        while let Some(batch) = self.right.next_batch()? {
+            let writer = writer.get_or_insert_with(|| {
+                schema = batch.schema().clone();
+                PageStreamWriter::new(batch.schema().clone(), flush_bytes, self.ctx.batch_size())
+            });
+            for row in 0..batch.num_rows() {
+                writer.push_row(self.ctx.pager(), batch.row(row))?;
+            }
+        }
+        let stream = match writer {
+            Some(writer) => writer.finish(self.ctx.pager())?,
+            None => PageStreamWriter::new(Schema::empty(), 1, 1).finish(self.ctx.pager())?,
+        };
+        Ok(RightSide::Paged { schema, stream })
+    }
+
+    /// One left batch against the paged right side: a single pass over the
+    /// right pages, with per-left-row buckets restoring the in-memory
+    /// (left-major) output order.
+    fn probe_paged(
+        &self,
+        batch: &RecordBatch,
+        schema: &Schema,
+        stream: &PageStream,
+    ) -> Result<RecordBatch> {
+        let combined_schema = batch.schema().join(schema);
+        let right_width = schema.len();
+        let evaluator = self.ctx.evaluator();
+
+        let mut buckets: Vec<Vec<Vec<Value>>> = vec![Vec::new(); batch.num_rows()];
+        let mut scan = stream.scan();
+        while let Some(page) = scan.next_batch(self.ctx.pager())? {
+            for (lrow, bucket) in buckets.iter_mut().enumerate() {
+                for rrow in 0..page.num_rows() {
+                    let mut row = batch.row(lrow);
+                    row.extend(page.row(rrow));
+                    if self.keep_row(&evaluator, &combined_schema, &row)? {
+                        bucket.push(row);
+                    }
+                }
+            }
+        }
+        self.ctx.record_udf_calls(&evaluator);
+
+        let mut rows = Vec::new();
+        for (lrow, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() && self.kind == JoinKind::Left {
+                let mut row = batch.row(lrow);
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            } else {
+                rows.extend(bucket);
+            }
+        }
+        RecordBatch::from_rows(combined_schema, rows).map_err(Into::into)
+    }
+
+    /// One left batch against the in-memory right side (unlimited budget).
+    fn probe_in_memory(&self, batch: &RecordBatch, right: &RecordBatch) -> Result<RecordBatch> {
+        let combined_schema = batch.schema().join(right.schema());
+        let right_width = right.num_columns();
+        let evaluator = self.ctx.evaluator();
+
+        let mut rows = Vec::new();
+        for lrow in 0..batch.num_rows() {
+            let mut matched = false;
+            for rrow in 0..right.num_rows() {
+                let mut row = batch.row(lrow);
+                row.extend(right.row(rrow));
+                if self.keep_row(&evaluator, &combined_schema, &row)? {
+                    rows.push(row);
+                    matched = true;
+                }
+            }
+            if !matched && self.kind == JoinKind::Left {
+                let mut row = batch.row(lrow);
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            }
+        }
+        self.ctx.record_udf_calls(&evaluator);
+        RecordBatch::from_rows(combined_schema, rows).map_err(Into::into)
     }
 }
 
@@ -297,54 +427,33 @@ impl PhysicalOperator for NestedLoopJoin<'_> {
     fn open(&mut self) -> Result<()> {
         self.left.open()?;
         self.right.open()?;
-        let right = materialize_input(self.right.as_mut())?
-            .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
-        self.right_rows = Some(right);
+        self.right_side = Some(if self.ctx.memory_budget().is_limited() {
+            self.park_right()?
+        } else {
+            let right = materialize_input(self.right.as_mut())?
+                .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
+            RightSide::InMemory(right)
+        });
         Ok(())
     }
 
     fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
-        let right = self.right_rows.as_ref().expect("join opened");
         let Some(batch) = self.left.next_batch()? else {
             return Ok(None);
         };
-        let combined_schema = batch.schema().join(right.schema());
-        let right_width = right.num_columns();
-        let evaluator = self.ctx.evaluator();
-
-        let mut rows = Vec::new();
-        for lrow in 0..batch.num_rows() {
-            let mut matched = false;
-            for rrow in 0..right.num_rows() {
-                let mut row = batch.row(lrow);
-                row.extend(right.row(rrow));
-                let keep = match &self.on {
-                    None => true,
-                    Some(pred) => {
-                        let probe =
-                            RecordBatch::from_rows(combined_schema.clone(), vec![row.clone()])?;
-                        evaluator.evaluate_predicate(pred, &probe, 0)?
-                    }
-                };
-                if keep {
-                    rows.push(row);
-                    matched = true;
-                }
-            }
-            if !matched && self.kind == JoinKind::Left {
-                let mut row = batch.row(lrow);
-                row.extend(std::iter::repeat_n(Value::Null, right_width));
-                rows.push(row);
+        match self.right_side.as_ref().expect("join opened") {
+            RightSide::InMemory(right) => self.probe_in_memory(&batch, right).map(Some),
+            RightSide::Paged { schema, stream } => {
+                self.probe_paged(&batch, schema, stream).map(Some)
             }
         }
-        self.ctx.record_udf_calls(&evaluator);
-        RecordBatch::from_rows(combined_schema, rows)
-            .map(Some)
-            .map_err(Into::into)
     }
 
     fn close(&mut self) -> Result<()> {
-        self.right_rows = None;
+        if let Some(RightSide::Paged { stream, .. }) = self.right_side.take() {
+            stream.free(self.ctx.pager())?;
+        }
+        self.right_side = None;
         self.left.close()?;
         self.right.close()
     }

@@ -167,6 +167,13 @@ pub struct ExecContext<'a> {
     subquery_cache: Mutex<HashMap<String, Vec<(Query, RecordBatch)>>>,
     batch_size: usize,
     parallelism: usize,
+    /// Whether the cost-based optimizer rewrites logical plans before
+    /// physical planning (default on; reordering only happens where
+    /// statistics exist).
+    optimizer: bool,
+    /// Test/CI mode (`SDB_TEST_ANALYZE`): analyze missing table statistics
+    /// on demand at plan time, so whole suites exercise reordered plans.
+    auto_analyze: bool,
     /// How much the blocking operators may materialise before spilling.
     budget: MemoryBudget,
     /// The query's buffer pool; spilling operators park runs and partitions
@@ -199,6 +206,10 @@ impl<'a> ExecContext<'a> {
             subquery_cache: Mutex::new(HashMap::new()),
             batch_size: DEFAULT_BATCH_SIZE,
             parallelism,
+            optimizer: true,
+            auto_analyze: std::env::var("SDB_TEST_ANALYZE")
+                .map(|v| v == "1")
+                .unwrap_or(false),
             pager: Arc::new(Pager::new(&budget)),
             budget,
         }
@@ -252,6 +263,12 @@ impl<'a> ExecContext<'a> {
         ExecContext { batch_size, ..self }
     }
 
+    /// Enables or disables the cost-based optimizer (default on; `false`
+    /// keeps the purely syntactic plans).
+    pub fn with_optimizer(self, optimizer: bool) -> Self {
+        ExecContext { optimizer, ..self }
+    }
+
     /// Overrides the number of workers parallel operators may use (`1`
     /// selects the serial plans). Resizes the statistics shards and the
     /// per-worker RNG pool, preserving any configured seed.
@@ -301,6 +318,20 @@ impl<'a> ExecContext<'a> {
     /// The memory budget for blocking operators.
     pub fn memory_budget(&self) -> &MemoryBudget {
         &self.budget
+    }
+
+    /// Whether the cost-based optimizer runs before physical planning.
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimizer
+    }
+
+    /// A configured [`crate::optimizer::Optimizer`] for this context's
+    /// catalog and knobs.
+    pub fn optimizer(&self) -> crate::optimizer::Optimizer<'a> {
+        crate::optimizer::Optimizer::new(self.catalog)
+            .with_batch_size(self.batch_size)
+            .with_budget(self.budget.limit())
+            .with_auto_analyze(self.auto_analyze)
     }
 
     /// The query's buffer pool.
@@ -393,6 +424,7 @@ impl ExecContext<'_> {
         let sub = ExecContext::new(self.catalog, self.registry, self.oracle.clone())
             .with_batch_size(self.batch_size)
             .with_memory_budget(self.budget.clone())
+            .with_optimizer(self.optimizer)
             .with_parallelism(1);
         let batch = execute_plan(&Arc::new(sub), &plan, |sub_stats| {
             self.stats_mut().merge(sub_stats);
@@ -407,12 +439,20 @@ impl ExecContext<'_> {
 
 /// Plans and drains a logical plan to completion, concatenating all produced
 /// batches. `on_finish` receives the context's final statistics (used to merge
-/// subquery stats into a parent).
+/// subquery stats into a parent). When the context's optimizer knob is on,
+/// the logical plan passes through the cost-based optimizer first.
 pub(crate) fn execute_plan<'a>(
     ctx: &Arc<ExecContext<'a>>,
     plan: &sdb_sql::plan::LogicalPlan,
     on_finish: impl FnOnce(&ExecutionStats),
 ) -> Result<RecordBatch> {
+    let optimized;
+    let plan = if ctx.optimizer_enabled() {
+        optimized = ctx.optimizer().optimize(plan);
+        &optimized
+    } else {
+        plan
+    };
     let mut root = crate::planner::PhysicalPlanner::new(Arc::clone(ctx)).plan(plan)?;
     let batch = drain_operator(root.as_mut())?;
     ctx.stats_mut().rows_returned = batch.num_rows();

@@ -82,9 +82,15 @@ fn run(
     budget: MemoryBudget,
 ) -> (RecordBatch, sdb_engine::ExecutionStats) {
     let registry = UdfRegistry::with_sdb_udfs();
+    // This suite pins which operator spills by fixing the *syntactic* plan;
+    // the optimizer stays off so a CI-level SDB_TEST_ANALYZE cannot reorder
+    // the joins out from under the per-query spill expectations.
+    // (Optimized-plan byte-identity has its own matrix in
+    // optimizer_consistency.rs.)
     let ctx = Arc::new(
         ExecContext::new(catalog, &registry, None)
             .with_memory_budget(budget)
+            .with_optimizer(false)
             .with_parallelism(parallelism)
             .with_batch_size(batch_size),
     );

@@ -704,6 +704,15 @@ pub enum Statement {
         /// Rows of value expressions.
         rows: Vec<Vec<Expr>>,
     },
+    /// ANALYZE \[table\] — collect optimizer statistics (all tables when no
+    /// table is named).
+    Analyze {
+        /// The table to analyze; `None` analyzes every table.
+        table: Option<String>,
+    },
+    /// EXPLAIN query — show the optimized physical plan with cardinality and
+    /// cost estimates instead of executing.
+    Explain(Query),
 }
 
 impl fmt::Display for Statement {
@@ -732,6 +741,11 @@ impl fmt::Display for Statement {
                     .collect();
                 write!(f, " VALUES {}", rendered.join(", "))
             }
+            Statement::Analyze { table } => match table {
+                Some(t) => write!(f, "ANALYZE {t}"),
+                None => write!(f, "ANALYZE"),
+            },
+            Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
         }
     }
 }

@@ -139,9 +139,25 @@ impl Parser {
             self.parse_create_table()
         } else if self.peek_keyword("INSERT") {
             self.parse_insert()
+        } else if self.eat_keyword("EXPLAIN") {
+            Ok(Statement::Explain(self.parse_query()?))
+        } else if self.eat_keyword("ANALYZE") {
+            // ANALYZE [table]
+            let table = match self.peek() {
+                Token::Ident(name) => {
+                    let table = name.to_ascii_lowercase();
+                    self.bump();
+                    Some(table)
+                }
+                _ => None,
+            };
+            Ok(Statement::Analyze { table })
         } else {
             Err(SqlError::Parse {
-                detail: format!("expected SELECT, CREATE or INSERT, found {}", self.peek()),
+                detail: format!(
+                    "expected SELECT, CREATE, INSERT, ANALYZE or EXPLAIN, found {}",
+                    self.peek()
+                ),
             })
         }
     }
@@ -1015,6 +1031,29 @@ mod tests {
         assert!(parse_sql("DROP TABLE t").is_err());
         assert!(parse_sql("SELECT * FROM t LIMIT x").is_err());
         assert!(parse_sql("SELECT a b c FROM t").is_err());
+    }
+
+    #[test]
+    fn analyze_and_explain_statements() {
+        match parse_ok("ANALYZE emp") {
+            Statement::Analyze { table } => assert_eq!(table.as_deref(), Some("emp")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok("ANALYZE") {
+            Statement::Analyze { table } => assert!(table.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_ok("EXPLAIN SELECT a FROM t WHERE a > 1") {
+            Statement::Explain(q) => assert_eq!(q.from[0].name, "t"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Renderings re-parse.
+        for sql in ["ANALYZE emp", "ANALYZE", "EXPLAIN SELECT a FROM t"] {
+            let st = parse_ok(sql);
+            assert_eq!(parse_ok(&st.to_string()), st, "roundtrip failed for {sql}");
+        }
+        assert!(parse_sql("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        assert!(parse_sql("ANALYZE 5").is_err());
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The catalog: a thread-safe registry of tables, shared between the storage layer
 //! and the execution engine.
+//!
+//! Alongside the tables themselves the catalog stores their optimizer
+//! statistics ([`TableStats`]) — populated by the `ANALYZE` path (the client
+//! upload path analyzes automatically), dropped with the table, and read by
+//! the engine's cost-based planner.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::stats::{analyze_table, TableStats};
 use crate::{Result, Schema, StorageError, Table};
 
 /// A shared handle to a stored table.
@@ -15,6 +21,8 @@ pub type TableHandle = Arc<RwLock<Table>>;
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, TableHandle>>,
+    /// Optimizer statistics per table, keyed like `tables`.
+    stats: RwLock<BTreeMap<String, Arc<TableStats>>>,
 }
 
 impl Catalog {
@@ -47,10 +55,12 @@ impl Catalog {
         Ok(handle)
     }
 
-    /// Replaces (or inserts) a table unconditionally.
+    /// Replaces (or inserts) a table unconditionally. Any statistics for the
+    /// old table are discarded.
     pub fn register_or_replace(&self, table: Table) -> TableHandle {
         let key = table.name().to_string();
         let handle = Arc::new(RwLock::new(table));
+        self.stats.write().remove(&key);
         self.tables.write().insert(key, handle.clone());
         handle
     }
@@ -65,13 +75,50 @@ impl Catalog {
             .ok_or(StorageError::TableNotFound { name: key })
     }
 
-    /// Drops a table.
+    /// Drops a table (and its statistics).
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
         if self.tables.write().remove(&key).is_none() {
             return Err(StorageError::TableNotFound { name: key });
         }
+        self.stats.write().remove(&key);
         Ok(())
+    }
+
+    /// Analyzes one table and stores its statistics, returning them.
+    pub fn analyze(&self, name: &str) -> Result<Arc<TableStats>> {
+        let handle = self.table(name)?;
+        let stats = Arc::new(analyze_table(&handle.read()));
+        self.stats
+            .write()
+            .insert(stats.table.clone(), Arc::clone(&stats));
+        Ok(stats)
+    }
+
+    /// Analyzes every registered table, returning the statistics in table
+    /// name order.
+    pub fn analyze_all(&self) -> Result<Vec<Arc<TableStats>>> {
+        self.table_names()
+            .into_iter()
+            .map(|name| self.analyze(&name))
+            .collect()
+    }
+
+    /// The stored statistics for a table, if it has been analyzed.
+    pub fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.stats.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Stores externally-computed statistics (tests, replication).
+    pub fn put_stats(&self, stats: TableStats) {
+        self.stats
+            .write()
+            .insert(stats.table.clone(), Arc::new(stats));
+    }
+
+    /// Discards a table's statistics without touching the table.
+    pub fn clear_stats(&self, name: &str) {
+        self.stats.write().remove(&name.to_ascii_lowercase());
     }
 
     /// Names of all tables, sorted.
@@ -166,6 +213,39 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(handle.read().num_rows(), 800);
+    }
+
+    #[test]
+    fn analyze_stores_and_invalidation_clears_stats() {
+        let cat = Catalog::new();
+        let handle = cat.create_table("t", schema()).unwrap();
+        for i in 0..10 {
+            handle.write().insert_row(vec![Value::Int(i)]).unwrap();
+        }
+        assert!(cat.table_stats("t").is_none(), "no stats before ANALYZE");
+        let stats = cat.analyze("t").unwrap();
+        assert_eq!(stats.row_count, 10);
+        assert_eq!(cat.table_stats("T").unwrap().row_count, 10);
+
+        // Replacing the table discards the stale statistics.
+        cat.register_or_replace(Table::new("t", schema()));
+        assert!(cat.table_stats("t").is_none());
+
+        // Dropping does too.
+        cat.analyze("t").unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(cat.table_stats("t").is_none());
+        assert!(cat.analyze("t").is_err(), "missing tables fail to analyze");
+    }
+
+    #[test]
+    fn analyze_all_covers_every_table() {
+        let cat = Catalog::new();
+        cat.create_table("a", schema()).unwrap();
+        cat.create_table("b", schema()).unwrap();
+        let all = cat.analyze_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(cat.table_stats("a").is_some() && cat.table_stats("b").is_some());
     }
 
     #[test]

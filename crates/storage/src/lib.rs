@@ -20,6 +20,7 @@ pub mod error;
 pub mod pager;
 pub mod persist;
 pub mod schema;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -28,10 +29,11 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::StorageError;
 pub use pager::{
-    MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamWriter, Pager, PagerStats,
-    PinnedPage,
+    MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamScan, PageStreamWriter, Pager,
+    PagerStats, PinnedPage,
 };
-pub use schema::{ColumnDef, Schema, Sensitivity};
+pub use schema::{resolve_name, ColumnDef, NameResolution, Schema, Sensitivity};
+pub use stats::{analyze_table, ColumnStats, HllSketch, TableStats};
 pub use table::Table;
 pub use value::{DataType, Value};
 

@@ -22,7 +22,7 @@ mod stream;
 
 pub use codec::{decode_batch, encode_batch};
 pub use pool::{PageId, Pager, PagerStats, PinnedPage};
-pub use stream::{PageStream, PageStreamReader, PageStreamWriter};
+pub use stream::{PageStream, PageStreamReader, PageStreamScan, PageStreamWriter};
 
 use std::path::{Path, PathBuf};
 

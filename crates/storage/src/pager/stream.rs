@@ -159,12 +159,49 @@ impl PageStream {
         }
     }
 
+    /// Starts a non-consuming pass over the stream in write order. Unlike
+    /// [`PageStream::reader`], pages stay in the pool (or spill file) after
+    /// being read, so the stream can be scanned any number of times — the
+    /// multi-pass access pattern of a block-nested-loop join. Free the
+    /// stream explicitly with [`PageStream::free`] when done.
+    pub fn scan(&self) -> PageStreamScan<'_> {
+        PageStreamScan {
+            stream: self,
+            next: 0,
+        }
+    }
+
     /// Frees every page without reading it (abandoning the stream).
     pub fn free(self, pager: &Pager) -> Result<()> {
         for id in self.pages {
             pager.free_page(id)?;
         }
         Ok(())
+    }
+}
+
+/// Re-runnable, non-consuming cursor over a [`PageStream`]'s pages (see
+/// [`PageStream::scan`]). Reading faults pages back in through the pool; the
+/// pool's normal eviction keeps the resident set within budget, so a full
+/// pass costs IO, not memory.
+pub struct PageStreamScan<'s> {
+    stream: &'s PageStream,
+    next: usize,
+}
+
+impl PageStreamScan<'_> {
+    /// Reads the next non-empty page without freeing it, or `None` at the
+    /// end of the stream.
+    pub fn next_batch(&mut self, pager: &Pager) -> Result<Option<Arc<RecordBatch>>> {
+        while self.next < self.stream.pages.len() {
+            let id = self.stream.pages[self.next];
+            self.next += 1;
+            let batch = pager.read_page(id)?;
+            if batch.num_rows() > 0 {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -298,6 +335,29 @@ mod tests {
         reader.release(&pager);
         assert_eq!(pager.resident_bytes(), 0);
         assert!(reader.next_batch(&pager).unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_is_repeatable_and_keeps_pages() {
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(64)));
+        let mut writer = PageStreamWriter::new(schema(), 32, 4);
+        for i in 0..30 {
+            writer.push_row(&pager, row(i)).unwrap();
+        }
+        let stream = writer.finish(&pager).unwrap();
+        for _ in 0..3 {
+            let mut scan = stream.scan();
+            let mut seen = Vec::new();
+            while let Some(batch) = scan.next_batch(&pager).unwrap() {
+                for r in 0..batch.num_rows() {
+                    seen.push(batch.column(0).get(r).as_i64().unwrap());
+                }
+            }
+            assert_eq!(seen, (0..30).collect::<Vec<_>>(), "every pass is full");
+        }
+        // Pages survived the scans and are reclaimed by an explicit free.
+        stream.free(&pager).unwrap();
+        assert_eq!(pager.resident_bytes(), 0);
     }
 
     #[test]

@@ -99,40 +99,12 @@ impl Schema {
     /// * a *bare* lookup (`price`) matches a stored qualified name `*.price`
     ///   provided exactly one candidate exists.
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        let needle = name.to_ascii_lowercase();
-        // Exact match first.
-        if let Some(idx) = self
-            .columns
-            .iter()
-            .position(|c| c.name.eq_ignore_ascii_case(&needle))
-        {
-            return Ok(idx);
-        }
-        let needle_is_qualified = needle.contains('.');
-        let bare = needle.rsplit('.').next().unwrap_or(&needle);
-        let matches: Vec<usize> = self
-            .columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| {
-                let stored = c.name.to_ascii_lowercase();
-                if needle_is_qualified {
-                    // `t.price` may fall back to an unqualified stored `price`, but
-                    // must not match `other.price`.
-                    !stored.contains('.') && stored == bare
-                } else {
-                    // Bare `price` may match a stored qualified `*.price`.
-                    stored.rsplit('.').next() == Some(bare)
-                }
-            })
-            .map(|(i, _)| i)
-            .collect();
-        match matches.len() {
-            1 => Ok(matches[0]),
-            n if n > 1 => Err(StorageError::Invalid {
+        match resolve_name(self.columns.iter().map(|c| c.name.as_str()), name) {
+            NameResolution::One(idx) => Ok(idx),
+            NameResolution::Ambiguous(n) => Err(StorageError::Invalid {
                 detail: format!("ambiguous column reference {name} ({n} candidates)"),
             }),
-            _ => Err(StorageError::ColumnNotFound {
+            NameResolution::None => Err(StorageError::ColumnNotFound {
                 name: name.to_string(),
                 context: format!("schema with {} columns", self.columns.len()),
             }),
@@ -176,6 +148,62 @@ impl Schema {
         Schema {
             columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
         }
+    }
+}
+
+/// Outcome of resolving a column reference against a list of names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameResolution {
+    /// No candidate matched.
+    None,
+    /// Exactly one candidate: its position in the input order.
+    One(usize),
+    /// Multiple candidates (the count).
+    Ambiguous(usize),
+}
+
+/// Resolves a (possibly qualified) column reference against an ordered list
+/// of stored column names — **the** name-resolution rules of this engine,
+/// shared by [`Schema::index_of`] and by the optimizer's plan-time
+/// resolution so the two can never drift:
+///
+/// * an exact (case-insensitive) match always wins, first position on
+///   duplicates — self-joins legitimately duplicate qualified names;
+/// * a *qualified* lookup (`t.price`) additionally matches a name stored
+///   bare as `price` (but never one qualified with a *different* table);
+/// * a *bare* lookup (`price`) matches a stored qualified `*.price`,
+///   provided exactly one candidate exists.
+pub fn resolve_name<'a>(
+    names: impl Iterator<Item = &'a str> + Clone,
+    name: &str,
+) -> NameResolution {
+    let needle = name.to_ascii_lowercase();
+    // Exact match first (first position wins on duplicates).
+    if let Some(idx) = names
+        .clone()
+        .position(|stored| stored.eq_ignore_ascii_case(&needle))
+    {
+        return NameResolution::One(idx);
+    }
+    let needle_is_qualified = needle.contains('.');
+    let bare = needle.rsplit('.').next().unwrap_or(&needle);
+    let mut fallback = names.enumerate().filter(|(_, stored)| {
+        let stored = stored.to_ascii_lowercase();
+        if needle_is_qualified {
+            // `t.price` may fall back to an unqualified stored `price`, but
+            // must not match `other.price`.
+            !stored.contains('.') && stored == bare
+        } else {
+            // Bare `price` may match a stored qualified `*.price`.
+            stored.rsplit('.').next() == Some(bare)
+        }
+    });
+    match fallback.next() {
+        None => NameResolution::None,
+        Some((idx, _)) => match fallback.count() {
+            0 => NameResolution::One(idx),
+            more => NameResolution::Ambiguous(more + 1),
+        },
     }
 }
 
