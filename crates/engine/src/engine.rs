@@ -65,6 +65,12 @@ pub struct SpEngine {
     /// Whether the cost-based optimizer rewrites logical plans before
     /// physical planning (default on).
     optimizer: bool,
+    /// Whether oracle operand rows coalesce across input batches into one
+    /// round trip per registered call (default on).
+    oracle_batching: bool,
+    /// Injected per-request latency on the oracle link (tests/benches;
+    /// `None` defers to `SDB_TEST_ORACLE_LATENCY_MS`).
+    oracle_latency: Option<std::time::Duration>,
 }
 
 impl SpEngine {
@@ -80,6 +86,8 @@ impl SpEngine {
                 .unwrap_or(1),
             memory_budget: MemoryBudget::from_env(),
             optimizer: true,
+            oracle_batching: true,
+            oracle_latency: None,
         }
     }
 
@@ -215,6 +223,48 @@ impl SpEngine {
         self.optimizer
     }
 
+    /// Enables or disables cross-batch oracle batching (builder style;
+    /// default on). With batching off, every registered oracle call pays one
+    /// round trip per input batch and the Grace join re-resolves keys per
+    /// spilled chunk — the pre-batching behavior, kept for byte-identity
+    /// cross-checks and cost comparisons. Results are identical either way.
+    ///
+    /// ```
+    /// # use sdb_engine::SpEngine;
+    /// let engine = SpEngine::new().with_oracle_batching(false);
+    /// assert!(!engine.oracle_batching());
+    /// ```
+    pub fn with_oracle_batching(mut self, batching: bool) -> Self {
+        self.oracle_batching = batching;
+        self
+    }
+
+    /// Whether cross-batch oracle batching is enabled.
+    pub fn oracle_batching(&self) -> bool {
+        self.oracle_batching
+    }
+
+    /// Injects a fixed per-request latency on the oracle link (builder
+    /// style; tests and benches). Simulates the SP↔proxy WAN round trip the
+    /// protocol is billed by; `SDB_TEST_ORACLE_LATENCY_MS` sets the same
+    /// knob process-wide.
+    ///
+    /// ```
+    /// # use sdb_engine::SpEngine;
+    /// # use std::time::Duration;
+    /// let engine = SpEngine::new().with_oracle_latency(Duration::from_millis(10));
+    /// assert_eq!(engine.oracle_latency(), Some(Duration::from_millis(10)));
+    /// ```
+    pub fn with_oracle_latency(mut self, latency: std::time::Duration) -> Self {
+        self.oracle_latency = Some(latency);
+        self
+    }
+
+    /// The injected oracle latency, if any was set through the builder.
+    pub fn oracle_latency(&self) -> Option<std::time::Duration> {
+        self.oracle_latency
+    }
+
     /// Collects optimizer statistics for one table (the `ANALYZE <table>`
     /// statement does the same through SQL).
     pub fn analyze(&self, table: &str) -> Result<std::sync::Arc<sdb_storage::TableStats>> {
@@ -270,11 +320,16 @@ impl SpEngine {
 
     /// A fresh execution context carrying this engine's knobs.
     fn fresh_context(&self, oracle: Option<crate::secure::OracleRef>) -> ExecContext<'_> {
-        ExecContext::new(&self.catalog, &self.registry, oracle)
+        let ctx = ExecContext::new(&self.catalog, &self.registry, oracle)
             .with_batch_size(self.batch_size)
             .with_memory_budget(self.memory_budget.clone())
             .with_optimizer(self.optimizer)
-            .with_parallelism(self.parallelism)
+            .with_oracle_batching(self.oracle_batching)
+            .with_parallelism(self.parallelism);
+        match self.oracle_latency {
+            Some(latency) => ctx.with_oracle_latency(latency),
+            None => ctx,
+        }
     }
 
     /// Rows per batch used for query execution.

@@ -43,7 +43,9 @@ pub use operators::{BoxedOperator, ExecContext, PhysicalOperator, DEFAULT_BATCH_
 pub use optimizer::Optimizer;
 pub use planner::PhysicalPlanner;
 pub use sdb_storage::MemoryBudget;
-pub use secure::{NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle};
+pub use secure::{
+    LatencyOracle, NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle,
+};
 pub use stats::ExecutionStats;
 pub use udf::{ScalarUdf, UdfRegistry};
 

@@ -50,11 +50,17 @@
 //! inner joins and falls back to the nested-loop operator for LEFT JOINs,
 //! where residuals decide *matching*, not post-join filtering.
 //!
-//! Oracle-backed keys (group-tag equality surrogates) resolve per
-//! accumulated chunk rather than once over the whole build side; tags come
-//! from a keyed PRF of the plaintext and are stable across round trips, so
-//! partitioning by them is sound (rank surrogates never appear in equi-join
-//! keys).
+//! Oracle-backed keys (group-tag equality surrogates) are resolved through
+//! the cross-batch accumulator when oracle batching is on: each side's raw
+//! chunks are parked in the pager while operand rows coalesce, so the whole
+//! side resolves in **one round trip per key call** and spilled chunks are
+//! never re-resolved — the resolved virtual columns ride along when the
+//! chunks stream back out for partitioning (and only the rendered
+//! `__joinkey` enters the partition streams, so recursion levels pay zero
+//! further trips). With batching off, keys resolve per accumulated chunk as
+//! before. Tags come from a keyed PRF of the plaintext and are stable across
+//! round trips, so partitioning by them is sound (rank surrogates never
+//! appear in equi-join keys).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -71,7 +77,7 @@ use parking_lot::Mutex;
 use sdb_storage::partition_ranges;
 
 use super::join::{build_index, keys_of_batch, probe_batch, BuildSide};
-use super::oracle::resolve_for_exprs;
+use super::oracle::{collect_oracle_calls_all, resolve_for_exprs, OracleAccumulator};
 use super::parallel::scoped_workers;
 use super::spill_aggregate::{partition_of, FANOUT, MAX_LEVELS};
 use super::{BoxedOperator, ExecContext, PhysicalOperator};
@@ -208,29 +214,63 @@ impl<'a> GraceHashJoin<'a> {
         }
 
         // Partitioned build: route the accumulated chunk, then the rest of
-        // the build input, into FANOUT keyed streams.
+        // the build input, into FANOUT keyed streams. When the keys carry
+        // oracle calls (and batching is on), the raw chunks are parked in a
+        // cross-batch accumulator first so the whole side resolves in one
+        // coalesced round trip per call instead of one per chunk.
         let acc = acc.expect("overflow implies at least one batch");
         let right_schema = acc.schema().clone();
+        let payload = right_schema.len();
         let build_schema = Self::build_page_schema(&right_schema);
         let mut build_writers = self.new_writers(&build_schema);
-        self.partition_build_chunk(acc, &mut build_writers)?;
-        while let Some(batch) = self.right.next_batch()? {
-            self.partition_build_chunk(batch, &mut build_writers)?;
+        match self.spill_resolver(&self.right_keys, &right_schema)? {
+            Some(mut resolver) => {
+                resolver.push(&self.ctx, &acc)?;
+                while let Some(batch) = self.right.next_batch()? {
+                    resolver.push(&self.ctx, &batch)?;
+                }
+                let mut epoch = resolver.flush(&self.ctx)?;
+                while let Some(resolved) = epoch.next_resolved(&self.ctx)? {
+                    self.partition_build_chunk(resolved, payload, &mut build_writers)?;
+                }
+            }
+            None => {
+                self.partition_build_chunk(acc, payload, &mut build_writers)?;
+                while let Some(batch) = self.right.next_batch()? {
+                    self.partition_build_chunk(batch, payload, &mut build_writers)?;
+                }
+            }
         }
 
-        // Partitioned probe: drain the probe side into paired streams.
+        // Partitioned probe: drain the probe side into paired streams,
+        // through an accumulator of its own when the probe keys carry
+        // oracle calls.
         let mut probe_writers: Option<Vec<PageStreamWriter>> = None;
         let mut left_schema = Schema::empty();
         let mut probe_saw_batch = false;
         let mut next_seq = 0u64;
+        let mut probe_resolver: Option<OracleAccumulator> = None;
         while let Some(batch) = self.left.next_batch()? {
             if !probe_saw_batch {
                 probe_saw_batch = true;
                 left_schema = batch.schema().clone();
                 probe_writers = Some(self.new_writers(&Self::probe_page_schema(&left_schema)));
+                probe_resolver = self.spill_resolver(&self.left_keys, &left_schema)?;
             }
-            let writers = probe_writers.as_mut().expect("created above");
-            self.partition_probe_chunk(batch, writers, &mut next_seq)?;
+            match &mut probe_resolver {
+                Some(resolver) => resolver.push(&self.ctx, &batch)?,
+                None => {
+                    let writers = probe_writers.as_mut().expect("created above");
+                    self.partition_probe_chunk(batch, left_schema.len(), writers, &mut next_seq)?;
+                }
+            }
+        }
+        if let Some(resolver) = probe_resolver {
+            let writers = probe_writers.as_mut().expect("created with the resolver");
+            let mut epoch = resolver.flush(&self.ctx)?;
+            while let Some(resolved) = epoch.next_resolved(&self.ctx)? {
+                self.partition_probe_chunk(resolved, left_schema.len(), writers, &mut next_seq)?;
+            }
         }
 
         let pager = Arc::clone(self.ctx.pager());
@@ -291,12 +331,30 @@ impl<'a> GraceHashJoin<'a> {
         }))
     }
 
+    /// A cross-batch accumulator for the oracle calls in `keys`, or `None`
+    /// when there is nothing to coalesce (no calls, batching off, or the
+    /// calls already materialised as columns of `schema`).
+    fn spill_resolver(&self, keys: &[Expr], schema: &Schema) -> Result<Option<OracleAccumulator>> {
+        if !self.ctx.oracle_batching() {
+            return Ok(None);
+        }
+        let calls = collect_oracle_calls_all(keys);
+        if calls.is_empty() {
+            return Ok(None);
+        }
+        let resolver = OracleAccumulator::new(&self.ctx, &calls, schema)?;
+        Ok((!resolver.is_passthrough()).then_some(resolver))
+    }
+
     /// Routes one build-side chunk into the partition writers. Null-keyed
     /// rows are dropped — they can never match, and LEFT JOIN padding is
-    /// driven by the probe side.
+    /// driven by the probe side. Only the first `payload` columns of each
+    /// row enter the stream (resolved key columns appended by the
+    /// accumulator are bookkeeping, not join output).
     fn partition_build_chunk(
         &self,
         batch: RecordBatch,
+        payload: usize,
         writers: &mut [PageStreamWriter],
     ) -> Result<()> {
         let mut keys = self.right_keys.clone();
@@ -307,9 +365,9 @@ impl<'a> GraceHashJoin<'a> {
         for (row, key) in rendered.into_iter().enumerate() {
             let Some(key) = key else { continue };
             let p = partition_of(&key, 0);
-            let mut out = Vec::with_capacity(1 + batch.num_columns());
+            let mut out = Vec::with_capacity(1 + payload);
             out.push(Value::Str(key));
-            out.extend(batch.row(row));
+            out.extend(batch.row(row).into_iter().take(payload));
             writers[p].push_row(pager, out)?;
             routed += 1;
         }
@@ -324,6 +382,7 @@ impl<'a> GraceHashJoin<'a> {
     fn partition_probe_chunk(
         &self,
         batch: RecordBatch,
+        payload: usize,
         writers: &mut [PageStreamWriter],
         next_seq: &mut u64,
     ) -> Result<()> {
@@ -340,10 +399,10 @@ impl<'a> GraceHashJoin<'a> {
                 None if self.kind == JoinKind::Left => (0, Value::Null),
                 None => continue,
             };
-            let mut out = Vec::with_capacity(2 + batch.num_columns());
+            let mut out = Vec::with_capacity(2 + payload);
             out.push(Value::Int(seq as i64));
             out.push(key_value);
-            out.extend(batch.row(row));
+            out.extend(batch.row(row).into_iter().take(payload));
             writers[p].push_row(pager, out)?;
             routed += 1;
         }

@@ -154,7 +154,25 @@ pub type BoxedOperator<'a> = Box<dyn PhysicalOperator + 'a>;
 pub struct ExecContext<'a> {
     catalog: &'a Catalog,
     registry: &'a UdfRegistry,
+    /// The oracle operators talk to — `oracle_raw`, possibly wrapped in a
+    /// [`crate::secure::LatencyOracle`] when latency injection is configured.
     oracle: Option<OracleRef>,
+    /// The oracle exactly as the caller provided it (subquery contexts and
+    /// latency re-wrapping always start from here, so latency can never be
+    /// applied twice).
+    oracle_raw: Option<OracleRef>,
+    /// Injected per-request oracle latency (`SDB_TEST_ORACLE_LATENCY_MS` or
+    /// [`Self::with_oracle_latency`]); `None` = no injection.
+    oracle_latency: Option<std::time::Duration>,
+    /// The encrypted-value memo: answers of past sign/group-tag requests,
+    /// keyed by call fingerprint + operand ciphertexts, shared with subquery
+    /// contexts so hot answers never re-travel the link.
+    oracle_memo: Arc<oracle::OracleMemo>,
+    /// Whether [`oracle::OracleResolve`] (and the Grace join's key
+    /// resolution) coalesce operand rows across input batches into one
+    /// round trip per registered call (default on; `false` restores the
+    /// one-trip-per-call-per-batch behavior).
+    oracle_batching: bool,
     stats: ShardedStats,
     /// One blinding RNG per worker; seeded runs use thread-indexed seeds
     /// (`seed + worker`) so parallelism cannot change a seeded run's stream.
@@ -196,10 +214,22 @@ impl<'a> ExecContext<'a> {
         // suites can be re-run through the spill paths; an explicit
         // `with_memory_budget` still overrides it.
         let budget = MemoryBudget::from_env();
+        // `SDB_TEST_ORACLE_LATENCY_MS` injects a per-request sleep on the
+        // oracle link so whole suites (and the benches) can be re-run over a
+        // simulated WAN; an explicit `with_oracle_latency` still overrides it.
+        let oracle_latency = std::env::var("SDB_TEST_ORACLE_LATENCY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|ms| *ms > 0)
+            .map(std::time::Duration::from_millis);
         ExecContext {
             catalog,
             registry,
-            oracle,
+            oracle: Self::wrapped_oracle(&oracle, oracle_latency),
+            oracle_raw: oracle,
+            oracle_latency,
+            oracle_memo: Arc::new(oracle::OracleMemo::default()),
+            oracle_batching: true,
             stats: ShardedStats::new(parallelism),
             rngs: Self::entropy_rngs(parallelism),
             rng_seed: None,
@@ -212,6 +242,21 @@ impl<'a> ExecContext<'a> {
                 .unwrap_or(false),
             pager: Arc::new(Pager::new(&budget)),
             budget,
+        }
+    }
+
+    /// The oracle operators should actually call: the raw connection, wrapped
+    /// in a [`crate::secure::LatencyOracle`] when latency injection is on.
+    fn wrapped_oracle(
+        raw: &Option<OracleRef>,
+        latency: Option<std::time::Duration>,
+    ) -> Option<OracleRef> {
+        match (raw, latency) {
+            (Some(oracle), Some(latency)) => Some(Arc::new(crate::secure::LatencyOracle::new(
+                Arc::clone(oracle),
+                latency,
+            ))),
+            (raw, _) => raw.clone(),
         }
     }
 
@@ -269,6 +314,30 @@ impl<'a> ExecContext<'a> {
         ExecContext { optimizer, ..self }
     }
 
+    /// Enables or disables cross-batch oracle batching (default on). With
+    /// batching off, [`oracle::OracleResolve`] pays one round trip per
+    /// registered call per input batch and the Grace hash join re-resolves
+    /// key calls per spilled chunk — the pre-batching behavior, kept for the
+    /// byte-identity cross-checks and for cost-model comparisons.
+    pub fn with_oracle_batching(self, oracle_batching: bool) -> Self {
+        ExecContext {
+            oracle_batching,
+            ..self
+        }
+    }
+
+    /// Injects a fixed per-request latency on the oracle link (tests and
+    /// benches; simulates the SP↔proxy WAN round trip). Always rebuilds the
+    /// wrapper from the raw connection, so repeated calls never stack sleeps.
+    pub fn with_oracle_latency(self, latency: std::time::Duration) -> Self {
+        let latency = Some(latency);
+        ExecContext {
+            oracle: Self::wrapped_oracle(&self.oracle_raw, latency),
+            oracle_latency: latency,
+            ..self
+        }
+    }
+
     /// Overrides the number of workers parallel operators may use (`1`
     /// selects the serial plans). Resizes the statistics shards and the
     /// per-worker RNG pool, preserving any configured seed.
@@ -300,9 +369,20 @@ impl<'a> ExecContext<'a> {
         self.registry
     }
 
-    /// The DO-proxy oracle, if connected.
+    /// The DO-proxy oracle, if connected (latency-wrapped when injection is
+    /// configured).
     pub fn oracle(&self) -> Option<&OracleRef> {
         self.oracle.as_ref()
+    }
+
+    /// Whether cross-batch oracle batching is on.
+    pub fn oracle_batching(&self) -> bool {
+        self.oracle_batching
+    }
+
+    /// The shared encrypted-value memo for oracle answers.
+    pub(crate) fn oracle_memo(&self) -> &oracle::OracleMemo {
+        &self.oracle_memo
     }
 
     /// Rows per batch.
@@ -332,6 +412,7 @@ impl<'a> ExecContext<'a> {
             .with_batch_size(self.batch_size)
             .with_budget(self.budget.limit())
             .with_auto_analyze(self.auto_analyze)
+            .with_oracle_batching(self.oracle_batching)
     }
 
     /// The query's buffer pool.
@@ -421,11 +502,18 @@ impl ExecContext<'_> {
             }
         }
         let plan = PlanBuilder::build(query)?;
-        let sub = ExecContext::new(self.catalog, self.registry, self.oracle.clone())
+        // Start from the *raw* oracle so the latency wrapper is applied
+        // exactly once, and share the parent's encrypted-value memo so
+        // answers the parent already paid for never re-travel the link.
+        let mut sub = ExecContext::new(self.catalog, self.registry, self.oracle_raw.clone())
             .with_batch_size(self.batch_size)
             .with_memory_budget(self.budget.clone())
             .with_optimizer(self.optimizer)
+            .with_oracle_batching(self.oracle_batching)
             .with_parallelism(1);
+        sub.oracle = Self::wrapped_oracle(&sub.oracle_raw, self.oracle_latency);
+        sub.oracle_latency = self.oracle_latency;
+        sub.oracle_memo = Arc::clone(&self.oracle_memo);
         let batch = execute_plan(&Arc::new(sub), &plan, |sub_stats| {
             self.stats_mut().merge(sub_stats);
         })?;

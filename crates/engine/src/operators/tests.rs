@@ -520,6 +520,51 @@ fn oracle_call(name: &str) -> Expr {
     }
 }
 
+/// A comparison call (arity 4: share, row id, handle, public modulus).
+fn cmp_call(handle: &str) -> Expr {
+    Expr::Function {
+        name: "SDB_CMP_GT".to_string(),
+        args: vec![
+            col("v"),
+            col("rid"),
+            Expr::Literal(Literal::Str(handle.into())),
+            Expr::Literal(Literal::Str("1000003".into())),
+        ],
+        distinct: false,
+        wildcard: false,
+    }
+}
+
+/// A stub whose answers depend only on the (stable) row-id ciphertext — like
+/// the real proxy, whose verdicts are invariant under the SP's blinding
+/// factors and request chunking. Required for byte-identity comparisons
+/// across batching modes (positional answers would differ by chunking).
+struct ContentOracle;
+
+impl crate::secure::SdbOracle for ContentOracle {
+    fn resolve(&self, request: crate::secure::OracleRequest) -> crate::secure::OracleResult {
+        use crate::secure::{OracleRequestKind, OracleResponse};
+        let body_sum = |r: &crate::secure::OracleRow| -> u64 {
+            r.row_id.0.body.iter().map(|&b| u64::from(b)).sum()
+        };
+        Ok(match request.kind {
+            OracleRequestKind::Sign => OracleResponse::Signs(
+                request
+                    .rows
+                    .iter()
+                    .map(|r| if body_sum(r).is_multiple_of(2) { 1 } else { -1 })
+                    .collect(),
+            ),
+            OracleRequestKind::GroupTag => {
+                OracleResponse::Tags(request.rows.iter().map(|r| body_sum(r) % 16).collect())
+            }
+            OracleRequestKind::Rank => {
+                OracleResponse::Ranks((0..request.rows.len() as u64).collect())
+            }
+        })
+    }
+}
+
 #[test]
 fn rank_calls_resolve_in_one_round_trip_across_batches() {
     use super::oracle::OracleResolve;
@@ -542,15 +587,146 @@ fn rank_calls_resolve_in_one_round_trip_across_batches() {
     // All six rows answered from one rank block, in request order.
     assert_eq!(out.column(2).get(5), &Value::Int(5));
 
-    // Group tags are a stable PRF of the plaintext, so per-batch round trips
-    // are correct (and preserve streaming).
-    let ctx = Arc::new(ExecContext::new(&catalog, &reg, Some(oracle)));
+    // Group tags coalesce across input batches too (the cross-batch
+    // accumulator): one trip for three input batches.
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, Some(oracle.clone())));
     let input = FixedBatches::boxed(encrypted_batches(3, 2));
     let mut resolve =
         OracleResolve::new(Arc::clone(&ctx), input, vec![oracle_call("SDB_GROUP_TAG")]);
     let out = drain_operator(&mut resolve).unwrap();
     assert_eq!(out.num_rows(), 6);
-    assert_eq!(ctx.stats().oracle_round_trips, 3, "tags resolve per batch");
+    let stats = ctx.stats();
+    assert_eq!(stats.oracle_round_trips, 1, "tags coalesce across batches");
+    assert_eq!(stats.oracle_rows_coalesced, 6);
+
+    // With batching off, tags resolve per batch — the pre-batching behavior.
+    let ctx = Arc::new(ExecContext::new(&catalog, &reg, Some(oracle)).with_oracle_batching(false));
+    let input = FixedBatches::boxed(encrypted_batches(3, 2));
+    let mut resolve =
+        OracleResolve::new(Arc::clone(&ctx), input, vec![oracle_call("SDB_GROUP_TAG")]);
+    let out = drain_operator(&mut resolve).unwrap();
+    assert_eq!(out.num_rows(), 6);
+    let stats = ctx.stats();
+    assert_eq!(
+        stats.oracle_round_trips, 3,
+        "unbatched tags resolve per batch"
+    );
+    assert_eq!(stats.oracle_rows_coalesced, 0);
+}
+
+#[test]
+fn batching_is_byte_identical_and_one_trip_per_call_under_any_budget() {
+    use super::oracle::OracleResolve;
+    let catalog = Catalog::new();
+    let reg = registry();
+    let calls = || vec![cmp_call("h1"), cmp_call("h2"), oracle_call("SDB_GROUP_TAG")];
+
+    // Reference: batching off, unlimited budget (one trip per call per batch).
+    let oracle: crate::secure::OracleRef = std::sync::Arc::new(ContentOracle);
+    let ref_ctx = Arc::new(
+        ExecContext::new(&catalog, &reg, Some(oracle.clone())).with_oracle_batching(false),
+    );
+    let input = FixedBatches::boxed(encrypted_batches(25, 16));
+    let mut resolve = OracleResolve::new(Arc::clone(&ref_ctx), input, calls());
+    let expected = drain_operator(&mut resolve).unwrap();
+    assert_eq!(expected.num_rows(), 400);
+    assert_eq!(
+        ref_ctx.stats().oracle_round_trips,
+        75,
+        "3 calls x 25 batches without batching"
+    );
+
+    // Batched: one coalesced trip per distinct call, identical answers —
+    // with and without a budget that forces the parked batches to spill.
+    for budget in [None, Some(4096usize)] {
+        let mut ctx = ExecContext::new(&catalog, &reg, Some(oracle.clone()));
+        if let Some(bytes) = budget {
+            ctx = ctx.with_memory_budget(sdb_storage::MemoryBudget::bytes(bytes));
+        }
+        let ctx = Arc::new(ctx);
+        let input = FixedBatches::boxed(encrypted_batches(25, 16));
+        let mut resolve = OracleResolve::new(Arc::clone(&ctx), input, calls());
+        let out = drain_operator(&mut resolve).unwrap();
+        assert_eq!(expected, out, "batched output diverged (budget {budget:?})");
+        let stats = ctx.stats();
+        assert_eq!(
+            stats.oracle_round_trips, 3,
+            "one coalesced trip per distinct call (budget {budget:?})"
+        );
+        assert_eq!(stats.oracle_rows_coalesced, 1200, "400 rows x 3 calls");
+        assert_eq!(stats.oracle_rows_shipped, 1200);
+        assert_eq!(ctx.pager().resident_bytes(), 0, "parked pages all freed");
+        if budget.is_some() {
+            assert!(
+                stats.pages_spilled > 0,
+                "a 4K budget must spill the parked batches: {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn memo_answers_repeated_operands_without_new_trips() {
+    use super::oracle::OracleResolve;
+    let catalog = Catalog::new();
+    let reg = registry();
+    let oracle: crate::secure::OracleRef = std::sync::Arc::new(ContentOracle);
+
+    // Batches 1 and 3 carry identical (share, row id) operands. Streaming
+    // (batching off) resolves batch by batch: the third batch is answered
+    // entirely from the memo — two trips total, zero for the repeat.
+    let mut batches = encrypted_batches(2, 2);
+    batches.push(batches[0].clone());
+    let ctx = Arc::new(
+        ExecContext::new(&catalog, &reg, Some(oracle.clone())).with_oracle_batching(false),
+    );
+    let input = FixedBatches::boxed(batches.clone());
+    let mut resolve = OracleResolve::new(Arc::clone(&ctx), input, vec![cmp_call("h1")]);
+    let out = drain_operator(&mut resolve).unwrap();
+    assert_eq!(out.num_rows(), 6);
+    let stats = ctx.stats();
+    assert_eq!(
+        stats.oracle_round_trips, 2,
+        "the repeated batch must not travel the link"
+    );
+    assert_eq!(stats.oracle_memo_hits, 2);
+    assert_eq!(stats.oracle_rows_shipped, 4);
+    // The memoized answers are the same the oracle would have given.
+    assert_eq!(out.column(2).get(0), out.column(2).get(4));
+    assert_eq!(out.column(2).get(1), out.column(2).get(5));
+}
+
+#[test]
+fn zero_row_rank_input_short_circuits_without_a_trip() {
+    use super::oracle::OracleResolve;
+    let catalog = Catalog::new();
+    let reg = registry();
+    let oracle: crate::secure::OracleRef = std::sync::Arc::new(StubOracle);
+    let schema = Schema::new(vec![
+        ColumnDef::sensitive("v", DataType::Encrypted),
+        ColumnDef::public("rid", DataType::EncryptedRowId),
+    ]);
+
+    for batching in [true, false] {
+        let ctx = Arc::new(
+            ExecContext::new(&catalog, &reg, Some(oracle.clone())).with_oracle_batching(batching),
+        );
+        let input = FixedBatches::boxed(vec![RecordBatch::empty(schema.clone())]);
+        let mut resolve =
+            OracleResolve::new(Arc::clone(&ctx), input, vec![oracle_call("SDB_RANK")]);
+        let out = drain_operator(&mut resolve).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(
+            out.num_columns(),
+            3,
+            "the rank column still appears (batching={batching})"
+        );
+        assert_eq!(
+            ctx.stats().oracle_round_trips,
+            0,
+            "zero-row rank resolution must not travel the link (batching={batching})"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -943,6 +1119,98 @@ fn grace_join_with_empty_sides() {
     let out = drain_operator(&mut join).unwrap();
     assert_eq!(out.num_rows(), 0);
     assert_eq!(out.num_columns(), 4);
+}
+
+/// A spill-forced Grace join whose keys are oracle group tags: each side
+/// resolves in exactly one coalesced round trip, spilled chunks are never
+/// re-resolved (the rendered `__joinkey` rides the partition streams), and
+/// the output stays byte-identical to the in-memory join.
+#[test]
+fn grace_join_resolves_oracle_keys_in_one_trip_per_side() {
+    use super::grace_join::GraceHashJoin;
+
+    let catalog = Catalog::new();
+    let reg = registry();
+    let oracle: crate::secure::OracleRef = std::sync::Arc::new(ContentOracle);
+    let tag_key = |handle: &str| Expr::Function {
+        name: "SDB_GROUP_TAG".to_string(),
+        args: vec![
+            col("v"),
+            col("rid"),
+            Expr::Literal(Literal::Str(handle.into())),
+        ],
+        distinct: false,
+        wildcard: false,
+    };
+    // Probe (left): 48 rows in 6 batches; build (right): 32 rows in 4
+    // batches. Distinct handles per side so the memo cannot mask trip counts.
+    let left_in = || FixedBatches::boxed(encrypted_batches(6, 8));
+    let right_in = || FixedBatches::boxed(encrypted_batches(4, 8));
+
+    let unlimited =
+        Arc::new(ExecContext::new(&catalog, &reg, Some(oracle.clone())).with_batch_size(16));
+    let mut reference = HashJoin::new(
+        Arc::clone(&unlimited),
+        left_in(),
+        right_in(),
+        JoinKind::Inner,
+        vec![tag_key("hL")],
+        vec![tag_key("hR")],
+    );
+    let expected = drain_operator(&mut reference).unwrap();
+    assert!(expected.num_rows() > 0, "tags must produce matches");
+
+    // Batched Grace under a spill-forcing budget: one trip per side, total.
+    let ctx = Arc::new(
+        ExecContext::new(&catalog, &reg, Some(oracle.clone()))
+            .with_memory_budget(sdb_storage::MemoryBudget::bytes(256))
+            .with_batch_size(16),
+    );
+    let mut grace = GraceHashJoin::new(
+        Arc::clone(&ctx),
+        left_in(),
+        right_in(),
+        JoinKind::Inner,
+        vec![tag_key("hL")],
+        vec![tag_key("hR")],
+    );
+    let out = drain_operator(&mut grace).unwrap();
+    assert_eq!(expected, out, "oracle-keyed grace join diverged");
+    let stats = ctx.stats();
+    assert!(
+        stats.join_spilled_rows > 0,
+        "a 256-byte budget must force partitioning: {stats:?}"
+    );
+    assert_eq!(
+        stats.oracle_round_trips, 2,
+        "one coalesced trip per side, zero per spilled chunk"
+    );
+    assert_eq!(stats.oracle_rows_shipped, 80, "48 probe + 32 build rows");
+    assert_eq!(stats.oracle_memo_hits, 0, "handles differ per side");
+    assert_eq!(ctx.pager().resident_bytes(), 0);
+
+    // Batching off: every accumulated chunk pays its own trips, same bytes.
+    let ctx = Arc::new(
+        ExecContext::new(&catalog, &reg, Some(oracle))
+            .with_memory_budget(sdb_storage::MemoryBudget::bytes(256))
+            .with_batch_size(16)
+            .with_oracle_batching(false),
+    );
+    let mut grace = GraceHashJoin::new(
+        Arc::clone(&ctx),
+        left_in(),
+        right_in(),
+        JoinKind::Inner,
+        vec![tag_key("hL")],
+        vec![tag_key("hR")],
+    );
+    let out = drain_operator(&mut grace).unwrap();
+    assert_eq!(expected, out, "unbatched grace join diverged");
+    assert!(
+        ctx.stats().oracle_round_trips > 2,
+        "per-chunk resolution pays a trip per chunk: {:?}",
+        ctx.stats()
+    );
 }
 
 #[test]

@@ -7,9 +7,13 @@
 //! operands. The cost model therefore prices, in order:
 //!
 //! 1. **oracle round trips** — [`ROUND_TRIP_COST`] CPU-row-equivalents each.
-//!    One non-blocking oracle call costs one trip per input batch
-//!    (`ceil(rows / batch_size)`); rank calls are blocking and cost exactly
-//!    one trip regardless of input size.
+//!    With cross-batch batching on (the default), a non-blocking oracle call
+//!    coalesces operand rows across input batches and pays one trip per
+//!    flush window (`ceil(rows /`
+//!    [`ORACLE_FLUSH_ROWS`](crate::operators::oracle::ORACLE_FLUSH_ROWS)`)` —
+//!    one trip for any realistic input); with batching off it pays one trip
+//!    per input batch (`ceil(rows / batch_size)`). Rank calls are blocking
+//!    and cost exactly one trip regardless of input size.
 //! 2. **oracle wire bytes** — [`ORACLE_BYTE_COST`] per byte shipped
 //!    (operands are ~[`ORACLE_ROW_BYTES`] per row per call).
 //! 3. **spill IO** — [`SPILL_BYTE_COST`] per byte written + read back when a
@@ -95,9 +99,24 @@ pub struct CostModel {
     /// The memory budget limit, if one is set (estimated materialisations
     /// beyond it are priced as spills).
     pub budget: Option<usize>,
+    /// Whether the engine coalesces oracle operand rows across input batches
+    /// (the [`ExecContext::with_oracle_batching`](crate::ExecContext::with_oracle_batching)
+    /// knob). Changes the per-call trip count from per-batch to per-flush.
+    pub oracle_batching: bool,
 }
 
 impl CostModel {
+    /// Trips one non-blocking oracle call pays over `rows` input rows: one
+    /// per flush window when batching, one per input batch when not.
+    fn trips_per_call(&self, rows: f64) -> f64 {
+        let window = if self.oracle_batching {
+            crate::operators::oracle::ORACLE_FLUSH_ROWS as f64
+        } else {
+            self.batch_size as f64
+        };
+        (rows / window).ceil().max(1.0)
+    }
+
     /// Estimated round trips for the oracle calls inside `exprs` over
     /// `rows` input rows, together with the bytes shipped.
     pub fn oracle_cost(&self, exprs: &[Expr], rows: f64) -> Cost {
@@ -105,7 +124,7 @@ impl CostModel {
         if calls.is_empty() {
             return Cost::zero();
         }
-        let batches = (rows / self.batch_size as f64).ceil().max(1.0);
+        let batches = self.trips_per_call(rows);
         let mut trips = 0.0;
         for call in &calls {
             let blocking = matches!(
@@ -113,7 +132,8 @@ impl CostModel {
                 Expr::Function { name, .. } if name.eq_ignore_ascii_case(oracle_fns::RANK)
             );
             // Rank surrogates resolve the whole input in one blocking trip;
-            // everything else pays one trip per batch.
+            // everything else pays one trip per flush window (batching) or
+            // per batch (streaming).
             trips += if blocking { 1.0 } else { batches };
         }
         Cost {
@@ -141,7 +161,9 @@ impl CostModel {
     /// output, spill of both sides when the build side overflows the budget
     /// (the Grace join partitions both inputs through the pager), and oracle
     /// trips for `oracle_calls` key calls — the build side resolves once
-    /// over the materialised input, the probe side once per batch.
+    /// over the materialised input; the probe side resolves once per whole
+    /// side when it is routed through the cross-batch accumulator (Grace
+    /// spill with batching on), once per batch otherwise.
     /// Non-hashable joins price as nested loops (`probe × build` CPU).
     #[allow(clippy::too_many_arguments)]
     pub fn join_cost(
@@ -165,12 +187,20 @@ impl CostModel {
             ..Cost::default()
         };
         let build_bytes = build_rows * build_width;
-        if matches!(self.budget, Some(limit) if build_bytes > limit as f64) {
+        let spills = matches!(self.budget, Some(limit) if build_bytes > limit as f64);
+        if spills {
             // Grace plan: both sides are partitioned through the pager.
             cost.spill_bytes += 2.0 * (build_bytes + probe_rows * probe_width);
         }
-        let probe_batches = (probe_rows / self.batch_size as f64).ceil().max(1.0);
-        cost.oracle_round_trips += oracle_calls * (probe_batches + 1.0);
+        let probe_trips = if self.oracle_batching && spills {
+            // Grace routes each side through the cross-batch accumulator:
+            // one coalesced trip per call per side, spilled chunks never
+            // re-resolve.
+            self.trips_per_call(probe_rows)
+        } else {
+            (probe_rows / self.batch_size as f64).ceil().max(1.0)
+        };
+        cost.oracle_round_trips += oracle_calls * (probe_trips + 1.0);
         cost.oracle_bytes += oracle_calls * (probe_rows + build_rows) * ORACLE_ROW_BYTES;
         cost
     }
@@ -202,9 +232,11 @@ mod tests {
     use sdb_sql::ast::Expr;
 
     fn model(budget: Option<usize>) -> CostModel {
+        // Batching off: the legacy per-batch trip expectations below.
         CostModel {
             batch_size: 1000,
             budget,
+            oracle_batching: false,
         }
     }
 
@@ -238,6 +270,46 @@ mod tests {
         assert_eq!(c.oracle_round_trips, 1.0, "rank is one blocking trip");
 
         assert_eq!(m.oracle_cost(&[Expr::col("a")], 2500.0), Cost::zero());
+    }
+
+    #[test]
+    fn batching_collapses_cmp_trips_to_the_flush_window() {
+        let m = CostModel {
+            oracle_batching: true,
+            ..model(None)
+        };
+        let c = m.oracle_cost(&[cmp_call()], 2500.0);
+        assert_eq!(
+            c.oracle_round_trips, 1.0,
+            "2500 rows fit one coalesced flush"
+        );
+        assert_eq!(
+            m.oracle_cost(&[rank_call()], 2500.0).oracle_round_trips,
+            1.0
+        );
+        // Inputs beyond the flush window still pay one trip per window.
+        let huge = 2.5 * crate::operators::oracle::ORACLE_FLUSH_ROWS as f64;
+        assert_eq!(m.oracle_cost(&[cmp_call()], huge).oracle_round_trips, 3.0);
+    }
+
+    #[test]
+    fn batched_grace_join_prices_one_probe_trip_per_call() {
+        let streaming = model(Some(10_000));
+        let batched = CostModel {
+            oracle_batching: true,
+            ..streaming
+        };
+        // Build side (10 000×16 B) overflows the 10 KB budget → Grace spill.
+        let spilled = batched.join_cost(8_000.0, 16.0, 10_000.0, 16.0, 100.0, 1.0, true);
+        assert_eq!(
+            spilled.oracle_round_trips, 2.0,
+            "one coalesced trip per side"
+        );
+        let legacy = streaming.join_cost(8_000.0, 16.0, 10_000.0, 16.0, 100.0, 1.0, true);
+        assert_eq!(legacy.oracle_round_trips, 9.0, "8 probe batches + build");
+        // In-memory probes still stream per batch even with batching on.
+        let in_memory = batched.join_cost(8_000.0, 16.0, 100.0, 16.0, 100.0, 1.0, true);
+        assert_eq!(in_memory.oracle_round_trips, 9.0);
     }
 
     #[test]

@@ -432,6 +432,7 @@ mod tests {
         CostModel {
             batch_size: 4096,
             budget: None,
+            oracle_batching: true,
         }
     }
 

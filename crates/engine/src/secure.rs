@@ -128,6 +128,51 @@ impl SdbOracle for NullOracle {
     }
 }
 
+/// An [`SdbOracle`] wrapper injecting a fixed per-request latency before
+/// delegating to the wrapped oracle — a simulated WAN round trip.
+///
+/// The in-process proxy answers in microseconds, which hides the protocol's
+/// real unit cost; wrapping it makes every round trip pay a realistic RTT, so
+/// tests and benches can *observe* (as wall-clock time) whether operators
+/// batch their oracle traffic or quietly regress to per-batch or per-row
+/// trips. Enable it globally with `SDB_TEST_ORACLE_LATENCY_MS` (every
+/// [`crate::ExecContext`] wraps its oracle when the variable is set) or
+/// explicitly via [`crate::SpEngine::with_oracle_latency`].
+pub struct LatencyOracle {
+    inner: OracleRef,
+    latency: std::time::Duration,
+}
+
+impl LatencyOracle {
+    /// Wraps `inner`, delaying every request by `latency`.
+    pub fn new(inner: OracleRef, latency: std::time::Duration) -> Self {
+        LatencyOracle { inner, latency }
+    }
+
+    /// Wraps `inner` with the latency named by `SDB_TEST_ORACLE_LATENCY_MS`,
+    /// or returns it unchanged when the variable is unset, unparsable or
+    /// zero.
+    pub fn wrap_from_env(inner: OracleRef) -> OracleRef {
+        match std::env::var("SDB_TEST_ORACLE_LATENCY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(ms) if ms > 0 => Arc::new(LatencyOracle::new(
+                inner,
+                std::time::Duration::from_millis(ms),
+            )),
+            _ => inner,
+        }
+    }
+}
+
+impl SdbOracle for LatencyOracle {
+    fn resolve(&self, request: OracleRequest) -> OracleResult {
+        std::thread::sleep(self.latency);
+        self.inner.resolve(request)
+    }
+}
+
 impl fmt::Display for OracleRequestKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -242,6 +287,38 @@ mod tests {
             BigUint::parse_bytes(b"12345678901234567890", 10).unwrap()
         );
         assert!(parse_biguint_arg("SDB_MULTIPLY", "not-a-number").is_err());
+    }
+
+    #[test]
+    fn latency_oracle_delays_then_delegates() {
+        struct Echo;
+        impl SdbOracle for Echo {
+            fn resolve(&self, request: OracleRequest) -> OracleResult {
+                Ok(OracleResponse::Signs(vec![1; request.rows.len()]))
+            }
+        }
+        let oracle = LatencyOracle::new(Arc::new(Echo), std::time::Duration::from_millis(5));
+        let started = std::time::Instant::now();
+        let response = oracle
+            .resolve(OracleRequest {
+                kind: OracleRequestKind::Sign,
+                handle: "h".into(),
+                rows: vec![],
+            })
+            .unwrap();
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(response, OracleResponse::Signs(vec![]));
+    }
+
+    #[test]
+    fn wrap_from_env_without_the_variable_is_identity() {
+        // The test runner may or may not have the variable set; only assert
+        // the unset path (a private temp var name nothing else reads).
+        if std::env::var("SDB_TEST_ORACLE_LATENCY_MS").is_err() {
+            let inner: OracleRef = Arc::new(NullOracle);
+            let wrapped = LatencyOracle::wrap_from_env(Arc::clone(&inner));
+            assert!(Arc::ptr_eq(&inner, &wrapped));
+        }
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct ExecutionStats {
     pub oracle_round_trips: usize,
     /// Rows shipped to the oracle across all round trips.
     pub oracle_rows_shipped: usize,
+    /// Operand rows answered from the encrypted-value memo instead of
+    /// travelling the oracle link again.
+    pub oracle_memo_hits: usize,
+    /// Operand rows buffered across input batches by the cross-batch
+    /// accumulator and resolved in coalesced per-call requests (rather than
+    /// one request per call per batch).
+    pub oracle_rows_coalesced: usize,
     /// Approximate bytes shipped to the oracle.
     pub oracle_bytes_shipped: usize,
     /// Wall-clock time spent inside oracle calls (this is *client* work from the
@@ -60,6 +67,8 @@ impl ExecutionStats {
         self.udf_calls += other.udf_calls;
         self.oracle_round_trips += other.oracle_round_trips;
         self.oracle_rows_shipped += other.oracle_rows_shipped;
+        self.oracle_memo_hits += other.oracle_memo_hits;
+        self.oracle_rows_coalesced += other.oracle_rows_coalesced;
         self.oracle_bytes_shipped += other.oracle_bytes_shipped;
         self.oracle_time += other.oracle_time;
         self.pages_spilled += other.pages_spilled;
@@ -202,12 +211,30 @@ mod tests {
             rows_scanned: 5,
             oracle_round_trips: 2,
             oracle_rows_shipped: 100,
+            oracle_memo_hits: 7,
+            oracle_rows_coalesced: 60,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 15);
         assert_eq!(a.oracle_round_trips, 3);
         assert_eq!(a.oracle_rows_shipped, 100);
+        assert_eq!(a.oracle_memo_hits, 7);
+        assert_eq!(a.oracle_rows_coalesced, 60);
+    }
+
+    #[test]
+    fn serde_roundtrips_the_memo_counters() {
+        let stats = ExecutionStats {
+            oracle_round_trips: 2,
+            oracle_memo_hits: 9,
+            oracle_rows_coalesced: 41,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ExecutionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.oracle_memo_hits, 9);
+        assert_eq!(back.oracle_rows_coalesced, 41);
     }
 
     #[test]
