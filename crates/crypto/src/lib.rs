@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bigint;
 pub mod error;
 pub mod keys;
@@ -63,6 +64,7 @@ pub mod share;
 pub mod sies;
 pub mod signed;
 
+pub use batch::{blind_shares, encrypt_values, gen_item_keys, mod_inverse_batch};
 pub use error::CryptoError;
 pub use keys::{ColumnKey, KeyConfig, SystemKey};
 pub use prf::{EqualityTagger, Prf};

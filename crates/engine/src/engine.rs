@@ -71,6 +71,9 @@ pub struct SpEngine {
     /// Injected per-request latency on the oracle link (tests/benches;
     /// `None` defers to `SDB_TEST_ORACLE_LATENCY_MS`).
     oracle_latency: Option<std::time::Duration>,
+    /// Whether operators route eligible work through the vectorised columnar
+    /// kernels (default on; `SDB_TEST_SCALAR_EVAL=1` flips the default).
+    vectorised: bool,
 }
 
 impl SpEngine {
@@ -88,6 +91,11 @@ impl SpEngine {
             optimizer: true,
             oracle_batching: true,
             oracle_latency: None,
+            // `SDB_TEST_SCALAR_EVAL=1` re-runs whole suites through the
+            // scalar row-at-a-time paths; `with_vectorised` still overrides.
+            vectorised: std::env::var("SDB_TEST_SCALAR_EVAL")
+                .map(|v| v != "1")
+                .unwrap_or(true),
         }
     }
 
@@ -244,6 +252,26 @@ impl SpEngine {
         self.oracle_batching
     }
 
+    /// Enables or disables the vectorised columnar kernels (builder style;
+    /// default on, `SDB_TEST_SCALAR_EVAL=1` flips the default). Kernels are
+    /// byte-identical to the scalar row-at-a-time paths — the knob exists for
+    /// equivalence cross-checks and scalar-baseline benchmarking.
+    ///
+    /// ```
+    /// # use sdb_engine::SpEngine;
+    /// let engine = SpEngine::new().with_vectorised(false);
+    /// assert!(!engine.vectorised());
+    /// ```
+    pub fn with_vectorised(mut self, vectorised: bool) -> Self {
+        self.vectorised = vectorised;
+        self
+    }
+
+    /// Whether the vectorised columnar kernels are enabled.
+    pub fn vectorised(&self) -> bool {
+        self.vectorised
+    }
+
     /// Injects a fixed per-request latency on the oracle link (builder
     /// style; tests and benches). Simulates the SP↔proxy WAN round trip the
     /// protocol is billed by; `SDB_TEST_ORACLE_LATENCY_MS` sets the same
@@ -325,6 +353,7 @@ impl SpEngine {
             .with_memory_budget(self.memory_budget.clone())
             .with_optimizer(self.optimizer)
             .with_oracle_batching(self.oracle_batching)
+            .with_vectorised(self.vectorised)
             .with_parallelism(self.parallelism);
         match self.oracle_latency {
             Some(latency) => ctx.with_oracle_latency(latency),

@@ -1,0 +1,742 @@
+//! Selection kernels: compiled predicates evaluated column-at-a-time into
+//! selection [`Bitmap`]s.
+//!
+//! [`CompiledPredicate::compile`] accepts only the *infallible* predicate
+//! fragment of the expression language — comparisons, `AND`/`OR`/`NOT`,
+//! `BETWEEN`, `IN (list)`, `LIKE`, `IS [NOT] NULL` over column references and
+//! literals. Nothing a compiled node can evaluate raises an error or calls a
+//! UDF, which is what makes *eager* Kleene evaluation byte-identical to the
+//! evaluator's short-circuiting three-valued logic: short-circuiting is only
+//! observable through errors and UDF-call counts, and compiled nodes produce
+//! neither. Anything else (arithmetic, functions, CASE, subqueries, mixed-type
+//! comparisons that the scalar path would reject) refuses to compile, sending
+//! the batch down the scalar path — including its error surface.
+//!
+//! Evaluation works on [`ColumnarColumn`] pivots and tracks each subtree as a
+//! pair of bitmaps (`true` rows, `false` rows); rows in neither are NULL.
+//! `AND`/`OR`/`NOT` then reduce to word-wise bitmap algebra, and the final
+//! selection is the root's `true` bitmap (SQL filters drop NULL rows).
+
+use sdb_sql::ast::{BinaryOp, Expr, Literal, UnaryOp};
+use sdb_storage::{Bitmap, ColumnVector, ColumnarColumn, DataType, RecordBatch, Schema};
+
+use crate::eval::like_match;
+
+/// A numeric operand: a pivoted column or a literal in `(units, scale)` form.
+#[derive(Debug, Clone)]
+enum NumOperand {
+    Col(usize),
+    Lit { units: i128, scale: u8 },
+}
+
+/// A string operand: a pivoted VARCHAR column or a string literal.
+#[derive(Debug, Clone)]
+enum StrOperand {
+    Col(usize),
+    Lit(String),
+}
+
+/// A compiled predicate node. Every node is infallible and UDF-free by
+/// construction.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Numeric comparison (INT/DECIMAL/DATE/BOOL operands, compared in
+    /// common scaled units exactly like `Value::as_scaled_i128`).
+    CmpNum {
+        op: BinaryOp,
+        left: NumOperand,
+        right: NumOperand,
+    },
+    /// String comparison.
+    CmpStr {
+        op: BinaryOp,
+        left: StrOperand,
+        right: StrOperand,
+    },
+    And(Box<Node>, Box<Node>),
+    Or(Box<Node>, Box<Node>),
+    Not(Box<Node>),
+    /// `col IS [NOT] NULL` — reads only the validity bitmap.
+    IsNull {
+        col: usize,
+        negated: bool,
+    },
+    /// `num_col [NOT] IN (...)`: numeric candidates in `(units, scale)` form;
+    /// `saw_null` records a NULL candidate (match failure yields NULL).
+    InListNum {
+        col: usize,
+        candidates: Vec<(i128, u8)>,
+        saw_null: bool,
+        negated: bool,
+    },
+    /// `str_col [NOT] IN (...)`.
+    InListStr {
+        col: usize,
+        candidates: Vec<String>,
+        saw_null: bool,
+        negated: bool,
+    },
+    /// `str_col [NOT] LIKE pattern`.
+    Like {
+        col: usize,
+        pattern: String,
+        negated: bool,
+    },
+    /// A bare BOOL column used as a predicate.
+    BoolCol(usize),
+    /// A constant three-valued result (TRUE/FALSE/NULL literal, or a
+    /// comparison against a NULL literal).
+    Const(Option<bool>),
+}
+
+/// Three-valued result of a predicate subtree over a batch: rows that are
+/// definitely true and rows that are definitely false; rows in neither bitmap
+/// are NULL.
+struct Tri {
+    t: Bitmap,
+    f: Bitmap,
+}
+
+/// Static operand classes a kernel comparison can handle. INT, DECIMAL, DATE
+/// and BOOL all compare numerically in the scalar path (BOOL-vs-BOOL compares
+/// directly, but `false < true` agrees with `0 < 1`), so they share one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Class {
+    Num,
+    Str,
+}
+
+/// A predicate compiled against a batch schema, ready to evaluate over the
+/// pivoted columns of any batch with that schema.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: Node,
+    /// Indices of every referenced column (deduplicated), pivoted once per
+    /// batch at evaluation time.
+    columns: Vec<usize>,
+}
+
+impl CompiledPredicate {
+    /// Compiles `expr` against `schema`, or `None` when any fragment falls
+    /// outside the infallible kernel subset (the caller then uses the scalar
+    /// evaluator, which also owns the error surface).
+    pub fn compile(expr: &Expr, schema: &Schema) -> Option<CompiledPredicate> {
+        let node = compile_node(expr, schema)?;
+        let mut columns = Vec::new();
+        collect_columns(&node, &mut columns);
+        columns.sort_unstable();
+        columns.dedup();
+        Some(CompiledPredicate { node, columns })
+    }
+
+    /// Evaluates the predicate over `batch` into a selection bitmap (bit set =
+    /// keep the row; NULL and FALSE rows are clear, per SQL filter semantics).
+    /// Returns `None` when any referenced column's runtime contents are not
+    /// homogeneous with its declared type — the per-batch scalar fallback.
+    pub fn selection(&self, batch: &RecordBatch) -> Option<Bitmap> {
+        let mut cols: Vec<Option<ColumnarColumn>> = vec![None; batch.num_columns()];
+        for &idx in &self.columns {
+            let pivot = ColumnarColumn::from_column(batch.column(idx));
+            if !pivot.is_typed() {
+                return None;
+            }
+            cols[idx] = Some(pivot);
+        }
+        let tri = eval_node(&self.node, &cols, batch.num_rows())?;
+        Some(tri.t)
+    }
+}
+
+fn collect_columns(node: &Node, out: &mut Vec<usize>) {
+    match node {
+        Node::CmpNum { left, right, .. } => {
+            if let NumOperand::Col(i) = left {
+                out.push(*i);
+            }
+            if let NumOperand::Col(i) = right {
+                out.push(*i);
+            }
+        }
+        Node::CmpStr { left, right, .. } => {
+            if let StrOperand::Col(i) = left {
+                out.push(*i);
+            }
+            if let StrOperand::Col(i) = right {
+                out.push(*i);
+            }
+        }
+        Node::And(a, b) | Node::Or(a, b) => {
+            collect_columns(a, out);
+            collect_columns(b, out);
+        }
+        Node::Not(a) => collect_columns(a, out),
+        Node::IsNull { col, .. }
+        | Node::InListNum { col, .. }
+        | Node::InListStr { col, .. }
+        | Node::Like { col, .. }
+        | Node::BoolCol(col) => out.push(*col),
+        Node::Const(_) => {}
+    }
+}
+
+/// The static class of a column or literal operand; `None` rejects the
+/// expression (kernels never guess about types the scalar path would error
+/// on).
+fn class_of_column(schema: &Schema, name: &str) -> Option<(usize, Class)> {
+    let idx = schema.index_of(name).ok()?;
+    let class = match schema.column_at(idx).data_type {
+        DataType::Int | DataType::Decimal { .. } | DataType::Date | DataType::Bool => Class::Num,
+        DataType::Varchar => Class::Str,
+        _ => return None,
+    };
+    Some((idx, class))
+}
+
+/// A literal in `(units, scale)` form, mirroring `Value::as_scaled_i128`'s
+/// source representation. `None` for non-numeric literals.
+fn numeric_literal(lit: &Literal) -> Option<(i128, u8)> {
+    match lit {
+        Literal::Int(v) => Some((i128::from(*v), 0)),
+        Literal::Decimal { units, scale } => Some((i128::from(*units), *scale)),
+        Literal::Date(d) => Some((i128::from(*d), 0)),
+        Literal::Bool(b) => Some((i128::from(*b), 0)),
+        _ => None,
+    }
+}
+
+/// One side of a comparison: only column references and literals qualify
+/// (anything else could error or call a UDF during evaluation).
+enum Side<'a> {
+    Col(usize, Class),
+    Lit(&'a Literal),
+}
+
+fn side_of<'a>(expr: &'a Expr, schema: &Schema) -> Option<Side<'a>> {
+    match expr {
+        Expr::Column(name) => {
+            let (idx, class) = class_of_column(schema, name)?;
+            Some(Side::Col(idx, class))
+        }
+        Expr::Literal(lit) => Some(Side::Lit(lit)),
+        _ => None,
+    }
+}
+
+fn class_of_side(side: &Side<'_>) -> Option<Class> {
+    match side {
+        Side::Col(_, class) => Some(*class),
+        Side::Lit(lit) => match lit {
+            Literal::Int(_) | Literal::Decimal { .. } | Literal::Date(_) | Literal::Bool(_) => {
+                Some(Class::Num)
+            }
+            Literal::Str(_) => Some(Class::Str),
+            Literal::Null => None,
+        },
+    }
+}
+
+/// Compiles a comparison between two sides. A NULL literal on either side
+/// makes the whole comparison NULL for every row (the evaluator
+/// null-propagates *before* any type checking), so it compiles to a constant.
+fn compile_compare(op: BinaryOp, left: &Expr, right: &Expr, schema: &Schema) -> Option<Node> {
+    let l = side_of(left, schema)?;
+    let r = side_of(right, schema)?;
+    if matches!(l, Side::Lit(Literal::Null)) || matches!(r, Side::Lit(Literal::Null)) {
+        return Some(Node::Const(None));
+    }
+    let (lc, rc) = (class_of_side(&l)?, class_of_side(&r)?);
+    if lc != rc {
+        // Mixed classes error in the scalar path; let it raise.
+        return None;
+    }
+    match lc {
+        Class::Num => {
+            let to_num = |s: Side<'_>| -> Option<NumOperand> {
+                match s {
+                    Side::Col(idx, _) => Some(NumOperand::Col(idx)),
+                    Side::Lit(lit) => {
+                        let (units, scale) = numeric_literal(lit)?;
+                        Some(NumOperand::Lit { units, scale })
+                    }
+                }
+            };
+            Some(Node::CmpNum {
+                op,
+                left: to_num(l)?,
+                right: to_num(r)?,
+            })
+        }
+        Class::Str => {
+            let to_str = |s: Side<'_>| -> Option<StrOperand> {
+                match s {
+                    Side::Col(idx, _) => Some(StrOperand::Col(idx)),
+                    Side::Lit(Literal::Str(v)) => Some(StrOperand::Lit(v.clone())),
+                    Side::Lit(_) => None,
+                }
+            };
+            Some(Node::CmpStr {
+                op,
+                left: to_str(l)?,
+                right: to_str(r)?,
+            })
+        }
+    }
+}
+
+fn compile_node(expr: &Expr, schema: &Schema) -> Option<Node> {
+    match expr {
+        // A bare column predicate must be BOOL; other declared types error in
+        // `evaluate_predicate`, so they stay scalar.
+        Expr::Column(name) => {
+            let idx = schema.index_of(name).ok()?;
+            match schema.column_at(idx).data_type {
+                DataType::Bool => Some(Node::BoolCol(idx)),
+                _ => None,
+            }
+        }
+        Expr::Literal(Literal::Bool(b)) => Some(Node::Const(Some(*b))),
+        Expr::Literal(Literal::Null) => Some(Node::Const(None)),
+        Expr::Literal(_) => None,
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Some(Node::Not(Box::new(compile_node(expr, schema)?))),
+        Expr::Binary { left, op, right } => match op {
+            BinaryOp::And => Some(Node::And(
+                Box::new(compile_node(left, schema)?),
+                Box::new(compile_node(right, schema)?),
+            )),
+            BinaryOp::Or => Some(Node::Or(
+                Box::new(compile_node(left, schema)?),
+                Box::new(compile_node(right, schema)?),
+            )),
+            op if op.is_comparison() => compile_compare(*op, left, right, schema),
+            _ => None,
+        },
+        // BETWEEN desugars exactly as the evaluator does: `e >= low AND
+        // e <= high`, negated afterwards. Both bounds always evaluate in the
+        // scalar path (no short-circuit), and compiled comparisons are
+        // infallible, so the eager AND is byte-identical.
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let ge = compile_compare(BinaryOp::GtEq, expr, low, schema)?;
+            let le = compile_compare(BinaryOp::LtEq, expr, high, schema)?;
+            let both = Node::And(Box::new(ge), Box::new(le));
+            Some(if *negated {
+                Node::Not(Box::new(both))
+            } else {
+                both
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let Expr::Column(name) = expr.as_ref() else {
+                return None;
+            };
+            let (col, class) = class_of_column(schema, name)?;
+            let mut saw_null = false;
+            match class {
+                Class::Num => {
+                    let mut candidates = Vec::new();
+                    for item in list {
+                        let Expr::Literal(lit) = item else {
+                            return None;
+                        };
+                        match lit {
+                            Literal::Null => saw_null = true,
+                            // A string candidate can never equal a numeric
+                            // value (`values_equal` falls through to the
+                            // numeric pairing, which fails → false).
+                            Literal::Str(_) => {}
+                            _ => candidates.push(numeric_literal(lit)?),
+                        }
+                    }
+                    Some(Node::InListNum {
+                        col,
+                        candidates,
+                        saw_null,
+                        negated: *negated,
+                    })
+                }
+                Class::Str => {
+                    let mut candidates = Vec::new();
+                    for item in list {
+                        let Expr::Literal(lit) = item else {
+                            return None;
+                        };
+                        match lit {
+                            Literal::Null => saw_null = true,
+                            Literal::Str(s) => candidates.push(s.clone()),
+                            // Numeric candidates never equal a string value.
+                            _ => {}
+                        }
+                    }
+                    Some(Node::InListStr {
+                        col,
+                        candidates,
+                        saw_null,
+                        negated: *negated,
+                    })
+                }
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let Expr::Column(name) = expr.as_ref() else {
+                return None;
+            };
+            let (col, class) = class_of_column(schema, name)?;
+            if class != Class::Str {
+                // Non-string LIKE operands error in the scalar path.
+                return None;
+            }
+            Some(Node::Like {
+                col,
+                pattern: pattern.clone(),
+                negated: *negated,
+            })
+        }
+        Expr::IsNull { expr, negated } => {
+            let Expr::Column(name) = expr.as_ref() else {
+                return None;
+            };
+            // IS NULL works for every declared type: it reads only the
+            // validity bitmap.
+            let idx = schema.index_of(name).ok()?;
+            Some(Node::IsNull {
+                col: idx,
+                negated: *negated,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// A typed numeric accessor over a pivoted column or literal, yielding
+/// `(units, scale)` pairs exactly as `Value::as_scaled_i128` would see them.
+enum NumView<'a> {
+    I64(&'a [i64]),
+    I32(&'a [i32]),
+    Bits(&'a Bitmap),
+    Dec { units: &'a [i64], scales: &'a [u8] },
+    Lit { units: i128, scale: u8 },
+}
+
+impl NumView<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> (i128, u8) {
+        match self {
+            NumView::I64(v) => (i128::from(v[i]), 0),
+            NumView::I32(v) => (i128::from(v[i]), 0),
+            NumView::Bits(bits) => (i128::from(bits.get(i)), 0),
+            NumView::Dec { units, scales } => (i128::from(units[i]), scales[i]),
+            NumView::Lit { units, scale } => (*units, *scale),
+        }
+    }
+}
+
+/// Rescales `units` from `scale` up to `target` — the mirror of
+/// `Value::as_scaled_i128` for the upscaling case (comparisons always scale
+/// both sides *up* to the pairwise maximum, so downscaling never occurs).
+#[inline]
+fn upscale(units: i128, scale: u8, target: u8) -> i128 {
+    debug_assert!(target >= scale);
+    if target == scale {
+        units
+    } else {
+        units * 10i128.pow(u32::from(target - scale))
+    }
+}
+
+#[inline]
+fn ordering_matches(op: BinaryOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("compile only emits comparison operators"),
+    }
+}
+
+fn num_view<'a>(operand: &NumOperand, cols: &'a [Option<ColumnarColumn>]) -> Option<NumView<'a>> {
+    match operand {
+        NumOperand::Lit { units, scale } => Some(NumView::Lit {
+            units: *units,
+            scale: *scale,
+        }),
+        NumOperand::Col(idx) => match cols[*idx].as_ref()?.vector() {
+            ColumnVector::Int(v) => Some(NumView::I64(v)),
+            ColumnVector::Date(v) => Some(NumView::I32(v)),
+            ColumnVector::Bool(bits) => Some(NumView::Bits(bits)),
+            ColumnVector::Decimal { units, scales, .. } => Some(NumView::Dec { units, scales }),
+            _ => None,
+        },
+    }
+}
+
+/// Validity of an operand: literals are always valid.
+fn operand_validity(col: Option<usize>, cols: &[Option<ColumnarColumn>]) -> Option<&Bitmap> {
+    col.and_then(|idx| cols[idx].as_ref()).map(|c| c.validity())
+}
+
+/// Combined validity of two operands (`None` = every row valid).
+/// The string at row `i` of a string operand — the column element for a
+/// column operand (caller guarantees validity), the literal otherwise.
+fn str_operand_at<'a>(
+    operand: &'a StrOperand,
+    cols: &'a [Option<ColumnarColumn>],
+    i: usize,
+) -> &'a str {
+    match operand {
+        StrOperand::Col(idx) => cols[*idx]
+            .as_ref()
+            .and_then(|c| c.str_at(i))
+            .expect("validity-checked string element"),
+        StrOperand::Lit(s) => s.as_str(),
+    }
+}
+
+fn pair_validity(
+    left: Option<usize>,
+    right: Option<usize>,
+    cols: &[Option<ColumnarColumn>],
+) -> Option<Bitmap> {
+    match (operand_validity(left, cols), operand_validity(right, cols)) {
+        (Some(a), Some(b)) => Some(a.and(b)),
+        (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+        (None, None) => None,
+    }
+}
+
+/// Runs `decide` for every valid row, filing the row into the true or false
+/// bitmap. Rows outside `valid` are NULL (in neither).
+fn for_valid(n: usize, valid: Option<Bitmap>, mut decide: impl FnMut(usize) -> bool) -> Tri {
+    let mut t = Bitmap::new_clear(n);
+    let mut f = Bitmap::new_clear(n);
+    match &valid {
+        Some(valid) => {
+            for i in valid.iter_set() {
+                if decide(i) {
+                    t.set(i, true);
+                } else {
+                    f.set(i, true);
+                }
+            }
+        }
+        None => {
+            for i in 0..n {
+                if decide(i) {
+                    t.set(i, true);
+                } else {
+                    f.set(i, true);
+                }
+            }
+        }
+    }
+    Tri { t, f }
+}
+
+fn eval_node(node: &Node, cols: &[Option<ColumnarColumn>], n: usize) -> Option<Tri> {
+    Some(match node {
+        Node::Const(v) => {
+            let t = if *v == Some(true) {
+                Bitmap::new_set(n)
+            } else {
+                Bitmap::new_clear(n)
+            };
+            let f = if *v == Some(false) {
+                Bitmap::new_set(n)
+            } else {
+                Bitmap::new_clear(n)
+            };
+            Tri { t, f }
+        }
+        Node::BoolCol(idx) => {
+            let col = cols[*idx].as_ref()?;
+            let ColumnVector::Bool(bits) = col.vector() else {
+                return None;
+            };
+            Tri {
+                t: bits.and(col.validity()),
+                f: col.validity().and_not(bits),
+            }
+        }
+        Node::IsNull { col, negated } => {
+            let validity = cols[*col].as_ref()?.validity();
+            // IS NULL: true where invalid; IS NOT NULL swaps. Never NULL.
+            if *negated {
+                Tri {
+                    t: validity.clone(),
+                    f: validity.not(),
+                }
+            } else {
+                Tri {
+                    t: validity.not(),
+                    f: validity.clone(),
+                }
+            }
+        }
+        Node::Not(inner) => {
+            let tri = eval_node(inner, cols, n)?;
+            Tri { t: tri.f, f: tri.t }
+        }
+        // Kleene AND: true where both true; false where either false; NULL
+        // otherwise. Identical to the evaluator's short-circuiting logic
+        // because compiled children are infallible and side-effect-free.
+        Node::And(a, b) => {
+            let (a, b) = (eval_node(a, cols, n)?, eval_node(b, cols, n)?);
+            Tri {
+                t: a.t.and(&b.t),
+                f: a.f.or(&b.f),
+            }
+        }
+        Node::Or(a, b) => {
+            let (a, b) = (eval_node(a, cols, n)?, eval_node(b, cols, n)?);
+            Tri {
+                t: a.t.or(&b.t),
+                f: a.f.and(&b.f),
+            }
+        }
+        Node::CmpNum { op, left, right } => {
+            let (lv, rv) = (num_view(left, cols)?, num_view(right, cols)?);
+            let valid = pair_validity(
+                match left {
+                    NumOperand::Col(i) => Some(*i),
+                    NumOperand::Lit { .. } => None,
+                },
+                match right {
+                    NumOperand::Col(i) => Some(*i),
+                    NumOperand::Lit { .. } => None,
+                },
+                cols,
+            );
+            for_valid(n, valid, |i| {
+                let (ul, sl) = lv.at(i);
+                let (ur, sr) = rv.at(i);
+                let ord = if sl == sr {
+                    ul.cmp(&ur)
+                } else {
+                    let target = sl.max(sr);
+                    upscale(ul, sl, target).cmp(&upscale(ur, sr, target))
+                };
+                ordering_matches(*op, ord)
+            })
+        }
+        Node::CmpStr { op, left, right } => {
+            let str_view = |operand: &StrOperand| -> Option<Option<usize>> {
+                match operand {
+                    StrOperand::Col(idx) => {
+                        matches!(cols[*idx].as_ref()?.vector(), ColumnVector::Str { .. })
+                            .then_some(Some(*idx))
+                    }
+                    StrOperand::Lit(_) => Some(None),
+                }
+            };
+            let (lc, rc) = (str_view(left)?, str_view(right)?);
+            let valid = pair_validity(lc, rc, cols);
+            for_valid(n, valid, |i| {
+                ordering_matches(
+                    *op,
+                    str_operand_at(left, cols, i).cmp(str_operand_at(right, cols, i)),
+                )
+            })
+        }
+        Node::InListNum {
+            col,
+            candidates,
+            saw_null,
+            negated,
+        } => {
+            let operand = NumOperand::Col(*col);
+            let view = num_view(&operand, cols)?;
+            let valid = cols[*col].as_ref()?.validity().clone();
+            in_list(n, valid, *saw_null, *negated, |i| {
+                let (u, s) = view.at(i);
+                candidates.iter().any(|&(cu, cs)| {
+                    if s == cs {
+                        u == cu
+                    } else {
+                        let target = s.max(cs);
+                        upscale(u, s, target) == upscale(cu, cs, target)
+                    }
+                })
+            })
+        }
+        Node::InListStr {
+            col,
+            candidates,
+            saw_null,
+            negated,
+        } => {
+            let column = cols[*col].as_ref()?;
+            if !matches!(column.vector(), ColumnVector::Str { .. }) {
+                return None;
+            }
+            let valid = column.validity().clone();
+            in_list(n, valid, *saw_null, *negated, |i| {
+                let s = column.str_at(i).expect("validity-checked string element");
+                candidates.iter().any(|c| c == s)
+            })
+        }
+        Node::Like {
+            col,
+            pattern,
+            negated,
+        } => {
+            let column = cols[*col].as_ref()?;
+            if !matches!(column.vector(), ColumnVector::Str { .. }) {
+                return None;
+            }
+            let valid = column.validity().clone();
+            for_valid(n, Some(valid), |i| {
+                let s = column.str_at(i).expect("validity-checked string element");
+                like_match(pattern, s) != *negated
+            })
+        }
+    })
+}
+
+/// IN-list result shaping: NULL operand → NULL; match → `!negated`; no match
+/// with a NULL candidate → NULL; otherwise `negated` (i.e. `maybe_negate` of
+/// FALSE).
+fn in_list(
+    n: usize,
+    valid: Bitmap,
+    saw_null: bool,
+    negated: bool,
+    mut matches: impl FnMut(usize) -> bool,
+) -> Tri {
+    let mut t = Bitmap::new_clear(n);
+    let mut f = Bitmap::new_clear(n);
+    for i in valid.iter_set() {
+        if matches(i) {
+            if negated {
+                f.set(i, true);
+            } else {
+                t.set(i, true);
+            }
+        } else if !saw_null {
+            if negated {
+                t.set(i, true);
+            } else {
+                f.set(i, true);
+            }
+        }
+        // No match + NULL candidate → NULL: neither bitmap.
+    }
+    Tri { t, f }
+}

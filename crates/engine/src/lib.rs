@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod kernels;
 pub mod operators;
 pub mod optimizer;
 pub mod planner;

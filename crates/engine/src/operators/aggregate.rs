@@ -20,6 +20,8 @@ use sdb_storage::{ColumnDef, DataType, RecordBatch, Schema, Value};
 use super::expr::{infer_column_def, join_key_component, sensitivity_of};
 use super::parallel::{effective_workers, scoped_workers};
 use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
+use crate::eval::literal_to_value;
+use crate::kernels::{GlobalAggKernel, KeyColumns};
 use crate::{EngineError, Result};
 
 /// Per-group accumulation state: the rendered key, the group-key values, the
@@ -65,6 +67,11 @@ fn group_morsel(
     group_exprs: &[Expr],
     agg_args: &[Expr],
 ) -> Result<Vec<GroupState>> {
+    if ctx.vectorised() {
+        if let Some(groups) = group_morsel_vectorised(batch, group_exprs, agg_args) {
+            return Ok(groups);
+        }
+    }
     let evaluator = ctx.evaluator();
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut groups: Vec<GroupState> = Vec::new();
@@ -98,6 +105,69 @@ fn group_morsel(
     }
     ctx.record_udf_calls(&evaluator);
     Ok(groups)
+}
+
+/// One aggregate-argument source in the vectorised grouping path.
+enum ArgSource {
+    Col(usize),
+    Lit(Value),
+}
+
+/// Kernel fast path for [`group_morsel`]: when every grouping expression is a
+/// plain column over typed vectors and every aggregate argument is a plain
+/// column or literal, the group keys render in one vectorised pass
+/// ([`KeyColumns::group_keys`]) and the per-row loop reduces to group lookup
+/// plus argument clones — no interpreter dispatch. Group order (global
+/// first-occurrence), per-group argument row order and rendered keys are
+/// byte-identical to the scalar loop; plain columns and literals never touch
+/// UDFs, so the skipped `record_udf_calls` would have recorded zero. `None`
+/// (out-of-subset expression or untyped column) → scalar loop.
+fn group_morsel_vectorised(
+    batch: &RecordBatch,
+    group_exprs: &[Expr],
+    agg_args: &[Expr],
+) -> Option<Vec<GroupState>> {
+    let key_columns = KeyColumns::compile(group_exprs, batch.schema())?;
+    let keys = key_columns.group_keys(batch)?;
+    let mut args = Vec::with_capacity(agg_args.len());
+    for arg in agg_args {
+        args.push(match arg {
+            Expr::Column(name) => ArgSource::Col(batch.schema().index_of(name).ok()?),
+            Expr::Literal(lit) => ArgSource::Lit(literal_to_value(lit)),
+            _ => return None,
+        });
+    }
+
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<GroupState> = Vec::new();
+    for (row, key) in keys.into_iter().enumerate() {
+        let g = match index.get(&key) {
+            Some(&g) => g,
+            None => {
+                let key_values = key_columns
+                    .indices()
+                    .iter()
+                    .map(|&c| batch.column(c).get(row).clone())
+                    .collect();
+                index.insert(key.clone(), groups.len());
+                groups.push(GroupState {
+                    key,
+                    key_values,
+                    rows: 0,
+                    arg_values: vec![Vec::new(); agg_args.len()],
+                });
+                groups.len() - 1
+            }
+        };
+        groups[g].rows += 1;
+        for (j, arg) in args.iter().enumerate() {
+            groups[g].arg_values[j].push(match arg {
+                ArgSource::Col(c) => batch.column(*c).get(row).clone(),
+                ArgSource::Lit(v) => v.clone(),
+            });
+        }
+    }
+    Some(groups)
 }
 
 /// Merges per-morsel group states in morsel order. Because morsels are
@@ -244,6 +314,11 @@ impl PhysicalOperator for HashAggregate<'_> {
             .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
         let (group_exprs, agg_args) =
             bind_aggregate_exprs(&self.group_by, &self.aggregates, batch.schema());
+        if let Some(out) =
+            try_global_kernel(&self.ctx, &group_exprs, &self.aggregates, &agg_args, &batch)
+        {
+            return Ok(Some(out));
+        }
         let groups = group_morsel(&self.ctx, &batch, &group_exprs, &agg_args)?;
         finalize_groups(
             &self.group_by,
@@ -319,6 +394,11 @@ impl PhysicalOperator for ParallelHashAggregate<'_> {
             .unwrap_or_else(|| RecordBatch::empty(Schema::empty()));
         let (group_exprs, agg_args) =
             bind_aggregate_exprs(&self.group_by, &self.aggregates, batch.schema());
+        if let Some(out) =
+            try_global_kernel(&self.ctx, &group_exprs, &self.aggregates, &agg_args, &batch)
+        {
+            return Ok(Some(out));
+        }
 
         let workers = effective_workers(self.ctx.parallelism(), batch.num_rows());
         let groups = if workers <= 1 {
@@ -346,6 +426,27 @@ impl PhysicalOperator for ParallelHashAggregate<'_> {
     fn close(&mut self) -> Result<()> {
         self.input.close()
     }
+}
+
+/// Global-aggregate kernel fast path shared by [`HashAggregate`] and
+/// [`ParallelHashAggregate`]: with no GROUP BY and every aggregate in the
+/// [`GlobalAggKernel`] subset (plain typed column arguments, no DISTINCT on
+/// SUM/AVG/COUNT), the whole result computes as columnar folds — validity
+/// popcounts for COUNT, scaled `i128` accumulation for SUM/AVG, index-tracked
+/// MIN/MAX. The emitted batch is byte-identical to
+/// [`finalize_groups`]'s single-row output, including the empty-input row.
+/// `None` → scalar path (which also owns every error surface).
+fn try_global_kernel(
+    ctx: &ExecContext<'_>,
+    group_exprs: &[Expr],
+    aggregates: &[AggregateExpr],
+    agg_args: &[Expr],
+    batch: &RecordBatch,
+) -> Option<RecordBatch> {
+    if !ctx.vectorised() || !group_exprs.is_empty() {
+        return None;
+    }
+    GlobalAggKernel::compile(aggregates, agg_args, batch.schema())?.execute(aggregates, batch)
 }
 
 /// Computes one aggregate over the values of one group.

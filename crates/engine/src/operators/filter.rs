@@ -7,6 +7,7 @@ use sdb_storage::RecordBatch;
 
 use super::expr::bind_to_existing_columns;
 use super::{BoxedOperator, ExecContext, PhysicalOperator};
+use crate::kernels::CompiledPredicate;
 use crate::Result;
 
 /// Keeps the rows for which `predicate` evaluates to true (NULL drops the
@@ -53,6 +54,21 @@ impl PhysicalOperator for Filter<'_> {
             return Ok(None);
         };
         let bound = bind_to_existing_columns(&self.predicate, batch.schema());
+        // Vectorised path: predicates in the kernel subset (typed column /
+        // literal comparisons, Kleene AND/OR/NOT, LIKE, IN, IS NULL) evaluate
+        // to a selection bitmap without per-row interpretation. The kernel
+        // only compiles infallible, UDF-free predicates, so skipping the
+        // scalar loop changes no observable (including UDF call counts).
+        if self.ctx.vectorised() {
+            if let Some(compiled) = CompiledPredicate::compile(&bound, batch.schema()) {
+                if let Some(selection) = compiled.selection(&batch) {
+                    return batch
+                        .filter_bitmap(&selection)
+                        .map(Some)
+                        .map_err(Into::into);
+                }
+            }
+        }
         let evaluator = self.ctx.evaluator();
         let mut mask = Vec::with_capacity(batch.num_rows());
         for row in 0..batch.num_rows() {

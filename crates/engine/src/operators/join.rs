@@ -12,6 +12,7 @@ use super::expr::join_key_component;
 use super::oracle::resolve_for_exprs;
 use super::parallel::{effective_workers, scoped_workers};
 use super::{materialize_input, BoxedOperator, ExecContext, PhysicalOperator};
+use crate::kernels::KeyColumns;
 use crate::Result;
 
 /// Hash equi-join: builds a hash table over the materialised right side during
@@ -97,6 +98,22 @@ pub(super) fn key_of(
     Ok(Some(parts.join("\u{1f}")))
 }
 
+/// Kernel fast path for key rendering: when vectorised execution is on and
+/// every key expression is a plain column reference over typed columns, the
+/// whole batch's keys render through [`KeyColumns`] with no per-row
+/// interpretation. Plain column keys never touch UDFs or the oracle, so the
+/// fast path changes no observable. `None` → scalar path.
+fn kernel_join_keys(
+    ctx: &ExecContext<'_>,
+    keys: &[Expr],
+    working: &RecordBatch,
+) -> Option<Vec<Option<String>>> {
+    if !ctx.vectorised() {
+        return None;
+    }
+    KeyColumns::compile(keys, working.schema())?.join_keys(working)
+}
+
 /// Evaluates the rendered join key for every row of a batch. With more than
 /// one worker each contiguous morsel evaluates on its own scoped thread and
 /// the per-morsel results are concatenated in morsel order, so the output
@@ -106,6 +123,9 @@ pub(super) fn keys_of_batch(
     keys: &[Expr],
     working: &RecordBatch,
 ) -> Result<Vec<Option<String>>> {
+    if let Some(rendered) = kernel_join_keys(ctx, keys, working) {
+        return Ok(rendered);
+    }
     let workers = effective_workers(ctx.parallelism(), working.num_rows());
     let ranges = partition_ranges(working.num_rows(), workers.max(1));
     let parts: Vec<Vec<Option<String>>> = scoped_workers(workers.max(1), |i| {
@@ -129,6 +149,18 @@ pub(super) fn build_index(
     keys: &[Expr],
     working: &RecordBatch,
 ) -> Result<HashMap<String, Vec<usize>>> {
+    // Kernel path: rendered keys come from one vectorised pass; the serial
+    // index insertion visits rows in ascending order, exactly the order the
+    // morsel-merge below reconstructs.
+    if let Some(rendered) = kernel_join_keys(ctx, keys, working) {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (row, key) in rendered.into_iter().enumerate() {
+            if let Some(key) = key {
+                index.entry(key).or_default().push(row);
+            }
+        }
+        return Ok(index);
+    }
     let workers = effective_workers(ctx.parallelism(), working.num_rows());
     let ranges = partition_ranges(working.num_rows(), workers.max(1));
     let partials: Vec<HashMap<String, Vec<usize>>> = scoped_workers(workers, |i| {
@@ -172,11 +204,16 @@ pub(super) fn probe_batch(
 
     let mut keys = left_keys.to_vec();
     let working = resolve_for_exprs(ctx, batch.clone(), &mut keys)?;
+    let rendered = kernel_join_keys(ctx, &keys, &working);
 
     let mut rows = Vec::new();
     for lrow in 0..working.num_rows() {
         let mut matched = false;
-        if let Some(key) = key_of(ctx, &keys, &working, lrow)? {
+        let key = match &rendered {
+            Some(rendered) => rendered[lrow].clone(),
+            None => key_of(ctx, &keys, &working, lrow)?,
+        };
+        if let Some(key) = key {
             if let Some(matches) = build.index.get(&key) {
                 for &rrow in matches {
                     let mut row = batch.row(lrow);

@@ -192,6 +192,10 @@ pub struct ExecContext<'a> {
     /// Test/CI mode (`SDB_TEST_ANALYZE`): analyze missing table statistics
     /// on demand at plan time, so whole suites exercise reordered plans.
     auto_analyze: bool,
+    /// Whether operators may route eligible work through the vectorised
+    /// columnar kernels (default on; `SDB_TEST_SCALAR_EVAL=1` forces the
+    /// scalar row-at-a-time paths for byte-identity cross-checks).
+    vectorised: bool,
     /// How much the blocking operators may materialise before spilling.
     budget: MemoryBudget,
     /// The query's buffer pool; spilling operators park runs and partitions
@@ -240,6 +244,12 @@ impl<'a> ExecContext<'a> {
             auto_analyze: std::env::var("SDB_TEST_ANALYZE")
                 .map(|v| v == "1")
                 .unwrap_or(false),
+            // `SDB_TEST_SCALAR_EVAL=1` re-runs whole suites through the
+            // scalar row-at-a-time paths; an explicit `with_vectorised`
+            // still overrides it.
+            vectorised: std::env::var("SDB_TEST_SCALAR_EVAL")
+                .map(|v| v != "1")
+                .unwrap_or(true),
             pager: Arc::new(Pager::new(&budget)),
             budget,
         }
@@ -312,6 +322,15 @@ impl<'a> ExecContext<'a> {
     /// keeps the purely syntactic plans).
     pub fn with_optimizer(self, optimizer: bool) -> Self {
         ExecContext { optimizer, ..self }
+    }
+
+    /// Enables or disables the vectorised columnar kernels (default on;
+    /// `false` forces the scalar row-at-a-time paths everywhere). Kernel
+    /// output is byte-identical to the scalar paths — this knob exists for
+    /// the equivalence cross-checks and for benchmarking the scalar
+    /// baseline.
+    pub fn with_vectorised(self, vectorised: bool) -> Self {
+        ExecContext { vectorised, ..self }
     }
 
     /// Enables or disables cross-batch oracle batching (default on). With
@@ -403,6 +422,12 @@ impl<'a> ExecContext<'a> {
     /// Whether the cost-based optimizer runs before physical planning.
     pub fn optimizer_enabled(&self) -> bool {
         self.optimizer
+    }
+
+    /// Whether operators may route eligible work through the vectorised
+    /// columnar kernels.
+    pub fn vectorised(&self) -> bool {
+        self.vectorised
     }
 
     /// A configured [`crate::optimizer::Optimizer`] for this context's
@@ -510,6 +535,7 @@ impl ExecContext<'_> {
             .with_memory_budget(self.budget.clone())
             .with_optimizer(self.optimizer)
             .with_oracle_batching(self.oracle_batching)
+            .with_vectorised(self.vectorised)
             .with_parallelism(1);
         sub.oracle = Self::wrapped_oracle(&sub.oracle_raw, self.oracle_latency);
         sub.oracle_latency = self.oracle_latency;

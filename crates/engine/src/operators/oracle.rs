@@ -277,17 +277,25 @@ fn resolve_call(
 
     // Blind comparison shares with a fresh positive factor per shipped row so
     // the DO proxy (and anything watching the channel) learns only signs.
+    // Factors are drawn first, in row order (same RNG stream as the old
+    // per-row loop), then the whole share column is blinded in one pass.
     let shipped: Vec<OracleRow> = match &call.modulus {
-        Some(n) => miss_rows
-            .iter()
-            .map(|row| {
-                let factor: u64 = ctx.rng_mut().gen_range(1..(1u64 << 30));
-                OracleRow {
+        Some(n) => {
+            let factors: Vec<u64> = miss_rows
+                .iter()
+                .map(|_| ctx.rng_mut().gen_range(1..(1u64 << 30)))
+                .collect();
+            let shares: Vec<BigUint> = miss_rows.iter().map(|row| row.share.clone()).collect();
+            let blinded = sdb_crypto::batch::blind_shares(n, &shares, &factors);
+            miss_rows
+                .iter()
+                .zip(blinded)
+                .map(|(row, share)| OracleRow {
                     row_id: row.row_id.clone(),
-                    share: row.share.clone() * BigUint::from(factor) % n,
-                }
-            })
-            .collect(),
+                    share,
+                })
+                .collect()
+        }
         None => miss_rows.clone(),
     };
     let request = OracleRequest {

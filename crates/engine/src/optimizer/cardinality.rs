@@ -7,16 +7,12 @@
 //! aggregates cap the product of their group-key distinct counts at the
 //! input size.
 //!
-//! Two deliberate simplifications keep the estimates stable across the
-//! plaintext and rewritten (encrypted) forms of the same query:
-//!
-//! * range predicates use a fixed default selectivity instead of min/max
-//!   interpolation, so `salary > 2000` and its `SDB_CMP_GT(…)` rewriting
-//!   price identically;
-//! * selections that physically run *above* a join region (single-table
-//!   WHERE conjuncts) are not pushed into the leaf estimates — the engine
-//!   executes them above the join, so intermediate sizes really are
-//!   unreduced.
+//! Range predicates over analyzed plaintext columns interpolate against the
+//! column's min/max: `id < lit` estimates `(lit − min) / (max − min)`,
+//! clamped to `[0, 1]`. Columns without usable bounds — including every
+//! encrypted column, whose `ANALYZE` pass records no plaintext min/max —
+//! fall back to [`DEFAULT_RANGE_SELECTIVITY`], as do the oracle-rewritten
+//! `SDB_CMP_*` forms (the estimator never sees through the encryption).
 //!
 //! [`Estimator::rows`] returns `None` whenever a base table has no
 //! statistics: the optimizer then leaves the syntactic plan untouched rather
@@ -24,9 +20,9 @@
 
 use std::sync::Arc;
 
-use sdb_sql::ast::{BinaryOp, Expr};
+use sdb_sql::ast::{BinaryOp, Expr, Literal};
 use sdb_sql::plan::LogicalPlan;
-use sdb_storage::{Catalog, TableStats};
+use sdb_storage::{Catalog, TableStats, Value};
 
 use crate::secure::oracle_fns;
 
@@ -53,6 +49,11 @@ pub struct ScopeColumn {
     pub distinct: f64,
     /// Fraction of NULL values.
     pub null_fraction: f64,
+    /// Minimum non-NULL value as a scale-4 numeric, when the column is a
+    /// plain numeric type with collected bounds.
+    pub min: Option<f64>,
+    /// Maximum non-NULL value, same encoding as `min`.
+    pub max: Option<f64>,
 }
 
 /// The columns (with statistics) visible at some point of a plan, used to
@@ -118,6 +119,8 @@ impl<'a> Estimator<'a> {
                             name: format!("{visible}.{}", column.name).to_ascii_lowercase(),
                             distinct: column.distinct.max(1.0),
                             null_fraction: column.null_fraction(stats.row_count),
+                            min: numeric_bound(column.min.as_ref()),
+                            max: numeric_bound(column.max.as_ref()),
                         });
                     }
                 }
@@ -240,6 +243,56 @@ impl<'a> Estimator<'a> {
         }
     }
 
+    /// Min/max interpolation for a column-vs-literal range comparison.
+    /// `None` (→ the fixed default) unless one side is a column with
+    /// collected numeric bounds and the other a numeric literal. The
+    /// estimate for `col < lit` is the linear fraction
+    /// `(lit − min) / (max − min)`, clamped to `[0, 1]`; `>` takes the
+    /// complement, and `<=`/`>=` price like their strict forms (the boundary
+    /// mass is below this model's resolution).
+    fn range_selectivity(
+        &self,
+        left: &Expr,
+        op: BinaryOp,
+        right: &Expr,
+        scope: &Scope,
+    ) -> Option<f64> {
+        // Orient as column-op-literal, flipping the operator when the
+        // literal is on the left (`10 < id` ≡ `id > 10`).
+        let (name, op, lit) = match (left, right) {
+            (Expr::Column(name), Expr::Literal(lit)) => (name, op, lit),
+            (Expr::Literal(lit), Expr::Column(name)) => {
+                let flipped = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::LtEq => BinaryOp::GtEq,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::GtEq => BinaryOp::LtEq,
+                    _ => return None,
+                };
+                (name, flipped, lit)
+            }
+            _ => return None,
+        };
+        let lit = literal_numeric(lit)?;
+        let column = scope.resolve(name)?;
+        let (min, max) = (column.min?, column.max?);
+        let below = if max > min {
+            ((lit - min) / (max - min)).clamp(0.0, 1.0)
+        } else {
+            // Single-point column: everything is on one side of the literal.
+            if lit < min {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        Some(match op {
+            BinaryOp::Lt | BinaryOp::LtEq => below,
+            BinaryOp::Gt | BinaryOp::GtEq => 1.0 - below,
+            _ => unreachable!("range operators only"),
+        })
+    }
+
     fn raw_selectivity(&self, predicate: &Expr, scope: &Scope) -> f64 {
         match predicate {
             Expr::Binary { left, op, right } => match op {
@@ -251,9 +304,9 @@ impl<'a> Estimator<'a> {
                 }
                 BinaryOp::Eq => self.eq_selectivity(left, right, scope),
                 BinaryOp::NotEq => 1.0 - self.eq_selectivity(left, right, scope),
-                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => {
-                    DEFAULT_RANGE_SELECTIVITY
-                }
+                BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => self
+                    .range_selectivity(left, *op, right, scope)
+                    .unwrap_or(DEFAULT_RANGE_SELECTIVITY),
                 _ => DEFAULT_SELECTIVITY,
             },
             Expr::Unary {
@@ -334,6 +387,25 @@ impl<'a> Estimator<'a> {
             // A bare boolean column (or anything else) as a predicate.
             _ => DEFAULT_SELECTIVITY,
         }
+    }
+}
+
+/// Projects an `ANALYZE`-collected bound onto the scale-4 numeric line used
+/// for interpolation; `None` for non-numeric (or missing) bounds.
+fn numeric_bound(bound: Option<&Value>) -> Option<f64> {
+    bound
+        .and_then(|v| v.as_scaled_i128(4).ok())
+        .map(|units| units as f64 / 1e4)
+}
+
+/// A literal's position on the same scale-4 numeric line.
+fn literal_numeric(lit: &Literal) -> Option<f64> {
+    match lit {
+        Literal::Int(v) => Some(*v as f64),
+        Literal::Decimal { units, scale } => Some(*units as f64 / 10f64.powi(i32::from(*scale))),
+        Literal::Date(d) => Some(f64::from(*d)),
+        Literal::Bool(b) => Some(f64::from(u8::from(*b))),
+        Literal::Null | Literal::Str(_) => None,
     }
 }
 
@@ -442,6 +514,57 @@ mod tests {
             "ambiguous bare name does not"
         );
         assert!(scope.resolve("a.nope").is_none());
+    }
+
+    #[test]
+    fn range_filters_interpolate_against_min_max() {
+        let catalog = catalog();
+        let est = Estimator::new(&catalog);
+        // t.id spans 0..=999 over 1000 rows: min = 0, max = 999.
+        // id < 250 → (250 − 0) / (999 − 0) of 1000 rows = 250.25025…
+        let rows = est
+            .rows(&plan_of("SELECT id FROM t WHERE id < 250"))
+            .unwrap();
+        assert!((rows - 1000.0 * 250.0 / 999.0).abs() < 1e-6, "{rows}");
+        // id > 899 → 1 − 899/999 of 1000 rows = 100.1001…
+        let rows = est
+            .rows(&plan_of("SELECT id FROM t WHERE id > 899"))
+            .unwrap();
+        assert!((rows - 1000.0 * 100.0 / 999.0).abs() < 1e-6, "{rows}");
+        // A flipped literal prices like its oriented form: 250 > id ≡ id < 250.
+        let rows = est
+            .rows(&plan_of("SELECT id FROM t WHERE 250 > id"))
+            .unwrap();
+        assert!((rows - 1000.0 * 250.0 / 999.0).abs() < 1e-6, "{rows}");
+    }
+
+    #[test]
+    fn out_of_range_literals_clamp() {
+        let catalog = catalog();
+        let est = Estimator::new(&catalog);
+        // Literal below min: fraction clamps to 0, then the global
+        // MIN_SELECTIVITY floor (1e-4) applies → 0.1 rows.
+        let rows = est
+            .rows(&plan_of("SELECT id FROM t WHERE id < -5"))
+            .unwrap();
+        assert!((rows - 1000.0 * 1e-4).abs() < 1e-9, "{rows}");
+        // Literal above max: everything qualifies.
+        let rows = est
+            .rows(&plan_of("SELECT id FROM t WHERE id < 5000"))
+            .unwrap();
+        assert!((rows - 1000.0).abs() < 1e-9, "{rows}");
+    }
+
+    #[test]
+    fn range_without_usable_bounds_uses_the_default() {
+        let catalog = catalog();
+        let est = Estimator::new(&catalog);
+        // s.name is VARCHAR: ANALYZE records no numeric bounds, so a range
+        // over it prices at the fixed default (10 × 1/3).
+        let rows = est
+            .rows(&plan_of("SELECT id FROM s WHERE name > 'n5'"))
+            .unwrap();
+        assert!((rows - 10.0 / 3.0).abs() < 1e-9, "{rows}");
     }
 
     #[test]

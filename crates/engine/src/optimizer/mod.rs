@@ -18,10 +18,12 @@
 //! Join regions are only reordered when **every** relation involved has
 //! statistics (no guessing) and the region's column order is *insulated* —
 //! some wildcard-free projection or an aggregate sits above it, so reordered
-//! join output columns can never leak into the result schema. Single-table
-//! WHERE conjuncts stay in their filter above the region (the engine does
-//! not push selections down), so what the cost model prices is what actually
-//! runs.
+//! join output columns can never leak into the result schema. Inside a
+//! reordered region, single-table WHERE conjuncts push down below the joins
+//! as selections on their leaf (legal in an all-inner region), so every join
+//! builds and probes the post-selection cardinality the cost model priced;
+//! column-free conjuncts stay in a filter above the region. Outside a
+//! reordered region the syntactic plan runs untouched.
 //!
 //! **Row order.** Reordering preserves the result *set* byte for byte, but
 //! the row order of a query without a total `ORDER BY` is unspecified (as in
@@ -230,14 +232,16 @@ impl<'a> Optimizer<'a> {
         }
 
         // Split the pool: conjuncts spanning ≥2 leaves drive the join
-        // graph; single-leaf and column-free conjuncts stay in a filter
-        // above the region — where the engine runs single-table WHERE
-        // conjuncts today. A conjunct whose references do not resolve
-        // against the *whole region* aborts the reorder: a bare name can be
-        // unique inside its original ON scope yet ambiguous region-wide, and
+        // graph; single-leaf conjuncts push down below the joins as a
+        // selection on their leaf (shrinking the estimated rows every join
+        // above prices); column-free conjuncts stay in a filter above the
+        // region. A conjunct whose references do not resolve against the
+        // *whole region* aborts the reorder: a bare name can be unique
+        // inside its original ON scope yet ambiguous region-wide, and
         // hoisting it would turn a valid query into a runtime error.
         let mut conjuncts: Vec<Conjunct> = Vec::new();
         let mut leftovers: Vec<Expr> = Vec::new();
+        let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); leaves.len()];
         for expr in pool {
             match expr_leaf_mask(&leaves, &expr) {
                 None => return None,
@@ -253,8 +257,37 @@ impl<'a> Optimizer<'a> {
                         eq_sides: eq,
                     });
                 }
+                Some(mask) if mask.count_ones() == 1 => {
+                    let leaf = mask.trailing_zeros() as usize;
+                    pushed[leaf].push(expr);
+                }
                 _ => leftovers.push(expr),
             }
+        }
+
+        // Selection pushdown: each single-leaf conjunct filters its leaf
+        // before any join consumes it (an inner-join region makes this a
+        // pure result-set-preserving move), and the leaf's estimated rows
+        // shrink by the conjunct's selectivity so the join order prices the
+        // post-selection cardinality.
+        for (leaf, exprs) in leaves.iter_mut().zip(pushed) {
+            if exprs.is_empty() {
+                continue;
+            }
+            for expr in &exprs {
+                leaf.rows *= estimator.selectivity(expr, &scope);
+            }
+            let predicate = conjoin(exprs).expect("non-empty conjunct list");
+            leaf.plan = LogicalPlan::Filter {
+                input: Box::new(std::mem::replace(
+                    &mut leaf.plan,
+                    LogicalPlan::Scan {
+                        table: String::new(),
+                        alias: None,
+                    },
+                )),
+                predicate,
+            };
         }
 
         let tree = order(&leaves, &conjuncts, &self.model);
@@ -658,12 +691,26 @@ mod tests {
         );
         let optimized = optimizer.optimize(&plan);
         assert_ne!(optimized.describe(), plan.describe());
-        // The single-table conjunct stays in a filter above the region.
-        assert!(
-            optimized.describe().contains("Filter"),
-            "{}",
-            optimized.describe()
-        );
+        // The single-table conjunct `b.v > 3` pushes down below the joins,
+        // landing as a filter directly over the `big` scan.
+        fn filter_over_scan(plan: &LogicalPlan) -> bool {
+            match plan {
+                LogicalPlan::Filter { input, .. } if matches!(input.as_ref(), LogicalPlan::Scan { table, .. } if table == "big") => {
+                    true
+                }
+                LogicalPlan::Join { left, right, .. } => {
+                    filter_over_scan(left) || filter_over_scan(right)
+                }
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::Aggregate { input, .. } => filter_over_scan(input),
+                LogicalPlan::Scan { .. } => false,
+            }
+        }
+        assert!(filter_over_scan(&optimized), "{}", optimized.describe());
     }
 
     #[test]

@@ -101,31 +101,66 @@ fn cross_check(catalog: &Catalog, sql: &str) {
     }
 }
 
+/// The knob-matrix battery: scans, joins, aggregates, ordering, subqueries.
+const KNOB_QUERIES: &[&str] = &[
+    // Plain scan and scan + filter + projection.
+    "SELECT * FROM big",
+    "SELECT name, val * 2 AS double_val FROM big WHERE val > 5000",
+    // Hash join, both as the small and the large build side.
+    "SELECT b.id, d.label FROM big b JOIN dim d ON b.grp = d.k",
+    "SELECT d.label, b.val FROM dim d JOIN big b ON d.k = b.grp",
+    "SELECT b.id, d.label FROM big b LEFT JOIN dim d ON b.grp = d.k",
+    // Aggregation: grouped, distinct, global, and over a join.
+    "SELECT grp, COUNT(*) AS n, SUM(val) AS s, AVG(val) AS m, MIN(val) AS lo, MAX(val) AS hi \
+         FROM big GROUP BY grp ORDER BY grp",
+    "SELECT grp, COUNT(DISTINCT name) AS dn FROM big GROUP BY grp ORDER BY grp",
+    "SELECT COUNT(*) AS n, SUM(val) AS s FROM big WHERE id > 990",
+    "SELECT d.label, SUM(b.val) AS s FROM big b JOIN dim d ON b.grp = d.k \
+         GROUP BY d.label ORDER BY d.label",
+    // Order-shaping and subqueries.
+    "SELECT DISTINCT grp FROM big ORDER BY grp LIMIT 3",
+    "SELECT val FROM big ORDER BY val DESC LIMIT 10",
+    "SELECT id FROM big WHERE val > (SELECT AVG(val) FROM big) ORDER BY id LIMIT 20",
+    "SELECT id FROM big WHERE grp IN (SELECT k FROM dim WHERE label = 'g3') ORDER BY id LIMIT 20",
+];
+
 #[test]
 fn parallel_matches_serial_across_knob_matrix() {
     let catalog = generated_catalog(1_000);
-    for sql in [
-        // Plain scan and scan + filter + projection.
-        "SELECT * FROM big",
-        "SELECT name, val * 2 AS double_val FROM big WHERE val > 5000",
-        // Hash join, both as the small and the large build side.
-        "SELECT b.id, d.label FROM big b JOIN dim d ON b.grp = d.k",
-        "SELECT d.label, b.val FROM dim d JOIN big b ON d.k = b.grp",
-        "SELECT b.id, d.label FROM big b LEFT JOIN dim d ON b.grp = d.k",
-        // Aggregation: grouped, distinct, global, and over a join.
-        "SELECT grp, COUNT(*) AS n, SUM(val) AS s, AVG(val) AS m, MIN(val) AS lo, MAX(val) AS hi \
-         FROM big GROUP BY grp ORDER BY grp",
-        "SELECT grp, COUNT(DISTINCT name) AS dn FROM big GROUP BY grp ORDER BY grp",
-        "SELECT COUNT(*) AS n, SUM(val) AS s FROM big WHERE id > 990",
-        "SELECT d.label, SUM(b.val) AS s FROM big b JOIN dim d ON b.grp = d.k \
-         GROUP BY d.label ORDER BY d.label",
-        // Order-shaping and subqueries.
-        "SELECT DISTINCT grp FROM big ORDER BY grp LIMIT 3",
-        "SELECT val FROM big ORDER BY val DESC LIMIT 10",
-        "SELECT id FROM big WHERE val > (SELECT AVG(val) FROM big) ORDER BY id LIMIT 20",
-        "SELECT id FROM big WHERE grp IN (SELECT k FROM dim WHERE label = 'g3') ORDER BY id LIMIT 20",
-    ] {
+    for sql in KNOB_QUERIES {
         cross_check(&catalog, sql);
+    }
+}
+
+/// Kernels-on vs kernels-off byte-identity across the budget × parallelism
+/// matrix: the vectorised fast paths must compose with morsel parallelism
+/// *and* memory-budgeted (spilling) operators without changing a byte.
+#[test]
+fn kernels_match_scalar_across_budget_matrix() {
+    let catalog = generated_catalog(1_000);
+    let registry = UdfRegistry::with_sdb_udfs();
+    let run_v = |query: &Query, vectorised: bool, budget: Option<usize>, parallelism: usize| {
+        let mut ctx = ExecContext::new(&catalog, &registry, None)
+            .with_vectorised(vectorised)
+            .with_parallelism(parallelism);
+        if let Some(bytes) = budget {
+            ctx = ctx.with_memory_budget(sdb_storage::MemoryBudget::bytes(bytes));
+        }
+        let plan = PlanBuilder::build(query).unwrap();
+        execute_plan(&Arc::new(ctx), &plan).unwrap()
+    };
+    for sql in KNOB_QUERIES {
+        let query = parse_query(sql);
+        for budget in [Some(4 * 1024), Some(64 * 1024), None] {
+            for parallelism in [1, 4] {
+                let scalar = run_v(&query, false, budget, parallelism);
+                let vectorised = run_v(&query, true, budget, parallelism);
+                assert_eq!(
+                    scalar, vectorised,
+                    "kernels diverged (budget={budget:?} parallelism={parallelism}) for: {sql}"
+                );
+            }
+        }
     }
 }
 

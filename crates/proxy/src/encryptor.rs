@@ -20,8 +20,11 @@ use std::time::{Duration, Instant};
 use num_bigint::BigUint;
 use rand::rngs::StdRng;
 
+use sdb_crypto::batch::{encrypt_values, gen_item_keys};
+#[cfg(test)]
 use sdb_crypto::share::{encrypt_value, gen_item_key};
-use sdb_crypto::{RowId, SignedCodec};
+use sdb_crypto::sies::SiesCiphertext;
+use sdb_crypto::{EncryptedRowId, RowId, SignedCodec};
 use sdb_storage::{ColumnDef, DataType, Schema, Sensitivity, Table, Value};
 
 use crate::keystore::KeyStore;
@@ -123,9 +126,7 @@ impl Encryptor {
 
         let encrypted_rows: Vec<Vec<Value>> = if threads <= 1 || rows.len() < 64 {
             let mut worker_rng = keystore.derived_rng(fxhash(table.name()) ^ 1);
-            rows.iter()
-                .map(|row| encrypt_row(keystore, &meta, options, row, &mut worker_rng))
-                .collect::<Result<Vec<_>>>()?
+            encrypt_rows_batched(keystore, &meta, options, &rows, &mut worker_rng)?
         } else {
             let chunk_size = rows.len().div_ceil(threads);
             let chunks: Vec<&[Vec<Value>]> = rows.chunks(chunk_size).collect();
@@ -138,12 +139,13 @@ impl Encryptor {
                     handles.push(scope.spawn(move || {
                         let mut worker_rng = keystore_ref
                             .derived_rng(fxhash(meta_ref.name.as_str()) ^ (i as u64 + 2));
-                        chunk
-                            .iter()
-                            .map(|row| {
-                                encrypt_row(keystore_ref, meta_ref, options, row, &mut worker_rng)
-                            })
-                            .collect::<Result<Vec<_>>>()
+                        encrypt_rows_batched(
+                            keystore_ref,
+                            meta_ref,
+                            options,
+                            chunk,
+                            &mut worker_rng,
+                        )
                     }));
                 }
                 for handle in handles {
@@ -186,10 +188,168 @@ impl Encryptor {
         rows: &[Vec<Value>],
         rng: &mut StdRng,
     ) -> Result<Vec<Vec<Value>>> {
-        rows.iter()
-            .map(|row| encrypt_row(keystore, meta, options, row, rng))
-            .collect()
+        encrypt_rows_batched(keystore, meta, options, rows, rng)
     }
+}
+
+/// All random material one row consumes, drawn in phase 1 in exactly the
+/// per-row order of [`encrypt_row`] so batching never shifts the RNG stream.
+struct RowDraws {
+    row_id: RowId,
+    enc_row_id: EncryptedRowId,
+    /// SIES payloads for the row's non-NULL sensitive VARCHAR columns, in
+    /// column order.
+    payloads: Vec<SiesCiphertext>,
+}
+
+/// Column-at-a-time row encryption: byte-identical to mapping [`encrypt_row`]
+/// over `rows` with the same RNG, but the modular inversions behind
+/// `encrypt_value` collapse into one Montgomery simultaneous inversion per
+/// column (see [`sdb_crypto::batch`]).
+///
+/// Phase 1 performs every RNG draw row-by-row in the scalar order (row id,
+/// encrypted row id, then SIES payloads per string column). Phase 2 is
+/// RNG-free and batches the share arithmetic per column.
+fn encrypt_rows_batched(
+    keystore: &KeyStore,
+    meta: &TableMeta,
+    options: UploadOptions,
+    rows: &[Vec<Value>],
+    rng: &mut StdRng,
+) -> Result<Vec<Vec<Value>>> {
+    let system = keystore.system();
+    let codec = SignedCodec::new(system);
+    let table_keys = keystore.table_keys(&meta.name)?;
+    let row_id_gen = keystore.row_id_generator();
+    let payload_cipher = keystore.payload_cipher();
+    let tagger = keystore.tagger();
+
+    // Phase 1: RNG draws, in the exact order the scalar path makes them.
+    let mut draws: Vec<RowDraws> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let row_id = row_id_gen.generate(rng, system);
+        let enc_row_id = row_id_gen.encrypt(rng, &row_id);
+        let mut payloads = Vec::new();
+        for (column, value) in meta.columns.iter().zip(row.iter()) {
+            if column.is_string_sensitive() {
+                if let Value::Str(s) = value {
+                    payloads.push(payload_cipher.encrypt_bytes(rng, s.as_bytes()));
+                }
+            }
+        }
+        draws.push(RowDraws {
+            row_id,
+            enc_row_id,
+            payloads,
+        });
+    }
+
+    // Phase 2a: the auxiliary all-ones column for every row at once.
+    let row_ids: Vec<BigUint> = draws.iter().map(|d| d.row_id.value().clone()).collect();
+    let aux_item_keys = gen_item_keys(system, &table_keys.aux, &row_ids);
+    let ones = vec![BigUint::from(1u32); rows.len()];
+    let aux_values = encrypt_values(system, &ones, &aux_item_keys);
+
+    // Phase 2b: each sensitive numeric column as one batch over its non-NULL
+    // rows. `encrypted[col][row]` is None for NULLs.
+    let mut encrypted_columns: Vec<Option<Vec<Option<BigUint>>>> = vec![None; meta.columns.len()];
+    for (ci, column) in meta.columns.iter().enumerate() {
+        if !column.is_numeric_sensitive() {
+            continue;
+        }
+        let key =
+            table_keys
+                .columns
+                .get(&column.name)
+                .ok_or_else(|| ProxyError::UnknownColumn {
+                    name: column.name.clone(),
+                })?;
+        let plain = PlainType::from_data_type(column.data_type)?;
+        let mut present_rows: Vec<usize> = Vec::new();
+        let mut residues: Vec<BigUint> = Vec::new();
+        let mut item_key_ids: Vec<BigUint> = Vec::new();
+        for (ri, row) in rows.iter().enumerate() {
+            match &row[ci] {
+                Value::Null => {}
+                other => {
+                    let units = other
+                        .as_scaled_i128(plain.scale())
+                        .map_err(ProxyError::Storage)?;
+                    residues.push(codec.encode(units)?);
+                    item_key_ids.push(row_ids[ri].clone());
+                    present_rows.push(ri);
+                }
+            }
+        }
+        let item_keys = gen_item_keys(system, key, &item_key_ids);
+        let values = encrypt_values(system, &residues, &item_keys);
+        let mut per_row: Vec<Option<BigUint>> = vec![None; rows.len()];
+        for (slot, value) in present_rows.into_iter().zip(values) {
+            per_row[slot] = Some(value);
+        }
+        encrypted_columns[ci] = Some(per_row);
+    }
+
+    // Assembly: same output shape and order as the scalar path.
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for (ri, row) in rows.iter().enumerate() {
+        let draw = &draws[ri];
+        let mut payloads = draw.payloads.iter();
+        let mut out = vec![
+            Value::EncryptedRowId(draw.enc_row_id.clone()),
+            Value::Encrypted(aux_values[ri].clone()),
+        ];
+        for (ci, (column, value)) in meta.columns.iter().zip(row.iter()).enumerate() {
+            if column.is_numeric_sensitive() {
+                let per_row = encrypted_columns[ci]
+                    .as_ref()
+                    .expect("numeric column was batch-encrypted");
+                out.push(match &per_row[ri] {
+                    Some(e) => Value::Encrypted(e.clone()),
+                    None => Value::Null,
+                });
+                if options.deterministic_tags {
+                    let tag = match value {
+                        Value::Null => Value::Null,
+                        other => {
+                            let units = other
+                                .as_scaled_i128(
+                                    PlainType::from_data_type(column.data_type)?.scale(),
+                                )
+                                .map_err(ProxyError::Storage)?;
+                            Value::Tag(tagger.tag_i128(&domain_of(column), units))
+                        }
+                    };
+                    out.push(tag);
+                }
+            } else if column.is_string_sensitive() {
+                match value {
+                    Value::Null => {
+                        out.push(Value::Null);
+                        out.push(Value::Null);
+                    }
+                    Value::Str(s) => {
+                        out.push(Value::Tag(tagger.tag_str(&domain_of(column), s)));
+                        out.push(Value::EncryptedRowId(EncryptedRowId(
+                            payloads.next().expect("payload drawn in phase 1").clone(),
+                        )));
+                    }
+                    other => {
+                        return Err(ProxyError::Storage(
+                            sdb_storage::StorageError::TypeMismatch {
+                                expected: "VARCHAR".into(),
+                                found: format!("{other:?}"),
+                            },
+                        ))
+                    }
+                }
+            } else {
+                out.push(value.clone());
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(out_rows)
 }
 
 /// Builds the physical (SP-side) schema for a logical table.
@@ -242,6 +402,10 @@ pub fn physical_schema(meta: &TableMeta, options: UploadOptions) -> Schema {
     Schema::new(defs)
 }
 
+/// The scalar row-at-a-time reference path. Production traffic goes through
+/// [`encrypt_rows_batched`]; this stays as the executable specification the
+/// batched path is tested byte-identical against.
+#[cfg(test)]
 fn encrypt_row(
     keystore: &KeyStore,
     meta: &TableMeta,
@@ -599,6 +763,46 @@ mod tests {
                 .as_i64()
                 .unwrap();
             assert_eq!(units, i128::from(id) * 7);
+        }
+    }
+
+    #[test]
+    fn batched_encryption_is_byte_identical_to_scalar_rows() {
+        // Same keystore state, same seed: the batched path must consume the
+        // RNG stream exactly as the scalar path does and produce identical
+        // ciphertexts for every column kind (numeric, tag, SIES, public).
+        for options in [
+            UploadOptions::default(),
+            UploadOptions {
+                deterministic_tags: true,
+                threads: 1,
+            },
+        ] {
+            let table = sample_table();
+            let meta = TableMeta::from_schema(table.name(), table.schema());
+            let mut ks = KeyStore::generate(KeyConfig::TEST, 23).unwrap();
+            let numeric: Vec<String> = meta
+                .columns
+                .iter()
+                .filter(|c| c.is_numeric_sensitive())
+                .map(|c| c.name.clone())
+                .collect();
+            let mut reg_rng = ks.derived_rng(1);
+            ks.register_table(&mut reg_rng, table.name(), &numeric)
+                .unwrap();
+            let rows: Vec<Vec<Value>> = table.scan().rows().collect();
+
+            let mut scalar_rng = ks.derived_rng(99);
+            let scalar: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|row| encrypt_row(&ks, &meta, options, row, &mut scalar_rng).unwrap())
+                .collect();
+
+            let mut batched_rng = ks.derived_rng(99);
+            let batched =
+                encrypt_rows_batched(&ks, &meta, options, &rows, &mut batched_rng).unwrap();
+
+            assert_eq!(scalar, batched);
         }
     }
 

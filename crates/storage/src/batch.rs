@@ -153,6 +153,41 @@ impl RecordBatch {
         })
     }
 
+    /// Keeps only the rows whose bit is set in `selection`. Word-wise
+    /// iteration over the bitmap skips cleared regions 64 rows at a time,
+    /// so sparse selections never touch the dropped rows.
+    pub fn filter_bitmap(&self, selection: &crate::Bitmap) -> Result<RecordBatch> {
+        if selection.len() != self.num_rows {
+            return Err(StorageError::Invalid {
+                detail: format!(
+                    "selection bitmap has {} entries for {} rows",
+                    selection.len(),
+                    self.num_rows
+                ),
+            });
+        }
+        let kept = selection.count_set();
+        if kept == self.num_rows {
+            return Ok(self.clone());
+        }
+        let mut columns: Vec<Column> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| Column::new(c.data_type))
+            .collect();
+        for i in selection.iter_set() {
+            for (col, src) in columns.iter_mut().zip(self.columns.iter()) {
+                col.push_unchecked(src.get(i).clone());
+            }
+        }
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            num_rows: kept,
+        })
+    }
+
     /// Selects a subset of columns by index, in the given order.
     pub fn project(&self, indices: &[usize]) -> RecordBatch {
         let schema = self.schema.project(indices);
@@ -355,6 +390,20 @@ mod tests {
         let l = b.limit(2);
         assert_eq!(l.num_rows(), 2);
         assert_eq!(b.limit(99).num_rows(), 3);
+    }
+
+    #[test]
+    fn filter_bitmap_matches_bool_filter() {
+        let b = sample();
+        for mask in [
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ] {
+            let bm = crate::Bitmap::from_bools(&mask);
+            assert_eq!(b.filter_bitmap(&bm).unwrap(), b.filter(&mask).unwrap());
+        }
+        assert!(b.filter_bitmap(&crate::Bitmap::new_set(2)).is_err());
     }
 
     #[test]

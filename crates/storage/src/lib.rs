@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod bitmap;
 pub mod catalog;
 pub mod column;
+pub mod columnar;
 pub mod error;
 pub mod pager;
 pub mod persist;
@@ -25,8 +27,10 @@ pub mod table;
 pub mod value;
 
 pub use batch::{partition_ranges, RecordBatch};
+pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::Column;
+pub use columnar::{ColumnVector, ColumnarColumn};
 pub use error::StorageError;
 pub use pager::{
     MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamScan, PageStreamWriter, Pager,
