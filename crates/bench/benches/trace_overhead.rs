@@ -1,0 +1,155 @@
+//! Tracing overhead on a 200k-row pipeline (scan → filter → join →
+//! aggregate → sort): the same query runs with per-operator tracing off
+//! (the default — the planner inserts no wrappers, so the off path should
+//! cost nothing) and with tracing on (every operator wrapped, counters
+//! diffed around every lifecycle call). Traced output must be byte-identical
+//! to untraced output.
+//!
+//! Besides the criterion timings, the target writes a
+//! `BENCH_trace_overhead.json` snapshot at the repository root: median
+//! wall-clock per mode over a fixed number of runs, the traced-mode overhead
+//! percentage, and the byte-identity verdict.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdb_engine::SpEngine;
+use sdb_storage::{Catalog, ColumnDef, DataType, Schema, Value};
+
+const ROWS: usize = 200_000;
+const SNAPSHOT_RUNS: usize = 7;
+
+const PIPELINE_SQL: &str = "SELECT d.label, COUNT(*) AS n, SUM(b.val) AS s \
+     FROM big b JOIN dim d ON b.grp = d.k \
+     WHERE b.val > 100 GROUP BY d.label ORDER BY d.label";
+
+/// Deterministic pseudo-random stream (keeps the bench reproducible without
+/// an RNG dependency in the data).
+fn mix(i: u64) -> u64 {
+    i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+}
+
+/// A `big(id, grp, val, name)` fact table at the 200k-row scale plus a
+/// `dim(k, label)` dimension.
+fn shared_catalog() -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new());
+    let big = catalog
+        .create_table(
+            "big",
+            Schema::new(vec![
+                ColumnDef::public("id", DataType::Int),
+                ColumnDef::public("grp", DataType::Int),
+                ColumnDef::public("val", DataType::Int),
+                ColumnDef::public("name", DataType::Varchar),
+            ]),
+        )
+        .expect("fresh catalog");
+    {
+        let mut t = big.write();
+        for i in 0..ROWS {
+            let r = mix(i as u64);
+            t.insert_row(vec![
+                Value::Int(i as i64),
+                Value::Int((r % 7) as i64),
+                Value::Int((r % 10_000) as i64),
+                Value::Str(format!("n{}", r % 97)),
+            ])
+            .expect("schema matches");
+        }
+    }
+    let dim = catalog
+        .create_table(
+            "dim",
+            Schema::new(vec![
+                ColumnDef::public("k", DataType::Int),
+                ColumnDef::public("label", DataType::Varchar),
+            ]),
+        )
+        .expect("fresh catalog");
+    let mut t = dim.write();
+    for k in 0..5 {
+        t.insert_row(vec![Value::Int(k), Value::Str(format!("g{k}"))])
+            .expect("schema matches");
+    }
+    drop(t);
+    catalog
+}
+
+fn engine(catalog: &Arc<Catalog>, tracing: bool) -> SpEngine {
+    SpEngine::with_catalog(Arc::clone(catalog)).with_tracing(tracing)
+}
+
+/// Median wall-clock (µs) of `runs` executions of the pipeline.
+fn median_micros(engine: &SpEngine, runs: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            let out = engine.execute_sql(PIPELINE_SQL).expect("pipeline");
+            black_box(out.batch.num_rows());
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Writes the overhead snapshot checked in at the repo root.
+fn write_snapshot(catalog: &Arc<Catalog>) {
+    let untraced_engine = engine(catalog, false);
+    let traced_engine = engine(catalog, true);
+
+    let untraced_out = untraced_engine.execute_sql(PIPELINE_SQL).expect("pipeline");
+    let traced_out = traced_engine.execute_sql(PIPELINE_SQL).expect("pipeline");
+    assert!(untraced_out.trace.is_none(), "tracing must default off");
+    let report = traced_out.trace.as_ref().expect("traced run has a report");
+    assert_eq!(
+        untraced_out.batch, traced_out.batch,
+        "traced output must be byte-identical"
+    );
+    let spans = report.spans.len();
+
+    let untraced_us = median_micros(&untraced_engine, SNAPSHOT_RUNS);
+    let traced_us = median_micros(&traced_engine, SNAPSHOT_RUNS);
+    let overhead_pct = (traced_us as f64 - untraced_us as f64) / untraced_us as f64 * 100.0;
+
+    let snapshot = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"rows\": {ROWS},\n  \"pipeline\": \"scan-filter-join-aggregate-sort\",\n  \"runs\": {SNAPSHOT_RUNS},\n  \"untraced_median_us\": {untraced_us},\n  \"traced_median_us\": {traced_us},\n  \"traced_overhead_pct\": {overhead_pct:.1},\n  \"spans\": {spans},\n  \"byte_identical\": true\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_trace_overhead.json"
+    );
+    std::fs::write(path, &snapshot).expect("snapshot write");
+    println!("{snapshot}");
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let catalog = shared_catalog();
+    write_snapshot(&catalog);
+
+    let untraced = engine(&catalog, false);
+    let traced = engine(&catalog, true);
+
+    let mut group = c.benchmark_group("trace_overhead_200k");
+    group.sample_size(10);
+    group.bench_function("untraced_pipeline", |b| {
+        b.iter(|| {
+            let out = untraced.execute_sql(PIPELINE_SQL).expect("pipeline");
+            black_box(out.batch.num_rows())
+        })
+    });
+    group.bench_function("traced_pipeline", |b| {
+        b.iter(|| {
+            let out = traced.execute_sql(PIPELINE_SQL).expect("pipeline");
+            assert!(out.trace.is_some());
+            black_box(out.batch.num_rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

@@ -276,6 +276,9 @@ impl SdbClient {
             Statement::Explain(_) => Err(SdbError::Usage {
                 detail: "use explain() for EXPLAIN statements".into(),
             }),
+            Statement::ExplainAnalyze(_) => Err(SdbError::Usage {
+                detail: "use explain_analyze() for EXPLAIN ANALYZE statements".into(),
+            }),
         }
     }
 
@@ -301,6 +304,30 @@ impl SdbClient {
         let rewritten = self.proxy.rewrite(sql)?;
         let mut lines = vec![format!("rewritten: {}", rewritten.server_sql)];
         lines.extend(self.engine.explain_sql(&rewritten.server_sql)?);
+        Ok(lines.join("\n"))
+    }
+
+    /// Explains *and executes* a query end to end (`EXPLAIN ANALYZE`):
+    /// rewrites it at the proxy exactly as [`SdbClient::query`] would, runs
+    /// it at the SP with per-operator tracing forced on, and renders the
+    /// physical tree annotated with actual rows, wall time,
+    /// estimate-vs-actual deviation and oracle / spill attribution. The
+    /// query's encrypted result rows are discarded; only the annotated plan
+    /// comes back.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let rewritten = self.proxy.rewrite(sql)?;
+        let oracle = RecordingOracle::new(self.proxy.oracle(&rewritten), self.wire.clone());
+        self.engine.connect_oracle(Arc::new(oracle));
+        let output = self
+            .engine
+            .execute_sql(&format!("EXPLAIN ANALYZE {}", rewritten.server_sql));
+        self.engine.disconnect_oracle();
+        let output = output?;
+
+        let mut lines = vec![format!("rewritten: {}", rewritten.server_sql)];
+        for row in output.batch.rows() {
+            lines.push(row[0].as_str()?.to_string());
+        }
         Ok(lines.join("\n"))
     }
 
@@ -830,6 +857,38 @@ mod tests {
         assert!(client.analyze("nope").is_err());
         assert!(matches!(
             client.execute("EXPLAIN SELECT id FROM emp"),
+            Err(SdbError::Usage { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals_with_oracle_attribution() {
+        let (mut client, _) = fixture();
+        let text = client
+            .explain_analyze(
+                "SELECT e.name, d.dept_name FROM emp e \
+                 JOIN dept d ON e.dept_id = d.id WHERE e.salary > 2000",
+            )
+            .unwrap();
+        assert!(text.contains("rewritten:"), "{text}");
+        assert!(text.contains("analyzed plan ("), "{text}");
+        assert!(text.contains(" rows="), "actual rows must render: {text}");
+        assert!(text.contains(" time="), "wall time must render: {text}");
+        assert!(
+            text.contains("(self "),
+            "exclusive share must render: {text}"
+        );
+        assert!(
+            text.contains("oracle[trips="),
+            "the secure filter's round trips must be attributed: {text}"
+        );
+        assert!(
+            text.contains("est\u{2248}"),
+            "upload auto-analyzes, so estimates must render: {text}"
+        );
+        // EXPLAIN ANALYZE through execute() points at the dedicated method.
+        assert!(matches!(
+            client.execute("EXPLAIN ANALYZE SELECT id FROM emp"),
             Err(SdbError::Usage { .. })
         ));
     }

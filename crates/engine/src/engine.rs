@@ -25,6 +25,9 @@ pub struct QueryOutput {
     pub batch: RecordBatch,
     /// Execution statistics (the server-side half of the demo's cost breakdown).
     pub stats: ExecutionStats,
+    /// The per-operator execution trace, when tracing was on for this query
+    /// ([`SpEngine::with_tracing`] / `SDB_TRACE=1` / `EXPLAIN ANALYZE`).
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 /// The service-provider engine.
@@ -74,6 +77,10 @@ pub struct SpEngine {
     /// Whether operators route eligible work through the vectorised columnar
     /// kernels (default on; `SDB_TEST_SCALAR_EVAL=1` flips the default).
     vectorised: bool,
+    /// Whether queries execute with per-operator tracing (default off;
+    /// `SDB_TRACE=1` flips the default). `EXPLAIN ANALYZE` forces tracing on
+    /// for its own query regardless of this knob.
+    tracing: bool,
 }
 
 impl SpEngine {
@@ -96,6 +103,11 @@ impl SpEngine {
             vectorised: std::env::var("SDB_TEST_SCALAR_EVAL")
                 .map(|v| v != "1")
                 .unwrap_or(true),
+            // `SDB_TRACE=1` re-runs whole suites with per-operator tracing
+            // (byte-identical output); `with_tracing` still overrides.
+            tracing: std::env::var("SDB_TRACE")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 
@@ -272,6 +284,34 @@ impl SpEngine {
         self.vectorised
     }
 
+    /// Enables or disables per-operator execution tracing for every query
+    /// this engine runs (builder style; default off, `SDB_TRACE=1` flips the
+    /// default). Traced queries return a [`crate::trace::TraceReport`] on
+    /// [`QueryOutput::trace`] (exported as JSON under `SDB_TRACE_DIR` when
+    /// that is set) and produce byte-identical results to untraced runs.
+    ///
+    /// ```
+    /// # use sdb_engine::SpEngine;
+    /// let engine = SpEngine::new().with_tracing(true);
+    /// engine.execute_sql("CREATE TABLE t (a INT)")?;
+    /// engine.execute_sql("INSERT INTO t VALUES (1), (2), (3)")?;
+    ///
+    /// let out = engine.execute_sql("SELECT a FROM t WHERE a > 1")?;
+    /// let report = out.trace.expect("tracing was on");
+    /// let root = &report.spans[report.root.unwrap()];
+    /// assert_eq!(root.rows_out, out.batch.num_rows());
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Whether per-operator execution tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Injects a fixed per-request latency on the oracle link (builder
     /// style; tests and benches). Simulates the SP↔proxy WAN round trip the
     /// protocol is billed by; `SDB_TEST_ORACLE_LATENCY_MS` sets the same
@@ -309,7 +349,9 @@ impl SpEngine {
     /// operator tree followed by per-node row and cost estimates.
     pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
         match parse_sql(sql)? {
-            Statement::Query(query) | Statement::Explain(query) => self.explain_query(&query),
+            Statement::Query(query)
+            | Statement::Explain(query)
+            | Statement::ExplainAnalyze(query) => self.explain_query(&query),
             other => Err(EngineError::Unsupported {
                 detail: format!("EXPLAIN only applies to queries, found {other}"),
             }),
@@ -354,7 +396,8 @@ impl SpEngine {
             .with_optimizer(self.optimizer)
             .with_oracle_batching(self.oracle_batching)
             .with_vectorised(self.vectorised)
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_tracing(self.tracing);
         match self.oracle_latency {
             Some(latency) => ctx.with_oracle_latency(latency),
             None => ctx,
@@ -423,11 +466,17 @@ impl SpEngine {
                 let oracle = self.oracle.read().clone();
                 let ctx = Arc::new(self.fresh_context(oracle));
                 let batch = planner::execute_plan(&ctx, &plan)?;
+                let trace = ctx.trace().map(|t| t.report());
+                if let Some(report) = &trace {
+                    Self::maybe_export_trace(report);
+                }
                 Ok(QueryOutput {
                     stats: ctx.stats(),
                     batch,
+                    trace,
                 })
             }
+            Statement::ExplainAnalyze(query) => self.explain_analyze_query(query),
             Statement::Explain(query) => {
                 let lines = self.explain_query(query)?;
                 let schema = Schema::new(vec![ColumnDef::public("plan", DataType::Varchar)]);
@@ -435,6 +484,7 @@ impl SpEngine {
                 Ok(QueryOutput {
                     batch: RecordBatch::from_rows(schema, rows)?,
                     stats: ExecutionStats::default(),
+                    trace: None,
                 })
             }
             Statement::Analyze { table } => {
@@ -453,6 +503,7 @@ impl SpEngine {
                 Ok(QueryOutput {
                     batch: RecordBatch::from_rows(schema, rows)?,
                     stats: ExecutionStats::default(),
+                    trace: None,
                 })
             }
             Statement::CreateTable { name, columns } => {
@@ -474,6 +525,7 @@ impl SpEngine {
                 Ok(QueryOutput {
                     batch: RecordBatch::empty(Schema::empty()),
                     stats: ExecutionStats::default(),
+                    trace: None,
                 })
             }
             Statement::Insert {
@@ -491,7 +543,60 @@ impl SpEngine {
                 Ok(QueryOutput {
                     batch: RecordBatch::empty(Schema::empty()),
                     stats: ExecutionStats::default(),
+                    trace: None,
                 })
+            }
+        }
+    }
+
+    /// Executes `query` with tracing forced on and renders the annotated
+    /// physical tree — per-operator actual rows, wall time,
+    /// estimate-vs-actual deviation and oracle / spill / kernel attribution
+    /// (the `EXPLAIN ANALYZE` statement). The full [`TraceReport`] rides
+    /// along on [`QueryOutput::trace`].
+    ///
+    /// [`TraceReport`]: crate::trace::TraceReport
+    fn explain_analyze_query(&self, query: &sdb_sql::ast::Query) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let plan = PlanBuilder::build(query)?;
+        let oracle = self.oracle.read().clone();
+        let ctx = Arc::new(self.fresh_context(oracle).with_tracing(true));
+        let batch = planner::execute_plan(&ctx, &plan)?;
+        let mut stats = ctx.stats();
+        stats.total_time = started.elapsed();
+        let mut report = ctx.trace().expect("tracing was forced on").report();
+        report.total_time_us = stats.total_time.as_micros() as u64;
+        Self::maybe_export_trace(&report);
+
+        let mut lines = Vec::with_capacity(report.spans.len() + 1);
+        lines.push(format!(
+            "analyzed plan ({} rows in {}, parallelism {}, budget {}):",
+            batch.num_rows(),
+            crate::trace::fmt_us(report.total_time_us),
+            self.parallelism,
+            match self.memory_budget.limit() {
+                Some(limit) => format!("{limit}B"),
+                None => "unlimited".to_string(),
+            }
+        ));
+        for line in report.render() {
+            lines.push(format!("  {line}"));
+        }
+        let schema = Schema::new(vec![ColumnDef::public("plan", DataType::Varchar)]);
+        let rows = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+        Ok(QueryOutput {
+            batch: RecordBatch::from_rows(schema, rows)?,
+            stats,
+            trace: Some(report),
+        })
+    }
+
+    /// Writes `report` as JSON under `SDB_TRACE_DIR` when that is set.
+    /// Best-effort: export failures never fail the query.
+    fn maybe_export_trace(report: &crate::trace::TraceReport) {
+        if let Ok(dir) = std::env::var("SDB_TRACE_DIR") {
+            if !dir.is_empty() {
+                let _ = report.write_to_dir(std::path::Path::new(&dir));
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod optimizer;
 pub mod planner;
 pub mod secure;
 pub mod stats;
+pub mod trace;
 pub mod udf;
 
 pub use engine::SpEngine;
@@ -48,6 +49,7 @@ pub use secure::{
     LatencyOracle, NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle,
 };
 pub use stats::ExecutionStats;
+pub use trace::{QueryTrace, SpanReport, TraceEvent, TraceReport};
 pub use udf::{ScalarUdf, UdfRegistry};
 
 /// Library result alias.

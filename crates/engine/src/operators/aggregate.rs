@@ -69,9 +69,11 @@ fn group_morsel(
 ) -> Result<Vec<GroupState>> {
     if ctx.vectorised() {
         if let Some(groups) = group_morsel_vectorised(batch, group_exprs, agg_args) {
+            ctx.stats_mut().vectorised_batches += 1;
             return Ok(groups);
         }
     }
+    ctx.stats_mut().scalar_fallback_batches += 1;
     let evaluator = ctx.evaluator();
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut groups: Vec<GroupState> = Vec::new();
@@ -446,7 +448,14 @@ fn try_global_kernel(
     if !ctx.vectorised() || !group_exprs.is_empty() {
         return None;
     }
-    GlobalAggKernel::compile(aggregates, agg_args, batch.schema())?.execute(aggregates, batch)
+    let out =
+        GlobalAggKernel::compile(aggregates, agg_args, batch.schema())?.execute(aggregates, batch);
+    if out.is_some() {
+        // A kernel miss falls through to `group_morsel`, which counts the
+        // scalar fallback itself — only the hit is recorded here.
+        ctx.stats_mut().vectorised_batches += 1;
+    }
+    out
 }
 
 /// Computes one aggregate over the values of one group.

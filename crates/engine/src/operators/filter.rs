@@ -62,6 +62,7 @@ impl PhysicalOperator for Filter<'_> {
         if self.ctx.vectorised() {
             if let Some(compiled) = CompiledPredicate::compile(&bound, batch.schema()) {
                 if let Some(selection) = compiled.selection(&batch) {
+                    self.ctx.stats_mut().vectorised_batches += 1;
                     return batch
                         .filter_bitmap(&selection)
                         .map(Some)
@@ -69,6 +70,7 @@ impl PhysicalOperator for Filter<'_> {
                 }
             }
         }
+        self.ctx.stats_mut().scalar_fallback_batches += 1;
         let evaluator = self.ctx.evaluator();
         let mut mask = Vec::with_capacity(batch.num_rows());
         for row in 0..batch.num_rows() {

@@ -124,8 +124,10 @@ pub(super) fn keys_of_batch(
     working: &RecordBatch,
 ) -> Result<Vec<Option<String>>> {
     if let Some(rendered) = kernel_join_keys(ctx, keys, working) {
+        ctx.stats_mut().vectorised_batches += 1;
         return Ok(rendered);
     }
+    ctx.stats_mut().scalar_fallback_batches += 1;
     let workers = effective_workers(ctx.parallelism(), working.num_rows());
     let ranges = partition_ranges(working.num_rows(), workers.max(1));
     let parts: Vec<Vec<Option<String>>> = scoped_workers(workers.max(1), |i| {
@@ -153,6 +155,7 @@ pub(super) fn build_index(
     // index insertion visits rows in ascending order, exactly the order the
     // morsel-merge below reconstructs.
     if let Some(rendered) = kernel_join_keys(ctx, keys, working) {
+        ctx.stats_mut().vectorised_batches += 1;
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
         for (row, key) in rendered.into_iter().enumerate() {
             if let Some(key) = key {
@@ -161,6 +164,7 @@ pub(super) fn build_index(
         }
         return Ok(index);
     }
+    ctx.stats_mut().scalar_fallback_batches += 1;
     let workers = effective_workers(ctx.parallelism(), working.num_rows());
     let ranges = partition_ranges(working.num_rows(), workers.max(1));
     let partials: Vec<HashMap<String, Vec<usize>>> = scoped_workers(workers, |i| {
@@ -205,6 +209,10 @@ pub(super) fn probe_batch(
     let mut keys = left_keys.to_vec();
     let working = resolve_for_exprs(ctx, batch.clone(), &mut keys)?;
     let rendered = kernel_join_keys(ctx, &keys, &working);
+    match &rendered {
+        Some(_) => ctx.stats_mut().vectorised_batches += 1,
+        None => ctx.stats_mut().scalar_fallback_batches += 1,
+    }
 
     let mut rows = Vec::new();
     for lrow in 0..working.num_rows() {

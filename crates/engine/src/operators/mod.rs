@@ -202,6 +202,11 @@ pub struct ExecContext<'a> {
     /// here. Shared so subtrees on different worker threads account against
     /// one budget.
     pager: Arc<Pager>,
+    /// The per-query execution trace, when tracing is on (default off).
+    /// `Some` makes [`crate::planner::PhysicalPlanner`] wrap every operator
+    /// in a [`crate::trace::InstrumentedOperator`] and hooks pager / oracle
+    /// events into the owning span; `None` costs nothing.
+    trace: Option<Arc<crate::trace::QueryTrace>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -252,6 +257,7 @@ impl<'a> ExecContext<'a> {
                 .unwrap_or(true),
             pager: Arc::new(Pager::new(&budget)),
             budget,
+            trace: None,
         }
     }
 
@@ -303,8 +309,14 @@ impl<'a> ExecContext<'a> {
     /// [`crate::operators::spill_aggregate::SpillingHashAggregate`]), whose
     /// output is byte-identical to the in-memory ones.
     pub fn with_memory_budget(self, budget: MemoryBudget) -> Self {
+        let pager = Arc::new(Pager::new(&budget));
+        // The budget rebuilds the buffer pool, so the trace's pager hook (if
+        // tracing was enabled first) must be re-installed on the new pool.
+        if let Some(trace) = &self.trace {
+            crate::trace::install_pager_observer(&pager, trace);
+        }
         ExecContext {
-            pager: Arc::new(Pager::new(&budget)),
+            pager,
             budget,
             ..self
         }
@@ -331,6 +343,33 @@ impl<'a> ExecContext<'a> {
     /// baseline.
     pub fn with_vectorised(self, vectorised: bool) -> Self {
         ExecContext { vectorised, ..self }
+    }
+
+    /// Enables or disables per-query execution tracing (default off; the
+    /// `SDB_TRACE=1` env var flips [`crate::SpEngine`]'s default). With
+    /// tracing on, the planner wraps every physical operator in a
+    /// [`crate::trace::InstrumentedOperator`] recording per-span wall time,
+    /// batch/row counts and attributed counter deltas, and pager spill /
+    /// eviction events are attached to the owning span. Tracing never
+    /// changes query output — instrumented plans are byte-identical.
+    pub fn with_tracing(self, tracing: bool) -> Self {
+        if !tracing {
+            return ExecContext {
+                trace: None,
+                ..self
+            };
+        }
+        let trace = Arc::new(crate::trace::QueryTrace::new());
+        crate::trace::install_pager_observer(&self.pager, &trace);
+        ExecContext {
+            trace: Some(trace),
+            ..self
+        }
+    }
+
+    /// The active query trace, when tracing is on.
+    pub fn trace(&self) -> Option<&Arc<crate::trace::QueryTrace>> {
+        self.trace.as_ref()
     }
 
     /// Enables or disables cross-batch oracle batching (default on). With
@@ -540,9 +579,15 @@ impl ExecContext<'_> {
         sub.oracle = Self::wrapped_oracle(&sub.oracle_raw, self.oracle_latency);
         sub.oracle_latency = self.oracle_latency;
         sub.oracle_memo = Arc::clone(&self.oracle_memo);
+        // Attribute the subquery's wall time to the parent: `total_time` is
+        // only stamped at the top-level execute, so without this counter a
+        // subquery-heavy parent under-reports where its time went. Cache
+        // hits return above and cost (and record) nothing.
+        let started = std::time::Instant::now();
         let batch = execute_plan(&Arc::new(sub), &plan, |sub_stats| {
             self.stats_mut().merge(sub_stats);
         })?;
+        self.stats_mut().subquery_time += started.elapsed();
         cache
             .entry(key)
             .or_default()

@@ -303,17 +303,25 @@ fn resolve_call(
         handle: call.handle.clone(),
         rows: shipped,
     };
+    let trip_bytes = request.approx_size_bytes();
+    let trip_rows = request.rows.len();
     {
         let mut stats = ctx.stats_mut();
         stats.oracle_round_trips += 1;
-        stats.oracle_rows_shipped += request.rows.len();
-        stats.oracle_bytes_shipped += request.approx_size_bytes();
+        stats.oracle_rows_shipped += trip_rows;
+        stats.oracle_bytes_shipped += trip_bytes;
+    }
+    if let Some(trace) = ctx.trace() {
+        trace.event("oracle_trip_start", trip_bytes, trip_rows);
     }
     let start = Instant::now();
     let response = oracle
         .resolve(request)
         .map_err(|e| EngineError::OracleProtocol { detail: e })?;
     ctx.stats_mut().oracle_time += start.elapsed();
+    if let Some(trace) = ctx.trace() {
+        trace.event("oracle_trip_end", trip_bytes, trip_rows);
+    }
 
     if response.len() != miss_present.len() {
         return Err(EngineError::OracleProtocol {

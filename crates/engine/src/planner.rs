@@ -51,12 +51,59 @@ use crate::Result;
 /// Plans physical execution for one query against a shared [`ExecContext`].
 pub struct PhysicalPlanner<'a> {
     ctx: Arc<ExecContext<'a>>,
+    /// Trace spans of lowered-but-not-yet-consumed operators, in lowering
+    /// order. `lower` works bottom-up and left-to-right, so when an operator
+    /// is created its direct inputs' spans are exactly the stack's tail —
+    /// [`Self::instrument`] pops them as the new span's children. Unused
+    /// (and empty) when tracing is off. `RefCell`: planning is
+    /// single-threaded.
+    pending_spans: std::cell::RefCell<Vec<crate::trace::SpanId>>,
 }
 
 impl<'a> PhysicalPlanner<'a> {
     /// Creates a planner over the given context.
     pub fn new(ctx: Arc<ExecContext<'a>>) -> Self {
-        PhysicalPlanner { ctx }
+        PhysicalPlanner {
+            ctx,
+            pending_spans: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// When tracing is on, registers a span for `op` (adopting the last
+    /// `arity` pending spans as its children) and wraps `op` in an
+    /// [`crate::trace::InstrumentedOperator`]. A no-op returning `op`
+    /// unchanged when tracing is off — untraced plans carry zero
+    /// instrumentation.
+    fn instrument(
+        &self,
+        op: BoxedOperator<'a>,
+        arity: usize,
+        est_rows: Option<f64>,
+    ) -> BoxedOperator<'a> {
+        let Some(trace) = self.ctx.trace() else {
+            return op;
+        };
+        let children = {
+            let mut pending = self.pending_spans.borrow_mut();
+            let split = pending.len() - arity;
+            pending.split_off(split)
+        };
+        let span = trace.begin_span(op.name(), children, est_rows);
+        self.pending_spans.borrow_mut().push(span);
+        Box::new(crate::trace::InstrumentedOperator::new(
+            op,
+            Arc::clone(&self.ctx),
+            Arc::clone(trace),
+            span,
+        ))
+    }
+
+    /// The optimizer's cardinality estimate for `plan`, for
+    /// estimate-vs-actual annotation of the node's span. Only computed when
+    /// tracing is on; `None` when no statistics exist (`ANALYZE` not run).
+    fn estimate(&self, plan: &LogicalPlan) -> Option<f64> {
+        self.ctx.trace()?;
+        crate::optimizer::cardinality::Estimator::new(self.ctx.catalog()).rows(plan)
     }
 
     /// Lowers a logical plan into an executable operator tree.
@@ -112,14 +159,17 @@ impl<'a> PhysicalPlanner<'a> {
                         alias.as_deref(),
                     ))
                 };
-                Ok((scan, names))
+                Ok((self.instrument(scan, 0, self.estimate(plan)), names))
             }
 
             LogicalPlan::Filter { input, predicate } => {
                 let (child, schema) = self.lower(input, under_limit)?;
                 let child = self.with_oracle_resolve(child, std::slice::from_ref(predicate));
                 let filter = Filter::new(Arc::clone(&self.ctx), child, predicate.clone());
-                Ok((Box::new(filter), schema))
+                Ok((
+                    self.instrument(Box::new(filter), 1, self.estimate(plan)),
+                    schema,
+                ))
             }
 
             LogicalPlan::Project { input, items } => {
@@ -151,7 +201,10 @@ impl<'a> PhysicalPlanner<'a> {
                 }
                 let project =
                     Project::new(Arc::clone(&self.ctx), child, items.clone(), virtual_columns);
-                Ok((Box::new(project), Schema::new(names)))
+                Ok((
+                    self.instrument(Box::new(project), 1, self.estimate(plan)),
+                    Schema::new(names),
+                ))
             }
 
             LogicalPlan::Join {
@@ -186,6 +239,7 @@ impl<'a> PhysicalPlanner<'a> {
                 // null-padded rows it is supposed to keep. The nested-loop
                 // operator evaluates the full ON inside the match loop and
                 // pads correctly, so LEFT JOINs with residuals take that path.
+                let est = self.estimate(plan);
                 let residual_left_join = *kind == JoinKind::Left && !residual.is_empty();
                 if left_keys.is_empty() || residual_left_join {
                     let join = NestedLoopJoin::new(
@@ -195,7 +249,7 @@ impl<'a> PhysicalPlanner<'a> {
                         *kind,
                         on.clone(),
                     );
-                    return Ok((Box::new(join), combined));
+                    return Ok((self.instrument(Box::new(join), 2, est), combined));
                 }
 
                 // With a limited budget the build side must not materialise
@@ -222,11 +276,21 @@ impl<'a> PhysicalPlanner<'a> {
                 };
                 // Residual conjuncts become an ordinary filter above the join
                 // (oracle-backed residuals resolve there like any predicate).
-                let op = match conjoin(residual) {
+                // The plan node's estimate annotates the arm's topmost
+                // operator — the residual filter's output is the node's
+                // output when one exists.
+                let residual_pred = conjoin(residual);
+                let join =
+                    self.instrument(join, 2, if residual_pred.is_some() { None } else { est });
+                let op = match residual_pred {
                     Some(predicate) => {
                         let child =
                             self.with_oracle_resolve(join, std::slice::from_ref(&predicate));
-                        Box::new(Filter::new(Arc::clone(&self.ctx), child, predicate))
+                        self.instrument(
+                            Box::new(Filter::new(Arc::clone(&self.ctx), child, predicate)),
+                            1,
+                            est,
+                        )
                     }
                     None => join,
                 };
@@ -271,7 +335,10 @@ impl<'a> PhysicalPlanner<'a> {
                         aggregates.clone(),
                     ))
                 };
-                Ok((aggregate, Schema::new(names)))
+                Ok((
+                    self.instrument(aggregate, 1, self.estimate(plan)),
+                    Schema::new(names),
+                ))
             }
 
             LogicalPlan::Sort { input, keys } => {
@@ -287,17 +354,27 @@ impl<'a> PhysicalPlanner<'a> {
                 } else {
                     Box::new(Sort::new(Arc::clone(&self.ctx), child, keys.clone()))
                 };
-                Ok((sort, schema))
+                Ok((self.instrument(sort, 1, self.estimate(plan)), schema))
             }
 
             LogicalPlan::Distinct { input } => {
                 let (child, schema) = self.lower(input, under_limit)?;
-                Ok((Box::new(Distinct::new(child)), schema))
+                Ok((
+                    self.instrument(Box::new(Distinct::new(child)), 1, self.estimate(plan)),
+                    schema,
+                ))
             }
 
             LogicalPlan::Limit { input, n } => {
                 let (child, schema) = self.lower(input, true)?;
-                Ok((Box::new(Limit::new(child, *n as usize)), schema))
+                Ok((
+                    self.instrument(
+                        Box::new(Limit::new(child, *n as usize)),
+                        1,
+                        self.estimate(plan),
+                    ),
+                    schema,
+                ))
             }
         }
     }
@@ -312,7 +389,11 @@ impl<'a> PhysicalPlanner<'a> {
         if calls.is_empty() {
             child
         } else {
-            Box::new(OracleResolve::new(Arc::clone(&self.ctx), child, calls))
+            self.instrument(
+                Box::new(OracleResolve::new(Arc::clone(&self.ctx), child, calls)),
+                1,
+                None,
+            )
         }
     }
 }

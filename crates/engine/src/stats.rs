@@ -52,6 +52,16 @@ pub struct ExecutionStats {
     /// Build + probe rows routed through pager partition streams by Grace
     /// hash joins, re-partitioning passes included.
     pub join_spilled_rows: usize,
+    /// Batches processed by a vectorised kernel (selection bitmap, key
+    /// rendering or global-aggregation fast path).
+    pub vectorised_batches: usize,
+    /// Batches that fell back to the row-at-a-time scalar interpreter at a
+    /// kernel-eligible site (kernels disabled, or shape not supported).
+    pub scalar_fallback_batches: usize,
+    /// Wall-clock time spent executing scalar subqueries on behalf of the
+    /// parent query (cache misses only; memoised re-uses cost nothing).
+    #[serde(with = "duration_micros")]
+    pub subquery_time: Duration,
 }
 
 impl ExecutionStats {
@@ -78,6 +88,64 @@ impl ExecutionStats {
         self.peak_resident_pages = self.peak_resident_pages.max(other.peak_resident_pages);
         self.join_build_partitions += other.join_build_partitions;
         self.join_spilled_rows += other.join_spilled_rows;
+        self.vectorised_batches += other.vectorised_batches;
+        self.scalar_fallback_batches += other.scalar_fallback_batches;
+        self.subquery_time += other.subquery_time;
+    }
+
+    /// Counter increments accumulated between the `earlier` snapshot and
+    /// this one (field-wise saturating subtraction). Used by the tracing
+    /// layer to attribute global counters to individual operator spans.
+    ///
+    /// Whole-query fields (`rows_returned`, `total_time`) are zeroed —
+    /// they are stamped once at the top level, not accumulated — and
+    /// `peak_resident_pages` keeps the later high-water mark because the
+    /// delta of a maximum is not meaningful.
+    pub fn delta_since(&self, earlier: &ExecutionStats) -> ExecutionStats {
+        ExecutionStats {
+            rows_scanned: self.rows_scanned.saturating_sub(earlier.rows_scanned),
+            rows_returned: 0,
+            udf_calls: self.udf_calls.saturating_sub(earlier.udf_calls),
+            oracle_round_trips: self
+                .oracle_round_trips
+                .saturating_sub(earlier.oracle_round_trips),
+            oracle_rows_shipped: self
+                .oracle_rows_shipped
+                .saturating_sub(earlier.oracle_rows_shipped),
+            oracle_memo_hits: self
+                .oracle_memo_hits
+                .saturating_sub(earlier.oracle_memo_hits),
+            oracle_rows_coalesced: self
+                .oracle_rows_coalesced
+                .saturating_sub(earlier.oracle_rows_coalesced),
+            oracle_bytes_shipped: self
+                .oracle_bytes_shipped
+                .saturating_sub(earlier.oracle_bytes_shipped),
+            oracle_time: self.oracle_time.saturating_sub(earlier.oracle_time),
+            total_time: Duration::ZERO,
+            pages_spilled: self.pages_spilled.saturating_sub(earlier.pages_spilled),
+            spill_bytes_written: self
+                .spill_bytes_written
+                .saturating_sub(earlier.spill_bytes_written),
+            spill_bytes_read: self
+                .spill_bytes_read
+                .saturating_sub(earlier.spill_bytes_read),
+            pages_evicted: self.pages_evicted.saturating_sub(earlier.pages_evicted),
+            peak_resident_pages: self.peak_resident_pages,
+            join_build_partitions: self
+                .join_build_partitions
+                .saturating_sub(earlier.join_build_partitions),
+            join_spilled_rows: self
+                .join_spilled_rows
+                .saturating_sub(earlier.join_spilled_rows),
+            vectorised_batches: self
+                .vectorised_batches
+                .saturating_sub(earlier.vectorised_batches),
+            scalar_fallback_batches: self
+                .scalar_fallback_batches
+                .saturating_sub(earlier.scalar_fallback_batches),
+            subquery_time: self.subquery_time.saturating_sub(earlier.subquery_time),
+        }
     }
 
     /// Folds a pager's spill counters into this record.
@@ -264,6 +332,121 @@ mod tests {
             "whole-query fields come from shard 0"
         );
         assert_eq!(snap.total_time, Duration::from_millis(5));
+    }
+
+    /// Exhaustive merge semantics: every field is spelled out with a full
+    /// struct literal (no `..Default::default()`), so adding a counter to
+    /// [`ExecutionStats`] without deciding its merge rule fails to compile
+    /// here. Every field sums except `peak_resident_pages` (high-water
+    /// mark: max) and the whole-query fields `rows_returned` / `total_time`
+    /// (stamped once at the top level: merge leaves them untouched).
+    #[test]
+    fn merge_is_exhaustive_sum_except_peak_and_whole_query_fields() {
+        let mut a = ExecutionStats {
+            rows_scanned: 1,
+            rows_returned: 2,
+            udf_calls: 3,
+            oracle_round_trips: 4,
+            oracle_rows_shipped: 5,
+            oracle_memo_hits: 6,
+            oracle_rows_coalesced: 7,
+            oracle_bytes_shipped: 8,
+            oracle_time: Duration::from_micros(9),
+            total_time: Duration::from_micros(10),
+            pages_spilled: 11,
+            spill_bytes_written: 12,
+            spill_bytes_read: 13,
+            pages_evicted: 14,
+            peak_resident_pages: 15,
+            join_build_partitions: 16,
+            join_spilled_rows: 17,
+            vectorised_batches: 18,
+            scalar_fallback_batches: 19,
+            subquery_time: Duration::from_micros(20),
+        };
+        let b = ExecutionStats {
+            rows_scanned: 100,
+            rows_returned: 200,
+            udf_calls: 300,
+            oracle_round_trips: 400,
+            oracle_rows_shipped: 500,
+            oracle_memo_hits: 600,
+            oracle_rows_coalesced: 700,
+            oracle_bytes_shipped: 800,
+            oracle_time: Duration::from_micros(900),
+            total_time: Duration::from_micros(1_000),
+            pages_spilled: 1_100,
+            spill_bytes_written: 1_200,
+            spill_bytes_read: 1_300,
+            pages_evicted: 1_400,
+            peak_resident_pages: 1_500,
+            join_build_partitions: 1_600,
+            join_spilled_rows: 1_700,
+            vectorised_batches: 1_800,
+            scalar_fallback_batches: 1_900,
+            subquery_time: Duration::from_micros(2_000),
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 101);
+        assert_eq!(a.rows_returned, 2, "whole-query field: merge skips it");
+        assert_eq!(a.udf_calls, 303);
+        assert_eq!(a.oracle_round_trips, 404);
+        assert_eq!(a.oracle_rows_shipped, 505);
+        assert_eq!(a.oracle_memo_hits, 606);
+        assert_eq!(a.oracle_rows_coalesced, 707);
+        assert_eq!(a.oracle_bytes_shipped, 808);
+        assert_eq!(a.oracle_time, Duration::from_micros(909));
+        assert_eq!(
+            a.total_time,
+            Duration::from_micros(10),
+            "whole-query field: merge skips it"
+        );
+        assert_eq!(a.pages_spilled, 1_111);
+        assert_eq!(a.spill_bytes_written, 1_212);
+        assert_eq!(a.spill_bytes_read, 1_313);
+        assert_eq!(a.pages_evicted, 1_414);
+        assert_eq!(a.peak_resident_pages, 1_500, "high-water mark: max");
+        assert_eq!(a.join_build_partitions, 1_616);
+        assert_eq!(a.join_spilled_rows, 1_717);
+        assert_eq!(a.vectorised_batches, 1_818);
+        assert_eq!(a.scalar_fallback_batches, 1_919);
+        assert_eq!(a.subquery_time, Duration::from_micros(2_020));
+    }
+
+    /// `delta_since` is merge's inverse on the summed fields: zeroes the
+    /// whole-query fields and keeps the later high-water mark.
+    #[test]
+    fn delta_since_inverts_merge_on_summed_fields() {
+        let before = ExecutionStats {
+            rows_scanned: 10,
+            oracle_round_trips: 2,
+            oracle_time: Duration::from_micros(50),
+            peak_resident_pages: 4,
+            vectorised_batches: 3,
+            ..Default::default()
+        };
+        let mut after = before.clone();
+        after.merge(&ExecutionStats {
+            rows_scanned: 7,
+            oracle_round_trips: 1,
+            oracle_time: Duration::from_micros(25),
+            peak_resident_pages: 9,
+            vectorised_batches: 2,
+            subquery_time: Duration::from_micros(11),
+            ..Default::default()
+        });
+        after.rows_returned = 99;
+        after.total_time = Duration::from_micros(1_234);
+
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.rows_scanned, 7);
+        assert_eq!(delta.oracle_round_trips, 1);
+        assert_eq!(delta.oracle_time, Duration::from_micros(25));
+        assert_eq!(delta.vectorised_batches, 2);
+        assert_eq!(delta.subquery_time, Duration::from_micros(11));
+        assert_eq!(delta.rows_returned, 0, "whole-query fields zeroed");
+        assert_eq!(delta.total_time, Duration::ZERO);
+        assert_eq!(delta.peak_resident_pages, 9, "keeps the later peak");
     }
 
     #[test]

@@ -215,6 +215,54 @@ fn word_boundary_row_counts_match_scalar() {
     }
 }
 
+/// The engagement counters prove which path actually ran: kernels-on runs
+/// engage the vectorised paths for every kernel family, kernels-off runs
+/// never do (and count their scalar batches instead), and a shape no kernel
+/// compiles falls back even with kernels on. The budget is pinned unlimited
+/// — the spilling operator variants prepare rows outside the kernel paths,
+/// so engagement is only guaranteed for the in-memory operators.
+#[test]
+fn engagement_counters_record_which_path_ran() {
+    let catalog = table_of(&deterministic_rows(128));
+    let registry = UdfRegistry::with_sdb_udfs();
+    let run_counted = |sql: &str, vectorised: bool| {
+        let ctx = Arc::new(
+            ExecContext::new(&catalog, &registry, None)
+                .with_vectorised(vectorised)
+                .with_memory_budget(sdb_storage::MemoryBudget::unlimited()),
+        );
+        let plan = match parse_sql(sql).unwrap() {
+            Statement::Query(q) => PlanBuilder::build(&q).unwrap(),
+            other => panic!("expected query, got {other:?}"),
+        };
+        execute_plan(&ctx, &plan).unwrap();
+        ctx.stats()
+    };
+    for sql in [
+        "SELECT i FROM t WHERE i > 10",                   // selection kernel
+        "SELECT a.i, b.i FROM t a JOIN t b ON a.g = b.g", // join key kernel
+        "SELECT g, COUNT(*) AS n FROM t GROUP BY g",      // group key kernel
+        "SELECT COUNT(*) AS c, SUM(i) AS si FROM t",      // global agg kernel
+    ] {
+        let on = run_counted(sql, true);
+        assert!(on.vectorised_batches > 0, "kernels must engage for: {sql}");
+        let off = run_counted(sql, false);
+        assert_eq!(
+            off.vectorised_batches, 0,
+            "kernels-off must never engage for: {sql}"
+        );
+        assert!(
+            off.scalar_fallback_batches > 0,
+            "the scalar path must be counted for: {sql}"
+        );
+    }
+    // Arithmetic in the predicate: outside the selection kernel's
+    // column-vs-literal subset, so it falls back (and says so) even with
+    // kernels on.
+    let fallback = run_counted("SELECT i FROM t WHERE i - 5 > 10", true);
+    assert!(fallback.scalar_fallback_batches > 0);
+}
+
 /// The kernels compose with morsel parallelism: batch-level fast paths fire
 /// inside parallel workers and the merged output still matches the serial
 /// scalar reference.

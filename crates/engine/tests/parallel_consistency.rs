@@ -164,6 +164,51 @@ fn kernels_match_scalar_across_budget_matrix() {
     }
 }
 
+/// Tracing-on vs tracing-off byte-identity across the budget × parallelism
+/// matrix: the instrumented wrappers forward batches untouched, so traced
+/// execution changes no output byte — and the trace really recorded the run
+/// (a span tree exists and its root produced the output's rows).
+#[test]
+fn tracing_is_byte_identical_across_knob_matrix() {
+    let catalog = generated_catalog(1_000);
+    let registry = UdfRegistry::with_sdb_udfs();
+    let run_t = |query: &Query, tracing: bool, budget: Option<usize>, parallelism: usize| {
+        let mut ctx = ExecContext::new(&catalog, &registry, None)
+            .with_parallelism(parallelism)
+            .with_tracing(tracing);
+        if let Some(bytes) = budget {
+            ctx = ctx.with_memory_budget(sdb_storage::MemoryBudget::bytes(bytes));
+        }
+        let ctx = Arc::new(ctx);
+        let plan = PlanBuilder::build(query).unwrap();
+        let out = execute_plan(&ctx, &plan).unwrap();
+        let report = ctx.trace().map(|t| t.report());
+        (out, report)
+    };
+    for sql in KNOB_QUERIES {
+        let query = parse_query(sql);
+        for budget in [Some(4 * 1024), None] {
+            for parallelism in [1, 4] {
+                let (untraced, no_report) = run_t(&query, false, budget, parallelism);
+                let (traced, report) = run_t(&query, true, budget, parallelism);
+                let knobs = format!("budget={budget:?} parallelism={parallelism}");
+                assert_eq!(
+                    untraced, traced,
+                    "tracing changed output ({knobs}) for: {sql}"
+                );
+                assert!(no_report.is_none(), "tracing off must record nothing");
+                let report = report.expect("tracing on must produce a report");
+                let root = &report.spans[report.root.expect("plan must have a root span")];
+                assert_eq!(
+                    root.rows_out,
+                    traced.num_rows(),
+                    "root span must account for every output row ({knobs}) for: {sql}"
+                );
+            }
+        }
+    }
+}
+
 /// The acceptance bar: at `parallelism > 1`, scan, join and aggregate plans
 /// over a ≥100k-row generated table are byte-identical to serial execution.
 #[test]

@@ -713,6 +713,10 @@ pub enum Statement {
     /// EXPLAIN query — show the optimized physical plan with cardinality and
     /// cost estimates instead of executing.
     Explain(Query),
+    /// EXPLAIN ANALYZE query — execute the query with tracing on and show
+    /// the physical plan annotated with actual rows, wall time and
+    /// per-operator cost attribution.
+    ExplainAnalyze(Query),
 }
 
 impl fmt::Display for Statement {
@@ -746,6 +750,7 @@ impl fmt::Display for Statement {
                 None => write!(f, "ANALYZE"),
             },
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
         }
     }
 }

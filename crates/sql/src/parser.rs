@@ -140,7 +140,11 @@ impl Parser {
         } else if self.peek_keyword("INSERT") {
             self.parse_insert()
         } else if self.eat_keyword("EXPLAIN") {
-            Ok(Statement::Explain(self.parse_query()?))
+            if self.eat_keyword("ANALYZE") {
+                Ok(Statement::ExplainAnalyze(self.parse_query()?))
+            } else {
+                Ok(Statement::Explain(self.parse_query()?))
+            }
         } else if self.eat_keyword("ANALYZE") {
             // ANALYZE [table]
             let table = match self.peek() {
@@ -1047,12 +1051,22 @@ mod tests {
             Statement::Explain(q) => assert_eq!(q.from[0].name, "t"),
             other => panic!("unexpected {other:?}"),
         }
+        match parse_ok("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1") {
+            Statement::ExplainAnalyze(q) => assert_eq!(q.from[0].name, "t"),
+            other => panic!("unexpected {other:?}"),
+        }
         // Renderings re-parse.
-        for sql in ["ANALYZE emp", "ANALYZE", "EXPLAIN SELECT a FROM t"] {
+        for sql in [
+            "ANALYZE emp",
+            "ANALYZE",
+            "EXPLAIN SELECT a FROM t",
+            "EXPLAIN ANALYZE SELECT a FROM t",
+        ] {
             let st = parse_ok(sql);
             assert_eq!(parse_ok(&st.to_string()), st, "roundtrip failed for {sql}");
         }
         assert!(parse_sql("EXPLAIN INSERT INTO t VALUES (1)").is_err());
+        assert!(parse_sql("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").is_err());
         assert!(parse_sql("ANALYZE 5").is_err());
     }
 

@@ -34,7 +34,7 @@ pub use columnar::{ColumnVector, ColumnarColumn};
 pub use error::StorageError;
 pub use pager::{
     MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamScan, PageStreamWriter, Pager,
-    PagerStats, PinnedPage,
+    PagerEvent, PagerObserver, PagerStats, PinnedPage,
 };
 pub use schema::{resolve_name, ColumnDef, NameResolution, Schema, Sensitivity};
 pub use stats::{analyze_table, ColumnStats, HllSketch, TableStats};

@@ -21,7 +21,7 @@ mod pool;
 mod stream;
 
 pub use codec::{decode_batch, encode_batch};
-pub use pool::{PageId, Pager, PagerStats, PinnedPage};
+pub use pool::{PageId, Pager, PagerEvent, PagerObserver, PagerStats, PinnedPage};
 pub use stream::{PageStream, PageStreamReader, PageStreamScan, PageStreamWriter};
 
 use std::path::{Path, PathBuf};

@@ -7,10 +7,32 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use super::{codec, MemoryBudget};
 use crate::{RecordBatch, Result, StorageError};
+
+/// A pager activity event, delivered to the registered observer as it
+/// happens (the engine's tracing layer attaches these to operator spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagerEvent {
+    /// A dirty page was encoded and appended to the spill file.
+    SpillWrite {
+        /// Encoded bytes written.
+        bytes: usize,
+    },
+    /// An evicted page was read back and decoded from the spill file.
+    SpillRead {
+        /// Encoded bytes read.
+        bytes: usize,
+    },
+    /// A page was dropped from the pool (spilled-dirty or already clean).
+    Evict,
+}
+
+/// Observer callback receiving [`PagerEvent`]s; must be cheap and must not
+/// call back into the pager (it runs under the pool lock).
+pub type PagerObserver = Arc<dyn Fn(PagerEvent) + Send + Sync>;
 
 /// Opaque handle to a page owned by a [`Pager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +96,9 @@ pub struct Pager {
     capacity: Option<usize>,
     spill_dir: PathBuf,
     inner: Mutex<Inner>,
+    /// Optional event hook (kept outside `inner` so installing one never
+    /// contends with pool operations).
+    observer: RwLock<Option<PagerObserver>>,
 }
 
 impl Pager {
@@ -93,6 +118,21 @@ impl Pager {
                 spill: None,
                 stats: PagerStats::default(),
             }),
+            observer: RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears, with `None`) the event observer. The callback
+    /// fires synchronously at each spill write, spill read and eviction; it
+    /// runs under the pool lock, so it must be cheap and must not re-enter
+    /// the pager.
+    pub fn set_observer(&self, observer: Option<PagerObserver>) {
+        *self.observer.write() = observer;
+    }
+
+    fn notify(&self, event: PagerEvent) {
+        if let Some(observer) = self.observer.read().as_ref() {
+            observer(event);
         }
     }
 
@@ -221,6 +261,7 @@ impl Pager {
         })?;
         let bytes = spill.read(slot)?;
         inner.stats.spill_bytes_read += slot.len;
+        self.notify(PagerEvent::SpillRead { bytes: slot.len });
         let batch = codec::decode_batch(&bytes)?;
         let size = batch.approx_size_bytes().max(1);
         inner.frames.insert(
@@ -282,11 +323,13 @@ impl Pager {
                 inner.stats.pages_spilled += 1;
                 inner.stats.spill_bytes_written += slot.len;
                 inner.disk.insert(id, slot);
+                self.notify(PagerEvent::SpillWrite { bytes: slot.len });
             }
             let frame = inner.frames.remove(&id).expect("still resident");
             inner.resident_bytes -= frame.bytes;
             inner.clock.remove(inner.hand);
             inner.stats.pages_evicted += 1;
+            self.notify(PagerEvent::Evict);
             scanned_since_evict = 0;
         }
         Ok(())
@@ -500,6 +543,50 @@ mod tests {
             path
         };
         assert!(!path.exists(), "drop must delete the spill file");
+    }
+
+    #[test]
+    fn observer_sees_spill_writes_reads_and_evictions() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page * 2)));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        pager.set_observer(Some(Arc::new(move |e| sink.lock().push(e))));
+
+        let ids: Vec<_> = (0..6)
+            .map(|i| pager.append_page(batch(i, 50)).unwrap())
+            .collect();
+        pager.read_page(ids[0]).unwrap();
+
+        let seen = events.lock().clone();
+        let stats = pager.stats();
+        let writes = seen
+            .iter()
+            .filter(|e| matches!(e, PagerEvent::SpillWrite { .. }))
+            .count();
+        let reads = seen
+            .iter()
+            .filter(|e| matches!(e, PagerEvent::SpillRead { .. }))
+            .count();
+        let evicts = seen
+            .iter()
+            .filter(|e| matches!(e, PagerEvent::Evict))
+            .count();
+        assert_eq!(writes, stats.pages_spilled, "one event per spill write");
+        assert!(reads > 0, "faulting page 0 back must emit a read");
+        assert_eq!(evicts, stats.pages_evicted);
+        assert!(seen.iter().all(|e| match e {
+            PagerEvent::SpillWrite { bytes } | PagerEvent::SpillRead { bytes } => *bytes > 0,
+            PagerEvent::Evict => true,
+        }));
+
+        // Clearing the observer stops delivery.
+        pager.set_observer(None);
+        let before = events.lock().len();
+        for i in 6..9 {
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        assert_eq!(events.lock().len(), before);
     }
 
     #[test]
