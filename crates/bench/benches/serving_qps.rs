@@ -1,0 +1,162 @@
+//! Serving-layer throughput: four concurrent sessions push the mixed
+//! point/analytic workload through one `SdbServer` — one shared catalog, one
+//! buffer pool, one admission controller — under an unlimited and a 64K
+//! global budget. The interesting comparison is the cost of contention: the
+//! bounded pool forces per-query budget shares (and spilling sorts) while the
+//! unbounded one never touches disk.
+//!
+//! Besides the criterion timings, the target writes a deterministic
+//! `BENCH_serving.json` snapshot (row/spill counts from a serial round, no
+//! timings) at the repository root so the serving trajectory is tracked in
+//! version control across PRs.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdb_engine::MemoryBudget;
+use sdb_server::{AdmissionMode, SdbServer, ServerConfig};
+use sdb_storage::{ColumnDef, DataType, Schema, Table, Value};
+
+const ROWS: i64 = 160;
+const WIDE_ROWS: i64 = 1280;
+const SESSIONS: usize = 4;
+const BOUNDED_BUDGET: usize = 64 << 10;
+
+/// The same deterministic mixed dataset the serving tests use: public
+/// ids/regions, sensitive amounts, seeded with a linear-congruential walk.
+fn orders_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("region", DataType::Varchar),
+        ColumnDef::sensitive("amount", DataType::Int),
+        ColumnDef::sensitive("qty", DataType::Int),
+    ]);
+    let mut table = Table::new("orders", schema);
+    for id in 0..ROWS {
+        let region = ["north", "south", "east", "west"][(id % 4) as usize];
+        let amount = (id * 7919 + 104_729) % 10_000;
+        let qty = (id * 6101 + 15_485) % 5_000;
+        table
+            .insert_row(vec![
+                Value::Int(id),
+                Value::Str(region.to_string()),
+                Value::Int(amount),
+                Value::Int(qty),
+            ])
+            .expect("insert");
+    }
+    table
+}
+
+/// Public-only table wide enough that its server-side sort spills under a
+/// bounded budget share (sensitive sort keys move client-side and would
+/// bypass the buffer pool entirely).
+fn wide_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("pad", DataType::Varchar),
+    ]);
+    let mut table = Table::new("wide", schema);
+    for id in 0..WIDE_ROWS {
+        table
+            .insert_row(vec![Value::Int(id), Value::Str(format!("{id:0>120}"))])
+            .expect("insert");
+    }
+    table
+}
+
+/// One serving round per session: point lookups, secure aggregation, oracle
+/// comparisons and a pool-materialising public sort.
+fn queries() -> [&'static str; 5] {
+    [
+        "SELECT amount FROM orders WHERE id = 37",
+        "SELECT SUM(amount) AS total FROM orders",
+        "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM orders GROUP BY region ORDER BY region",
+        "SELECT id, amount FROM orders WHERE amount > qty ORDER BY id LIMIT 20",
+        "SELECT id, pad FROM wide ORDER BY id DESC",
+    ]
+}
+
+fn build_server(budget: MemoryBudget) -> SdbServer {
+    let config = ServerConfig::test_profile()
+        .with_global_budget(budget)
+        .with_max_concurrent(SESSIONS)
+        .with_admission_mode(AdmissionMode::Queue)
+        .with_parallelism(1);
+    let mut server = SdbServer::new(config).expect("server");
+    server.stage_table(orders_table()).expect("stage orders");
+    server.stage_table(wide_table()).expect("stage wide");
+    server.upload_all().expect("upload");
+    server
+}
+
+/// One round of sustained mixed load: every session walks the workload from
+/// its own offset so distinct queries overlap in flight. Returns total rows.
+fn run_round(server: &Arc<SdbServer>) -> usize {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..SESSIONS)
+            .map(|worker| {
+                let server = Arc::clone(server);
+                scope.spawn(move || {
+                    let session = server.connect();
+                    let all = queries();
+                    let mut rows = 0;
+                    for step in 0..all.len() {
+                        let sql = all[(step + worker) % all.len()];
+                        rows += server.execute(session, sql).expect("query").rows().len();
+                    }
+                    server.close(session).expect("close");
+                    rows
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("worker")).sum()
+    })
+}
+
+/// Writes the deterministic snapshot checked in at the repo root: counts from
+/// a *serial* round (one session, no interleaving) so the numbers are stable.
+fn write_snapshot() {
+    let server = build_server(MemoryBudget::bytes(BOUNDED_BUDGET));
+    let session = server.connect();
+    let mut rows = 0;
+    for sql in queries() {
+        rows += server.execute(session, sql).expect("query").rows().len();
+    }
+    let stats = server.session_stats(session).expect("stats");
+    assert!(
+        stats.pages_spilled > 0,
+        "the bounded budget must force the public sort to spill"
+    );
+    let snapshot = format!(
+        "{{\n  \"bench\": \"serving_qps\",\n  \"sessions\": {SESSIONS},\n  \"queries_per_round\": {},\n  \"orders_rows\": {ROWS},\n  \"wide_rows\": {WIDE_ROWS},\n  \"bounded_budget_bytes\": {BOUNDED_BUDGET},\n  \"serial_round\": {{\n    \"rows_returned\": {rows},\n    \"oracle_round_trips\": {},\n    \"pages_spilled\": {}\n  }}\n}}\n",
+        queries().len(),
+        stats.oracle_round_trips,
+        stats.pages_spilled,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &snapshot).expect("snapshot write");
+    println!("{snapshot}");
+}
+
+fn serving_qps(c: &mut Criterion) {
+    write_snapshot();
+
+    let unbounded = Arc::new(build_server(MemoryBudget::unlimited()));
+    let bounded = Arc::new(build_server(MemoryBudget::bytes(BOUNDED_BUDGET)));
+
+    let mut group = c.benchmark_group("serving_qps");
+    group.sample_size(10);
+    group.bench_function("mixed_4_sessions_unbounded", |b| {
+        b.iter(|| black_box(run_round(&unbounded)))
+    });
+    group.bench_function("mixed_4_sessions_64k_shared_pool", |b| {
+        b.iter(|| black_box(run_round(&bounded)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serving_qps);
+criterion_main!(benches);

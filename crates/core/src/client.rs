@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use sdb_engine::{EngineError, ExecutionStats, SpEngine};
+use sdb_engine::{EngineError, ExecutionStats, QueryOptions, SpEngine};
 use sdb_proxy::proxy::{ClientCost, RewrittenQuery};
 use sdb_proxy::{ProxyError, SdbProxy, UploadOptions};
 use sdb_sql::ast::{Expr, Literal, UnaryOp};
@@ -375,6 +375,16 @@ impl SdbClient {
         self.run_rewritten(&rewritten)
     }
 
+    /// Runs a SELECT query end to end with per-query execution overrides
+    /// (budget, pager lease, cancellation token, parallelism, tracing) — the
+    /// serving layer's secure-query path. A cancelled token surfaces as an
+    /// engine error wrapping
+    /// [`sdb_storage::StorageError::Cancelled`].
+    pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let rewritten = self.proxy.rewrite(sql)?;
+        self.run_rewritten_with(&rewritten, opts)
+    }
+
     /// Rewrites a query without executing it (to inspect the rewritten SQL, as the
     /// demo's query view does).
     pub fn rewrite_only(&self, sql: &str) -> Result<RewrittenQuery> {
@@ -383,15 +393,25 @@ impl SdbClient {
 
     /// Executes an already-rewritten query.
     pub fn run_rewritten(&self, rewritten: &RewrittenQuery) -> Result<QueryResult> {
+        self.run_rewritten_with(rewritten, &QueryOptions::default())
+    }
+
+    /// Executes an already-rewritten query with per-query overrides.
+    pub fn run_rewritten_with(
+        &self,
+        rewritten: &RewrittenQuery,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult> {
         let bytes_to_sp = rewritten.server_sql.len();
         self.wire
             .record(WireMessageKind::QueryToSp, rewritten.server_sql.clone());
 
+        // The oracle travels inside the per-query options rather than the
+        // engine-wide slot, so concurrent sessions sharing this client can
+        // never swap each other's oracle mid-query.
         let oracle = RecordingOracle::new(self.proxy.oracle(rewritten), self.wire.clone());
-        self.engine.connect_oracle(Arc::new(oracle));
-        let output = self.engine.execute_sql(&rewritten.server_sql);
-        self.engine.disconnect_oracle();
-        let output = output?;
+        let opts = opts.clone().with_oracle(Arc::new(oracle));
+        let output = self.engine.execute_sql_with(&rewritten.server_sql, &opts)?;
 
         let result_payload = serde_json::to_string(&output.batch).unwrap_or_default();
         let bytes_from_sp = result_payload.len();

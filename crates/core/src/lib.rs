@@ -42,7 +42,7 @@ pub use audit::{AuditReport, MemoryAuditor};
 pub use client::{QueryResult, SdbClient, SdbConfig, SdbError};
 pub use sdb_crypto::KeyConfig;
 pub use sdb_proxy::UploadOptions;
-pub use wire::{WireLog, WireMessage};
+pub use wire::{decode_frame, encode_frame, WireLog, WireMessage, WireMessageKind};
 
 /// Library result alias.
 pub type Result<T> = std::result::Result<T, SdbError>;

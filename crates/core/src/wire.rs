@@ -36,6 +36,39 @@ pub enum WireMessageKind {
     OracleResponse,
     /// Encrypted table upload (proxy → SP).
     Upload,
+    /// Framed serving-layer request (client → server session manager).
+    SessionRequest,
+    /// Framed serving-layer response (server session manager → client).
+    SessionResponse,
+}
+
+/// Length-prefixes `payload` as one wire frame: a 4-byte big-endian length
+/// followed by the payload bytes. This is the framing the serving layer
+/// speaks over byte streams; pairing with [`decode_frame`] round-trips any
+/// payload.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes one length-prefixed frame from the front of `bytes`, returning
+/// the payload and the total bytes consumed. Errors (with a description) on
+/// a truncated header or body — the caller should read more bytes and retry.
+pub fn decode_frame(bytes: &[u8]) -> Result<(&[u8], usize), String> {
+    if bytes.len() < 4 {
+        return Err(format!("frame header needs 4 bytes, have {}", bytes.len()));
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let total = 4 + len;
+    if bytes.len() < total {
+        return Err(format!(
+            "frame body needs {len} bytes, have {}",
+            bytes.len() - 4
+        ));
+    }
+    Ok((&bytes[4..total], total))
 }
 
 /// A log of every message that crossed the boundary.
@@ -143,6 +176,32 @@ mod tests {
         assert!(log.concatenated_payloads().contains("SELECT 1"));
         log.clear();
         assert_eq!(log.total_bytes(), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_and_report_truncation() {
+        let payload = br#"{"Execute":{"session":3,"sql":"SELECT 1"}}"#;
+        let frame = encode_frame(payload);
+        assert_eq!(frame.len(), payload.len() + 4);
+        let (decoded, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(decoded, payload);
+        assert_eq!(consumed, frame.len());
+
+        // Back-to-back frames decode in sequence.
+        let mut two = frame.clone();
+        two.extend_from_slice(&encode_frame(b"x"));
+        let (first, used) = decode_frame(&two).unwrap();
+        assert_eq!(first, payload);
+        let (second, _) = decode_frame(&two[used..]).unwrap();
+        assert_eq!(second, b"x");
+
+        // Truncations are reported, not panics.
+        assert!(decode_frame(&frame[..2]).is_err());
+        assert!(decode_frame(&frame[..frame.len() - 1]).is_err());
+        let empty_frame = encode_frame(b"");
+        let (empty, consumed) = decode_frame(&empty_frame).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(consumed, 4);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use sdb_sql::{parse_sql, PlanBuilder, Statement};
-use sdb_storage::{Catalog, ColumnDef, DataType, MemoryBudget, RecordBatch, Schema, Table, Value};
+use sdb_storage::{
+    CancelToken, Catalog, ColumnDef, DataType, MemoryBudget, Pager, RecordBatch, Schema, Table,
+    Value,
+};
 
 use crate::eval::literal_to_value;
 use crate::operators::ExecContext;
@@ -28,6 +31,87 @@ pub struct QueryOutput {
     /// The per-operator execution trace, when tracing was on for this query
     /// ([`SpEngine::with_tracing`] / `SDB_TRACE=1` / `EXPLAIN ANALYZE`).
     pub trace: Option<crate::trace::TraceReport>,
+}
+
+/// Per-query overrides applied on top of an engine's configured knobs for a
+/// single [`SpEngine::execute_sql_with`] call. `None` fields inherit the
+/// engine's defaults.
+///
+/// This is the serving layer's hook: one long-lived engine can run many
+/// concurrent queries, each with its own budget share, pager lease on the
+/// global buffer pool, and cancellation token.
+#[derive(Clone, Default)]
+pub struct QueryOptions {
+    /// Memory budget the *plan* should assume (drives the choice of
+    /// spilling operator variants).
+    pub memory_budget: Option<MemoryBudget>,
+    /// Pager lease to execute against (typically [`Pager::shared`] on a
+    /// global [`sdb_storage::BufferPool`]). Without one, the query gets a
+    /// fresh private pool under its budget.
+    pub pager: Option<Arc<Pager>>,
+    /// Cooperative cancellation token polled by the query's operators,
+    /// oracle flushes and pager.
+    pub cancel: Option<CancelToken>,
+    /// Workers for this query's parallel operators.
+    pub parallelism: Option<usize>,
+    /// Per-operator tracing for this query.
+    pub tracing: Option<bool>,
+    /// Oracle for this query only, taking precedence over the engine-wide
+    /// slot installed by [`SpEngine::connect_oracle`]. Concurrent serving
+    /// sessions each carry their own oracle here, so one session's
+    /// connect/disconnect can never swap another's mid-query.
+    pub oracle: Option<OracleRef>,
+}
+
+impl std::fmt::Debug for QueryOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryOptions")
+            .field("memory_budget", &self.memory_budget)
+            .field("pager", &self.pager.as_ref().map(|_| ".."))
+            .field("cancel", &self.cancel)
+            .field("parallelism", &self.parallelism)
+            .field("tracing", &self.tracing)
+            .field("oracle", &self.oracle.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl QueryOptions {
+    /// Sets the plan's memory budget.
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
+    }
+
+    /// Sets the pager lease to execute against.
+    pub fn with_pager(mut self, pager: Arc<Pager>) -> Self {
+        self.pager = Some(pager);
+        self
+    }
+
+    /// Sets the cancellation token.
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Enables or disables tracing for this query.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = Some(tracing);
+        self
+    }
+
+    /// Sets this query's oracle (overrides the engine-wide slot).
+    pub fn with_oracle(mut self, oracle: OracleRef) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
 }
 
 /// The service-provider engine.
@@ -451,20 +535,80 @@ impl SpEngine {
 
     /// Executes a single SQL statement (SELECT, CREATE TABLE or INSERT).
     pub fn execute_sql(&self, sql: &str) -> Result<QueryOutput> {
+        self.execute_sql_with(sql, &QueryOptions::default())
+    }
+
+    /// Executes a single SQL statement with per-query overrides — the
+    /// serving layer's entry point. Options only affect SELECT execution;
+    /// DDL/DML statements ignore them (they don't plan or spill).
+    ///
+    /// ```
+    /// use sdb_engine::{QueryOptions, SpEngine};
+    /// use sdb_storage::CancelToken;
+    ///
+    /// let engine = SpEngine::new();
+    /// engine.execute_sql("CREATE TABLE t (a INT)")?;
+    /// engine.execute_sql("INSERT INTO t VALUES (1), (2), (3)")?;
+    ///
+    /// let cancel = CancelToken::new();
+    /// let opts = QueryOptions::default()
+    ///     .with_parallelism(1)
+    ///     .with_cancel_token(cancel.clone());
+    /// let out = engine.execute_sql_with("SELECT a FROM t ORDER BY a", &opts)?;
+    /// assert_eq!(out.batch.num_rows(), 3);
+    ///
+    /// cancel.cancel();
+    /// assert!(engine.execute_sql_with("SELECT a FROM t", &opts).is_err());
+    /// # Ok::<(), sdb_engine::EngineError>(())
+    /// ```
+    pub fn execute_sql_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutput> {
         let started = Instant::now();
         let statement = parse_sql(sql)?;
-        let mut output = self.execute_statement(&statement)?;
+        let mut output = self.execute_statement_with(&statement, opts)?;
         output.stats.total_time = started.elapsed();
         Ok(output)
     }
 
     /// Executes an already-parsed statement.
     pub fn execute_statement(&self, statement: &Statement) -> Result<QueryOutput> {
+        self.execute_statement_with(statement, &QueryOptions::default())
+    }
+
+    /// Builds the execution context for one query, layering `opts` over the
+    /// engine's knobs. Order matters: the budget rebuilds the pool, tracing
+    /// installs observers, and the pager lease replaces the pool last (so
+    /// observers and the cancel token land on the lease actually used).
+    fn query_context(&self, oracle: Option<OracleRef>, opts: &QueryOptions) -> ExecContext<'_> {
+        let mut ctx = self.fresh_context(oracle);
+        if let Some(budget) = &opts.memory_budget {
+            ctx = ctx.with_memory_budget(budget.clone());
+        }
+        if let Some(parallelism) = opts.parallelism {
+            ctx = ctx.with_parallelism(parallelism);
+        }
+        if let Some(tracing) = opts.tracing {
+            ctx = ctx.with_tracing(tracing);
+        }
+        if let Some(cancel) = &opts.cancel {
+            ctx = ctx.with_cancel_token(cancel.clone());
+        }
+        if let Some(pager) = &opts.pager {
+            ctx = ctx.with_pager(Arc::clone(pager));
+        }
+        ctx
+    }
+
+    /// Executes an already-parsed statement with per-query overrides.
+    pub fn execute_statement_with(
+        &self,
+        statement: &Statement,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutput> {
         match statement {
             Statement::Query(query) => {
                 let plan = PlanBuilder::build(query)?;
-                let oracle = self.oracle.read().clone();
-                let ctx = Arc::new(self.fresh_context(oracle));
+                let oracle = opts.oracle.clone().or_else(|| self.oracle.read().clone());
+                let ctx = Arc::new(self.query_context(oracle, opts));
                 let batch = planner::execute_plan(&ctx, &plan)?;
                 let trace = ctx.trace().map(|t| t.report());
                 if let Some(report) = &trace {

@@ -39,12 +39,12 @@ pub mod stats;
 pub mod trace;
 pub mod udf;
 
-pub use engine::SpEngine;
+pub use engine::{QueryOptions, QueryOutput, SpEngine};
 pub use error::EngineError;
 pub use operators::{BoxedOperator, ExecContext, PhysicalOperator, DEFAULT_BATCH_SIZE};
 pub use optimizer::Optimizer;
 pub use planner::PhysicalPlanner;
-pub use sdb_storage::MemoryBudget;
+pub use sdb_storage::{BufferPool, CancelToken, MemoryBudget};
 pub use secure::{
     LatencyOracle, NullOracle, OracleRequest, OracleResponse, OracleResult, SdbOracle,
 };

@@ -100,7 +100,7 @@ use rand::{Rng, SeedableRng};
 
 use sdb_sql::ast::Query;
 use sdb_sql::plan::PlanBuilder;
-use sdb_storage::{Catalog, MemoryBudget, Pager, RecordBatch, Schema, Value};
+use sdb_storage::{CancelToken, Catalog, MemoryBudget, Pager, RecordBatch, Schema, Value};
 
 use crate::eval::{Evaluator, SubqueryResolver};
 use crate::secure::OracleRef;
@@ -207,6 +207,10 @@ pub struct ExecContext<'a> {
     /// in a [`crate::trace::InstrumentedOperator`] and hooks pager / oracle
     /// events into the owning span; `None` costs nothing.
     trace: Option<Arc<crate::trace::QueryTrace>>,
+    /// Cooperative cancellation flag, polled at operator `next_batch` loops,
+    /// oracle flushes and pager admissions. Defaults to a never-cancelled
+    /// token; the serving layer installs a real one per query.
+    cancel: CancelToken,
 }
 
 impl<'a> ExecContext<'a> {
@@ -258,6 +262,7 @@ impl<'a> ExecContext<'a> {
             pager: Arc::new(Pager::new(&budget)),
             budget,
             trace: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -311,15 +316,48 @@ impl<'a> ExecContext<'a> {
     pub fn with_memory_budget(self, budget: MemoryBudget) -> Self {
         let pager = Arc::new(Pager::new(&budget));
         // The budget rebuilds the buffer pool, so the trace's pager hook (if
-        // tracing was enabled first) must be re-installed on the new pool.
+        // tracing was enabled first) and the cancellation token must be
+        // re-installed on the new lease.
         if let Some(trace) = &self.trace {
             crate::trace::install_pager_observer(&pager, trace);
         }
+        pager.set_cancel_token(self.cancel.clone());
         ExecContext {
             pager,
             budget,
             ..self
         }
+    }
+
+    /// Replaces the query's pager lease — the serving layer's hook for
+    /// running many queries against one shared, globally-budgeted
+    /// [`sdb_storage::BufferPool`] (create the lease with
+    /// [`Pager::shared`]). The trace's pager hook and the cancellation token
+    /// are installed on the new lease, and the context's planning budget
+    /// becomes the lease's resident-byte *quota* inside the shared pool —
+    /// so a query bounded to a share of the global budget spills once its
+    /// own pages exceed that share, exactly as it would in a private pool
+    /// of that size. The planning budget itself is untouched, so set
+    /// [`Self::with_memory_budget`] *first* to the budget the plan should
+    /// assume.
+    pub fn with_pager(self, pager: Arc<Pager>) -> Self {
+        if let Some(trace) = &self.trace {
+            crate::trace::install_pager_observer(&pager, trace);
+        }
+        pager.set_cancel_token(self.cancel.clone());
+        pager.set_quota(self.budget.limit());
+        ExecContext { pager, ..self }
+    }
+
+    /// Installs the cancellation token polled by this query's operators,
+    /// oracle flushes and pager (replacing the default never-cancelled
+    /// token). Cancelling the token makes the next poll fail with
+    /// [`sdb_storage::StorageError::Cancelled`]; the query then unwinds
+    /// through its normal error path, releasing its pager lease, spill
+    /// files and pins.
+    pub fn with_cancel_token(self, cancel: CancelToken) -> Self {
+        self.pager.set_cancel_token(cancel.clone());
+        ExecContext { cancel, ..self }
     }
 
     /// Overrides the batch size (power users / tests).
@@ -479,9 +517,22 @@ impl<'a> ExecContext<'a> {
             .with_oracle_batching(self.oracle_batching)
     }
 
-    /// The query's buffer pool.
+    /// The query's buffer pool lease.
     pub fn pager(&self) -> &Arc<Pager> {
         &self.pager
+    }
+
+    /// The query's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Polls the cancellation token; operators call this at the top of their
+    /// `next_batch` loops. Fails with [`EngineError::Storage`] wrapping
+    /// [`sdb_storage::StorageError::Cancelled`] once cancelled.
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.cancel.check()?;
+        Ok(())
     }
 
     /// A snapshot of the statistics accumulated so far, merged across all
@@ -579,6 +630,8 @@ impl ExecContext<'_> {
         sub.oracle = Self::wrapped_oracle(&sub.oracle_raw, self.oracle_latency);
         sub.oracle_latency = self.oracle_latency;
         sub.oracle_memo = Arc::clone(&self.oracle_memo);
+        // Cancelling the parent must also stop a subquery in flight.
+        sub = sub.with_cancel_token(self.cancel.clone());
         // Attribute the subquery's wall time to the parent: `total_time` is
         // only stamped at the top-level execute, so without this counter a
         // subquery-heavy parent under-reports where its time went. Cache

@@ -268,6 +268,11 @@ fn resolve_call(
         return Ok(values); // nothing to ship: no round trip at all
     }
 
+    // A cancelled query must not start another round trip (the flush path
+    // resolves one call per iteration, so this bounds post-cancel work to
+    // the request already in flight).
+    ctx.check_cancelled()?;
+
     let oracle = ctx
         .oracle()
         .cloned()
@@ -644,6 +649,7 @@ impl PhysicalOperator for OracleResolve<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        self.ctx.check_cancelled()?;
         if self.streaming {
             return self.next_streaming();
         }

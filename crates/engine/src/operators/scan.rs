@@ -81,6 +81,7 @@ impl PhysicalOperator for TableScan<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        self.ctx.check_cancelled()?;
         let total = match &self.source {
             Some(source) => source.num_rows(),
             // The whole-table fast path below already handed the snapshot off.
@@ -187,6 +188,7 @@ impl PhysicalOperator for ParallelTableScan<'_> {
     }
 
     fn next_batch(&mut self) -> Result<Option<RecordBatch>> {
+        self.ctx.check_cancelled()?;
         let chunk = self.chunks.pop_front();
         if let Some(chunk) = &chunk {
             self.ctx.stats_mut().rows_scanned += chunk.num_rows();

@@ -40,6 +40,11 @@ pub enum HandleKey {
 }
 
 /// Per-query session state.
+///
+/// The serving layer shares one session between the rewriter (ahead of
+/// execution) and the oracle (during execution, possibly from worker threads),
+/// so all interior state is behind [`Mutex`]es / atomics and the type is
+/// `Send + Sync` by construction — asserted at compile time in the tests.
 #[derive(Debug, Default)]
 pub struct QuerySession {
     handles: Mutex<HashMap<String, HandleKey>>,
@@ -132,6 +137,13 @@ impl QuerySession {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn session_and_proxy_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuerySession>();
+        assert_send_sync::<crate::SdbProxy>();
+    }
 
     #[test]
     fn handles_are_unique_and_resolvable() {

@@ -1,0 +1,50 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+use sdb::SdbError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The query's cancellation token fired (while queued for admission or
+    /// mid-execution). The session stays usable.
+    Cancelled,
+    /// The request named a session id this server never issued (or one that
+    /// has been closed).
+    UnknownSession(u64),
+    /// A framed request could not be decoded or parsed.
+    Protocol(String),
+    /// The underlying client (proxy rewrite, SP execution, decryption)
+    /// failed for a non-cancellation reason.
+    Client(SdbError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Cancelled => write!(f, "query cancelled"),
+            ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ServerError::Client(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Client(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdbError> for ServerError {
+    fn from(err: SdbError) -> Self {
+        ServerError::Client(err)
+    }
+}
+
+/// Library result alias.
+pub type Result<T> = std::result::Result<T, ServerError>;

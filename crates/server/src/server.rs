@@ -1,0 +1,383 @@
+//! The session manager: many concurrent queries over one engine.
+//!
+//! One [`SdbServer`] owns a single [`sdb::SdbClient`] (proxy + SP engine +
+//! wire log), one global [`BufferPool`] sized by the server's memory budget,
+//! and one [`AdmissionController`]. Each connected session runs queries
+//! through [`SdbServer::execute`], which:
+//!
+//! 1. registers the query's [`CancelToken`] so [`SdbServer::cancel`] works,
+//! 2. waits for (or degrades under) budget admission,
+//! 3. takes a fresh [`Pager`] lease on the shared pool, and
+//! 4. executes through the client with per-query [`QueryOptions`] — so the
+//!    plan sees this query's budget share while the pages live in the global
+//!    pool.
+//!
+//! Dropping the lease (normal completion, error or cancellation alike)
+//! releases the query's frames and deletes its spill file; dropping the
+//! admission grant frees the slot for the next queued submission.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use sdb::{QueryResult, SdbClient, SdbConfig, WireLog};
+use sdb_engine::QueryOptions;
+use sdb_storage::{BufferPool, CancelToken, MemoryBudget, Pager};
+
+use crate::admission::{AdmissionController, AdmissionMode};
+use crate::error::{Result, ServerError};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Key material / profile for the embedded client.
+    pub client: SdbConfig,
+    /// Global memory budget shared by every concurrent query.
+    pub global_budget: MemoryBudget,
+    /// Admission slots (concurrent queries at full budget share).
+    pub max_concurrent: usize,
+    /// What a pool-hot submission does: queue FIFO or run degraded.
+    pub admission: AdmissionMode,
+    /// Workers per query (`None` inherits the engine default).
+    pub parallelism: Option<usize>,
+    /// Per-operator tracing per query (`None` inherits the engine default,
+    /// which honours `SDB_TRACE`).
+    pub tracing: Option<bool>,
+}
+
+impl ServerConfig {
+    /// Small-parameter profile for tests: the client's test key profile and
+    /// the `SDB_TEST_MEM_BUDGET` budget (unlimited when unset).
+    pub fn test_profile() -> Self {
+        ServerConfig {
+            client: SdbConfig::test_profile(),
+            global_budget: MemoryBudget::from_env(),
+            max_concurrent: 4,
+            admission: AdmissionMode::Queue,
+            parallelism: None,
+            tracing: None,
+        }
+    }
+
+    /// Sets the global memory budget.
+    pub fn with_global_budget(mut self, budget: MemoryBudget) -> Self {
+        self.global_budget = budget;
+        self
+    }
+
+    /// Sets the number of admission slots.
+    pub fn with_max_concurrent(mut self, slots: usize) -> Self {
+        self.max_concurrent = slots;
+        self
+    }
+
+    /// Sets the pool-hot policy.
+    pub fn with_admission_mode(mut self, mode: AdmissionMode) -> Self {
+        self.admission = mode;
+        self
+    }
+
+    /// Sets the per-query worker count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Forces per-query tracing on or off.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = Some(tracing);
+        self
+    }
+}
+
+/// Cumulative per-session statistics, updated after every query.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Queries submitted (successful or not).
+    pub queries: usize,
+    /// Result rows returned across successful queries.
+    pub rows_returned: usize,
+    /// Pages this session's queries spilled from their pool leases.
+    pub pages_spilled: usize,
+    /// Oracle round trips across successful queries.
+    pub oracle_round_trips: usize,
+    /// Submissions that waited in the admission queue.
+    pub queued_admissions: usize,
+    /// Submissions that ran on a degraded (spilling) budget share.
+    pub degraded_admissions: usize,
+    /// Queries that ended because their cancel token fired.
+    pub cancelled_queries: usize,
+    /// Queries that failed for any other reason.
+    pub failed_queries: usize,
+}
+
+/// Per-session serving state.
+#[derive(Debug, Default)]
+struct SessionState {
+    /// Cancel token of the in-flight (or most recent) query.
+    cancel: Mutex<CancelToken>,
+    stats: Mutex<SessionStats>,
+}
+
+/// A multi-session query server over one shared engine.
+///
+/// Setup (DDL, inserts, upload) happens single-threaded through
+/// [`SdbServer::execute_ddl`] / [`SdbServer::upload_all`]; serving happens
+/// through shared references, so tests and callers can run
+/// [`SdbServer::execute`] from many threads at once.
+pub struct SdbServer {
+    client: SdbClient,
+    pool: Arc<BufferPool>,
+    admission: AdmissionController,
+    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    next_session: AtomicU64,
+    parallelism: Option<usize>,
+    tracing: Option<bool>,
+}
+
+impl SdbServer {
+    /// Builds a server: embedded client, shared buffer pool sized by the
+    /// global budget, and admission controller.
+    pub fn new(config: ServerConfig) -> Result<Self> {
+        let client = SdbClient::new(config.client)?;
+        let pool = Arc::new(BufferPool::new(&config.global_budget));
+        let admission = AdmissionController::new(
+            config.max_concurrent,
+            config.admission,
+            config.global_budget,
+        );
+        Ok(SdbServer {
+            client,
+            pool,
+            admission,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            parallelism: config.parallelism,
+            tracing: config.tracing,
+        })
+    }
+
+    /// Runs a setup statement (`CREATE TABLE … SENSITIVE`, `INSERT`) on the
+    /// data-owner side.
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<()> {
+        Ok(self.client.execute(sql)?)
+    }
+
+    /// Stages an already-built plaintext table on the data-owner side (bulk
+    /// loading path used by tests and benches).
+    pub fn stage_table(&mut self, table: sdb_storage::Table) -> Result<()> {
+        Ok(self.client.stage_table(table)?)
+    }
+
+    /// Encrypts and uploads every staged table to the SP.
+    pub fn upload_all(&mut self) -> Result<()> {
+        Ok(self.client.upload_all()?)
+    }
+
+    /// Opens a session and returns its id.
+    pub fn connect(&self) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .insert(id, Arc::new(SessionState::default()));
+        id
+    }
+
+    /// Closes a session. In-flight queries finish; later requests on the id
+    /// fail with [`ServerError::UnknownSession`].
+    pub fn close(&self, session: u64) -> Result<()> {
+        self.sessions
+            .lock()
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(ServerError::UnknownSession(session))
+    }
+
+    /// Runs one query on a session with a fresh cancel token.
+    pub fn execute(&self, session: u64, sql: &str) -> Result<QueryResult> {
+        self.execute_with_token(session, sql, CancelToken::new())
+    }
+
+    /// Runs one query on a session under a caller-supplied cancel token —
+    /// the deterministic-test entry point
+    /// ([`CancelToken::cancel_after_checks`] trips the token at an exact
+    /// poll count, independent of thread timing).
+    pub fn execute_with_token(
+        &self,
+        session: u64,
+        sql: &str,
+        cancel: CancelToken,
+    ) -> Result<QueryResult> {
+        let state = self.session(session)?;
+        *state.cancel.lock() = cancel.clone();
+
+        let grant = match self.admission.admit(&cancel) {
+            Ok(grant) => grant,
+            Err(err) => {
+                let mut stats = state.stats.lock();
+                stats.queries += 1;
+                stats.cancelled_queries += 1;
+                return Err(err);
+            }
+        };
+        let pager = Arc::new(Pager::shared(&self.pool));
+        let mut opts = QueryOptions::default()
+            .with_memory_budget(grant.budget().clone())
+            .with_cancel_token(cancel.clone())
+            .with_pager(Arc::clone(&pager));
+        if let Some(parallelism) = self.parallelism {
+            opts = opts.with_parallelism(parallelism);
+        }
+        if let Some(tracing) = self.tracing {
+            opts = opts.with_tracing(tracing);
+        }
+
+        let result = self.client.query_with(sql, &opts);
+        let pager_stats = pager.stats();
+
+        let mut stats = state.stats.lock();
+        stats.queries += 1;
+        stats.pages_spilled += pager_stats.pages_spilled;
+        if grant.queued() {
+            stats.queued_admissions += 1;
+        }
+        if grant.degraded() {
+            stats.degraded_admissions += 1;
+        }
+        match &result {
+            Ok(result) => {
+                stats.rows_returned += result.rows().len();
+                stats.oracle_round_trips += result.server_stats.oracle_round_trips;
+            }
+            Err(_) if cancel.is_cancelled() => stats.cancelled_queries += 1,
+            Err(_) => stats.failed_queries += 1,
+        }
+        drop(stats);
+
+        // Order matters for cleanup: the lease goes first (frees this
+        // query's frames and deletes its spill file), then the grant frees
+        // the admission slot.
+        drop(pager);
+        drop(grant);
+
+        match result {
+            Ok(result) => Ok(result),
+            Err(_) if cancel.is_cancelled() => Err(ServerError::Cancelled),
+            Err(err) => Err(ServerError::Client(err)),
+        }
+    }
+
+    /// Cancels the session's in-flight query (cooperative: the query stops
+    /// at its next poll point — scan batch, oracle round trip, pager
+    /// operation or admission wait).
+    pub fn cancel(&self, session: u64) -> Result<()> {
+        let state = self.session(session)?;
+        let token = state.cancel.lock().clone();
+        token.cancel();
+        Ok(())
+    }
+
+    /// Cumulative statistics for a session.
+    pub fn session_stats(&self, session: u64) -> Result<SessionStats> {
+        Ok(self.session(session)?.stats.lock().clone())
+    }
+
+    /// The shared buffer pool (tests assert on residency and spill files).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The admission controller (tests assert FIFO order and counters).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The wire log recording every boundary crossing, including framed
+    /// session requests and responses.
+    pub fn wire(&self) -> &WireLog {
+        self.client.wire()
+    }
+
+    /// The embedded end-to-end client.
+    pub fn client(&self) -> &SdbClient {
+        &self.client
+    }
+
+    /// Open session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<SessionState>> {
+        self.sessions
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(ServerError::UnknownSession(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_server() -> SdbServer {
+        let mut server = SdbServer::new(ServerConfig::test_profile()).unwrap();
+        server
+            .execute_ddl("CREATE TABLE t (id INT, v INT SENSITIVE)")
+            .unwrap();
+        server
+            .execute_ddl("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+            .unwrap();
+        server.upload_all().unwrap();
+        server
+    }
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdbServer>();
+    }
+
+    #[test]
+    fn sessions_run_queries_and_track_stats() {
+        let server = tiny_server();
+        let session = server.connect();
+        let result = server
+            .execute(session, "SELECT SUM(v) AS total FROM t")
+            .unwrap();
+        assert_eq!(result.rows()[0][0].render(), "60");
+        let stats = server.session_stats(session).unwrap();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.rows_returned, 1);
+        assert_eq!(stats.cancelled_queries, 0);
+        server.close(session).unwrap();
+        assert!(matches!(
+            server.execute(session, "SELECT v FROM t"),
+            Err(ServerError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_query_leaves_session_usable() {
+        let server = tiny_server();
+        let session = server.connect();
+        let cancel = CancelToken::cancel_after_checks(1);
+        let err = server
+            .execute_with_token(session, "SELECT v FROM t WHERE v > 5", cancel)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Cancelled));
+        assert_eq!(server.pool().resident_pages(), 0);
+        assert_eq!(server.pool().spill_file_count(), 0);
+        let result = server
+            .execute(session, "SELECT SUM(v) AS total FROM t")
+            .unwrap();
+        assert_eq!(result.rows()[0][0].render(), "60");
+        let stats = server.session_stats(session).unwrap();
+        assert_eq!(stats.cancelled_queries, 1);
+        assert_eq!(stats.queries, 2);
+    }
+}

@@ -46,6 +46,8 @@ pub enum StorageError {
         /// Description of the violation.
         detail: String,
     },
+    /// The operation was stopped by a cooperative cancellation token.
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -69,6 +71,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::Persistence { detail } => write!(f, "persistence error: {detail}"),
             StorageError::Invalid { detail } => write!(f, "invalid operation: {detail}"),
+            StorageError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

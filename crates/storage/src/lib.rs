@@ -15,6 +15,7 @@
 
 pub mod batch;
 pub mod bitmap;
+pub mod cancel;
 pub mod catalog;
 pub mod column;
 pub mod columnar;
@@ -28,13 +29,14 @@ pub mod value;
 
 pub use batch::{partition_ranges, RecordBatch};
 pub use bitmap::Bitmap;
+pub use cancel::CancelToken;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use columnar::{ColumnVector, ColumnarColumn};
 pub use error::StorageError;
 pub use pager::{
-    MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamScan, PageStreamWriter, Pager,
-    PagerEvent, PagerObserver, PagerStats, PinnedPage,
+    BufferPool, MemoryBudget, PageId, PageStream, PageStreamReader, PageStreamScan,
+    PageStreamWriter, Pager, PagerEvent, PagerObserver, PagerStats, PinnedPage,
 };
 pub use schema::{resolve_name, ColumnDef, NameResolution, Schema, Sensitivity};
 pub use stats::{analyze_table, ColumnStats, HllSketch, TableStats};

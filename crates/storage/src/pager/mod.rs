@@ -1,27 +1,34 @@
 //! The pager: bounded-memory page management for larger-than-RAM execution.
 //!
 //! Blocking operators (external sort runs, spilled aggregation partitions)
-//! park intermediate [`crate::RecordBatch`]es here as *pages*. The
-//! [`Pager`] keeps decoded pages resident in a fixed-capacity pool of frames
-//! (pin/unpin, dirty tracking, clock eviction); when the pool exceeds the
-//! configured [`MemoryBudget`] it evicts unpinned pages, encoding dirty ones
-//! through the compact binary page codec ([`encode_batch`]) into an
-//! append-only spill file in a
-//! temp directory. Spill files are created lazily on the first eviction and
-//! deleted when the pager is dropped — including on error paths, since drop
-//! runs during unwinding too.
+//! park intermediate [`crate::RecordBatch`]es here as *pages*. A shared
+//! [`BufferPool`] keeps decoded pages resident in a fixed-capacity pool of
+//! frames (pin/unpin, dirty tracking, clock eviction); when the pool exceeds
+//! the configured [`MemoryBudget`] it evicts unpinned pages, encoding dirty
+//! ones through the compact binary page codec ([`encode_batch`]) into
+//! per-query append-only spill files in a temp directory.
+//!
+//! Queries hold a [`Pager`] — a *lease* on a pool. `Pager::new` gives a
+//! private single-query pool; `Pager::shared` joins an existing global pool
+//! (the serving layer's configuration). Spill files are created lazily on
+//! the first eviction of one of the lease's dirty pages and deleted when
+//! the lease is dropped — including on error and cancellation paths, since
+//! drop runs during unwinding too.
 //!
 //! The budget is a *soft* bound on resident page bytes: pinned pages can
 //! never be evicted, so a caller that pins more than the budget (e.g. a
 //! k-way merge holding one page per run) temporarily exceeds it. Eviction
-//! resumes as soon as pins are released.
+//! resumes as soon as pins are released. Under a shared pool, concurrent
+//! pinners are additionally subject to reservation-aware admission: the
+//! oldest active lease always proceeds, younger ones wait for pinned-byte
+//! headroom.
 
 mod codec;
 mod pool;
 mod stream;
 
 pub use codec::{decode_batch, encode_batch};
-pub use pool::{PageId, Pager, PagerEvent, PagerObserver, PagerStats, PinnedPage};
+pub use pool::{BufferPool, PageId, Pager, PagerEvent, PagerObserver, PagerStats, PinnedPage};
 pub use stream::{PageStream, PageStreamReader, PageStreamScan, PageStreamWriter};
 
 use std::path::{Path, PathBuf};

@@ -1,4 +1,33 @@
-//! The fixed-capacity buffer pool of page frames and its spill file.
+//! The fixed-capacity buffer pool of page frames and its spill files.
+//!
+//! Two layers live here:
+//!
+//! * [`BufferPool`] — the shared, bounded pool of page frames. One pool can
+//!   back many concurrent queries; its capacity is a *global* budget.
+//! * [`Pager`] — a per-query **lease** on a pool. Every page is owned by the
+//!   lease that appended it; spill files, spill/eviction statistics and
+//!   cleanup are all per-lease, so dropping a `Pager` (normally, on error,
+//!   or on cancellation) releases every frame, disk slot and spill file the
+//!   query created, no matter what the rest of the pool is doing.
+//!
+//! `Pager::new` creates a private pool with a single lease, which behaves
+//! exactly like the historical single-query pager. `Pager::shared` joins an
+//! existing pool, which is how the serving layer multiplexes sessions over
+//! one global memory budget.
+//!
+//! ## Admission under concurrency
+//!
+//! Unpinned pages are evictable, so appends never block: the clock sweep
+//! keeps residency at the budget. Pins are the hard case — a pinned frame
+//! cannot be evicted, so concurrent pinners could jointly overshoot the
+//! global limit without coordination. The pool therefore tracks pinned
+//! bytes per lease and applies an *oldest-lease-proceeds* rule: a pin that
+//! would push total pinned bytes past capacity waits (polling its
+//! [`CancelToken`]) unless the pinning lease is the oldest active lease or
+//! no other lease currently holds pins. The oldest lease never waits, so
+//! there is no deadlock and every waiter eventually becomes oldest; a pool
+//! with a single lease never waits at all, preserving the historical
+//! soft-bound behaviour for standalone queries.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -6,22 +35,28 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use super::{codec, MemoryBudget};
-use crate::{RecordBatch, Result, StorageError};
+use crate::{CancelToken, RecordBatch, Result, StorageError};
+
+/// How long a blocked pinner sleeps between admission re-checks. Short
+/// enough that admission latency is dominated by the holder's work, long
+/// enough not to spin.
+const ADMISSION_POLL: Duration = Duration::from_micros(200);
 
 /// A pager activity event, delivered to the registered observer as it
 /// happens (the engine's tracing layer attaches these to operator spans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PagerEvent {
-    /// A dirty page was encoded and appended to the spill file.
+    /// A dirty page was encoded and appended to a spill file.
     SpillWrite {
         /// Encoded bytes written.
         bytes: usize,
     },
-    /// An evicted page was read back and decoded from the spill file.
+    /// An evicted page was read back and decoded from a spill file.
     SpillRead {
         /// Encoded bytes read.
         bytes: usize,
@@ -31,26 +66,33 @@ pub enum PagerEvent {
 }
 
 /// Observer callback receiving [`PagerEvent`]s; must be cheap and must not
-/// call back into the pager (it runs under the pool lock).
+/// call back into the pager (it runs under the pool lock). Events are
+/// delivered to the lease *performing* the operation that caused them.
 pub type PagerObserver = Arc<dyn Fn(PagerEvent) + Send + Sync>;
 
-/// Opaque handle to a page owned by a [`Pager`].
+/// Shorthand for the borrowed observer threaded through pool internals.
+type Notify<'a> = Option<&'a (dyn Fn(PagerEvent) + Send + Sync)>;
+
+/// Opaque handle to a page owned by a [`Pager`] lease.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageId(u64);
 
-/// Counters describing the pager's spill and eviction activity, surfaced
-/// through the engine's execution statistics.
+/// Counters describing a lease's spill and eviction activity, surfaced
+/// through the engine's execution statistics. Attribution follows page
+/// *ownership*: if global pressure from another query evicts this lease's
+/// dirty page, the spill is charged here, because this lease pays the
+/// fault-in later.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PagerStats {
-    /// Dirty pages encoded and written to the spill file.
+    /// Dirty pages encoded and written to the lease's spill file.
     pub pages_spilled: usize,
-    /// Encoded bytes written to the spill file.
+    /// Encoded bytes written to the lease's spill file.
     pub spill_bytes_written: usize,
-    /// Encoded bytes read back from the spill file.
+    /// Encoded bytes read back from the lease's spill file.
     pub spill_bytes_read: usize,
     /// Pages dropped from the pool (spilled-dirty or already-clean).
     pub pages_evicted: usize,
-    /// Most pages resident in the pool at any one time.
+    /// Most pages of this lease resident in the pool at any one time.
     pub peak_resident_pages: usize,
 }
 
@@ -59,6 +101,8 @@ struct Frame {
     batch: Arc<RecordBatch>,
     /// Approximate resident size, fixed at admission.
     bytes: usize,
+    /// Lease that owns (created) this page.
+    owner: u64,
     /// Not yet written to the spill file.
     dirty: bool,
     /// Pin count; pinned frames are never evicted.
@@ -67,78 +111,189 @@ struct Frame {
     referenced: bool,
 }
 
-/// Location of an encoded page in the spill file.
+/// Location of an encoded page in its owner's spill file.
 #[derive(Clone, Copy)]
 struct DiskSlot {
+    owner: u64,
     offset: u64,
     len: usize,
 }
 
-/// The pool state behind the pager's mutex.
-struct Inner {
+/// Per-lease pool state: statistics, spill file, residency accounting.
+#[derive(Default)]
+struct LeaseState {
+    stats: PagerStats,
+    spill: Option<SpillFile>,
+    /// Frames owned by this lease currently resident.
+    resident_pages: usize,
+    /// Bytes of this lease's frames currently resident.
+    resident_bytes: usize,
+    /// Bytes of this lease's frames currently pinned (counted once per
+    /// frame while `pins > 0`).
+    pinned_bytes: usize,
+    /// Per-lease resident-byte bound (the query's budget *share*): when
+    /// exceeded, this lease's own unpinned pages are evicted even if the
+    /// pool as a whole has room. `None` = bounded only by pool capacity.
+    quota: Option<usize>,
+    /// Whether this lease is currently parked in pin admission. Feeds the
+    /// deadlock backstop in `may_pin`: when every *other* pin-holding lease
+    /// is itself waiting, nobody can release pins, so the oldest waiter is
+    /// granted rather than wedging the pool.
+    waiting_for_pin: bool,
+}
+
+impl LeaseState {
+    /// Whether this lease currently holds more resident bytes than its
+    /// quota allows.
+    fn over_quota(&self) -> bool {
+        self.quota.is_some_and(|q| self.resident_bytes > q)
+    }
+}
+
+/// The pool state behind the mutex.
+struct PoolInner {
     frames: HashMap<u64, Frame>,
     disk: HashMap<u64, DiskSlot>,
     /// Resident page ids in clock order, swept by `hand`.
     clock: Vec<u64>,
     hand: usize,
     resident_bytes: usize,
+    /// High-water mark of `resident_bytes`, sampled after each operation's
+    /// eviction pass settles (so a transient admit-then-evict within one
+    /// locked operation does not register).
+    peak_resident_bytes: usize,
+    /// Total bytes pinned across all leases.
+    pinned_bytes: usize,
     next_page: u64,
-    spill: Option<SpillFile>,
-    stats: PagerStats,
+    next_lease: u64,
+    leases: HashMap<u64, LeaseState>,
 }
 
-/// A bounded buffer pool of [`RecordBatch`] pages with clock eviction and
-/// spill-to-disk. See the [module docs](super) for the design.
+/// A bounded, shareable buffer pool of [`RecordBatch`] pages with clock
+/// eviction, per-lease spill-to-disk and reservation-aware pin admission.
+/// See the [module docs](super) for the design.
 ///
-/// All methods take `&self`; the pager is shared across a query's worker
-/// threads behind an `Arc`.
-pub struct Pager {
+/// Queries do not use a `BufferPool` directly — they hold a [`Pager`] lease
+/// created with [`Pager::new`] (private pool) or [`Pager::shared`] (joining
+/// a global pool).
+pub struct BufferPool {
     capacity: Option<usize>,
     spill_dir: PathBuf,
-    inner: Mutex<Inner>,
-    /// Optional event hook (kept outside `inner` so installing one never
-    /// contends with pool operations).
-    observer: RwLock<Option<PagerObserver>>,
+    inner: Mutex<PoolInner>,
 }
 
-impl Pager {
-    /// Creates a pager bounded by `budget`. No file is created until the
-    /// first eviction of a dirty page.
+impl BufferPool {
+    /// Creates an empty pool bounded by `budget`. No spill file is created
+    /// until the first eviction of a dirty page.
     pub fn new(budget: &MemoryBudget) -> Self {
-        Pager {
+        BufferPool {
             capacity: budget.limit(),
             spill_dir: budget.spill_dir(),
-            inner: Mutex::new(Inner {
+            inner: Mutex::new(PoolInner {
                 frames: HashMap::new(),
                 disk: HashMap::new(),
                 clock: Vec::new(),
                 hand: 0,
                 resident_bytes: 0,
+                peak_resident_bytes: 0,
+                pinned_bytes: 0,
                 next_page: 0,
-                spill: None,
-                stats: PagerStats::default(),
+                next_lease: 0,
+                leases: HashMap::new(),
             }),
-            observer: RwLock::new(None),
         }
     }
 
-    /// Installs (or clears, with `None`) the event observer. The callback
-    /// fires synchronously at each spill write, spill read and eviction; it
-    /// runs under the pool lock, so it must be cheap and must not re-enter
-    /// the pager.
-    pub fn set_observer(&self, observer: Option<PagerObserver>) {
-        *self.observer.write() = observer;
+    /// The pool's byte capacity (`None` = unlimited).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
-    fn notify(&self, event: PagerEvent) {
-        if let Some(observer) = self.observer.read().as_ref() {
-            observer(event);
+    /// Bytes of decoded pages currently resident across all leases.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// Pages currently resident across all leases.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// High-water mark of resident bytes, sampled after each operation's
+    /// eviction pass. Under a limited budget this never exceeds capacity
+    /// plus one page unless pinned bytes alone force it higher.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.inner.lock().peak_resident_bytes
+    }
+
+    /// Bytes currently pinned across all leases.
+    pub fn pinned_bytes(&self) -> usize {
+        self.inner.lock().pinned_bytes
+    }
+
+    /// Number of active leases (live [`Pager`] handles on this pool).
+    pub fn lease_count(&self) -> usize {
+        self.inner.lock().leases.len()
+    }
+
+    /// Number of spill files currently on disk (at most one per lease;
+    /// deleted when their lease drops).
+    pub fn spill_file_count(&self) -> usize {
+        self.inner
+            .lock()
+            .leases
+            .values()
+            .filter(|l| l.spill.is_some())
+            .count()
+    }
+
+    /// Paths of all live spill files (tests assert these disappear when the
+    /// owning lease drops).
+    pub fn spill_paths(&self) -> Vec<PathBuf> {
+        self.inner
+            .lock()
+            .leases
+            .values()
+            .filter_map(|l| l.spill.as_ref().map(|s| s.path.clone()))
+            .collect()
+    }
+
+    fn register_lease(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let id = inner.next_lease;
+        inner.next_lease += 1;
+        inner.leases.insert(id, LeaseState::default());
+        id
+    }
+
+    /// Releases everything a lease owns: resident frames, disk slots and
+    /// the spill file (deleted on drop of its handle).
+    fn drop_lease(&self, lease: u64) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let owned: Vec<u64> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.owner == lease)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in owned {
+            let frame = inner.frames.remove(&id).expect("listed above");
+            inner.resident_bytes -= frame.bytes;
+            if frame.pins > 0 {
+                // Unreachable in safe use (pins hold the lease alive), but
+                // keep the global account consistent regardless.
+                inner.pinned_bytes = inner.pinned_bytes.saturating_sub(frame.bytes);
+            }
         }
+        inner.disk.retain(|_, slot| slot.owner != lease);
+        let frames = &inner.frames;
+        inner.clock.retain(|id| frames.contains_key(id));
+        inner.hand = 0;
+        inner.leases.remove(&lease);
     }
 
-    /// Admits a new page, evicting older unpinned pages if the pool is over
-    /// budget. The page starts dirty (it exists nowhere but the pool).
-    pub fn append_page(&self, batch: RecordBatch) -> Result<PageId> {
+    fn append_page(&self, lease: u64, batch: RecordBatch, notify: Notify<'_>) -> Result<PageId> {
         let mut inner = self.inner.lock();
         let id = inner.next_page;
         inner.next_page += 1;
@@ -148,6 +303,7 @@ impl Pager {
             Frame {
                 batch: Arc::new(batch),
                 bytes,
+                owner: lease,
                 dirty: true,
                 pins: 0,
                 referenced: true,
@@ -155,52 +311,119 @@ impl Pager {
         );
         inner.clock.push(id);
         inner.resident_bytes += bytes;
-        inner.stats.peak_resident_pages = inner.stats.peak_resident_pages.max(inner.frames.len());
-        self.evict_to_capacity(&mut inner)?;
+        let state = self.lease_mut(&mut inner, lease);
+        state.resident_pages += 1;
+        state.resident_bytes += bytes;
+        self.evict_to_capacity(&mut inner, notify)?;
+        self.settle(&mut inner);
         Ok(PageId(id))
     }
 
-    /// Pins a page, faulting it back in from the spill file if it was
-    /// evicted, and returns a guard that unpins on drop. Pinned pages are
-    /// never evicted.
-    pub fn pin(self: &Arc<Self>, id: PageId) -> Result<PinnedPage> {
-        let batch = {
-            let mut inner = self.inner.lock();
-            self.fault_in(&mut inner, id)?;
-            let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
-            frame.pins += 1;
-            frame.referenced = true;
-            let batch = Arc::clone(&frame.batch);
-            // Evict only after taking the pin, so a fault under pressure can
-            // never throw its own page back out.
-            self.evict_to_capacity(&mut inner)?;
-            batch
-        };
-        Ok(PinnedPage {
-            pager: Arc::clone(self),
-            id,
-            batch,
-        })
+    /// Pins a page for `lease`, waiting for pin admission when the pool's
+    /// pinned bytes are at capacity (see the module docs for the
+    /// oldest-lease-proceeds rule). `cancel` is polled while waiting.
+    fn pin_blocking(
+        &self,
+        lease: u64,
+        id: PageId,
+        cancel: &CancelToken,
+        notify: Notify<'_>,
+    ) -> Result<Arc<RecordBatch>> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                // Bytes this pin would add to the pinned total: nothing if
+                // the frame is already pinned, its resident size if loaded,
+                // its encoded size as the best estimate if spilled.
+                let incoming = if let Some(frame) = inner.frames.get(&id.0) {
+                    if frame.pins > 0 {
+                        0
+                    } else {
+                        frame.bytes
+                    }
+                } else if let Some(slot) = inner.disk.get(&id.0) {
+                    slot.len.max(1)
+                } else {
+                    return Err(StorageError::Invalid {
+                        detail: format!("unknown page {id:?}"),
+                    });
+                };
+                if self.may_pin(&inner, lease, incoming) {
+                    self.lease_mut(&mut inner, lease).waiting_for_pin = false;
+                    self.fault_in(&mut inner, id, notify)?;
+                    let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
+                    if frame.pins == 0 {
+                        let bytes = frame.bytes;
+                        let owner = frame.owner;
+                        inner.pinned_bytes += bytes;
+                        self.lease_mut(&mut inner, owner).pinned_bytes += bytes;
+                    }
+                    let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
+                    frame.pins += 1;
+                    frame.referenced = true;
+                    let batch = Arc::clone(&frame.batch);
+                    // Evict only after taking the pin, so a fault under
+                    // pressure can never throw its own page back out.
+                    self.evict_to_capacity(&mut inner, notify)?;
+                    self.settle(&mut inner);
+                    return Ok(batch);
+                }
+                self.lease_mut(&mut inner, lease).waiting_for_pin = true;
+            }
+            cancel.check()?;
+            std::thread::sleep(ADMISSION_POLL);
+        }
     }
 
-    /// Reads a page without holding a pin: the returned `Arc` keeps the data
-    /// alive even if the frame is evicted afterwards, but the pool may
-    /// reclaim the frame's budget immediately.
-    pub fn read_page(&self, id: PageId) -> Result<Arc<RecordBatch>> {
+    /// Whether `lease` may take a pin adding `incoming` pinned bytes now.
+    fn may_pin(&self, inner: &PoolInner, lease: u64, incoming: usize) -> bool {
+        let Some(capacity) = self.capacity else {
+            return true;
+        };
+        if inner.pinned_bytes + incoming <= capacity {
+            return true;
+        }
+        // Over the pinned-byte budget. Waiting is pointless if nobody else
+        // holds pins (soft bound — preserves the single-query behaviour
+        // where one query's k-way merge may pin past capacity).
+        if !inner
+            .leases
+            .iter()
+            .any(|(&id, l)| id != lease && l.pinned_bytes > 0)
+        {
+            return true;
+        }
+        // The oldest active lease may overshoot, but only while the pinned
+        // total is still within capacity — one grant at a time, so
+        // concurrent pinners can never jointly exceed budget + one page.
+        let oldest = inner.leases.keys().min().copied();
+        if oldest != Some(lease) {
+            return false;
+        }
+        if inner.pinned_bytes <= capacity {
+            return true;
+        }
+        // Deadlock backstop: every other pin-holding lease is itself parked
+        // in pin admission, so no release is coming — the oldest proceeds
+        // rather than wedging the pool.
+        inner
+            .leases
+            .iter()
+            .all(|(&id, l)| id == lease || l.pinned_bytes == 0 || l.waiting_for_pin)
+    }
+
+    fn read_page(&self, id: PageId, notify: Notify<'_>) -> Result<Arc<RecordBatch>> {
         let mut inner = self.inner.lock();
-        self.fault_in(&mut inner, id)?;
+        self.fault_in(&mut inner, id, notify)?;
         let frame = inner.frames.get_mut(&id.0).expect("faulted in above");
         frame.referenced = true;
         let batch = Arc::clone(&frame.batch);
-        self.evict_to_capacity(&mut inner)?;
+        self.evict_to_capacity(&mut inner, notify)?;
+        self.settle(&mut inner);
         Ok(batch)
     }
 
-    /// Drops a page from the pool and forgets its spill slot (the slot's
-    /// bytes are reclaimed when the spill file is deleted on drop).
-    ///
-    /// Freeing a pinned page is an invariant violation and errors.
-    pub fn free_page(&self, id: PageId) -> Result<()> {
+    fn free_page(&self, id: PageId) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.frames.get(&id.0) {
             if frame.pins > 0 {
@@ -209,8 +432,12 @@ impl Pager {
                 });
             }
             let bytes = frame.bytes;
+            let owner = frame.owner;
             inner.frames.remove(&id.0);
             inner.resident_bytes -= bytes;
+            let state = self.lease_mut(&mut inner, owner);
+            state.resident_pages -= 1;
+            state.resident_bytes -= bytes;
             if let Some(pos) = inner.clock.iter().position(|&p| p == id.0) {
                 inner.clock.remove(pos);
                 if inner.hand > pos {
@@ -222,46 +449,73 @@ impl Pager {
         Ok(())
     }
 
-    /// A snapshot of the spill/eviction counters.
-    pub fn stats(&self) -> PagerStats {
-        self.inner.lock().stats
-    }
-
-    /// Bytes of decoded pages currently resident in the pool.
-    pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().resident_bytes
-    }
-
-    /// The spill file's path, if one has been created.
-    pub fn spill_path(&self) -> Option<PathBuf> {
-        self.inner.lock().spill.as_ref().map(|s| s.path.clone())
-    }
-
-    fn unpin(&self, id: PageId) {
+    fn unpin(&self, id: PageId, notify: Notify<'_>) {
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.frames.get_mut(&id.0) {
             frame.pins = frame.pins.saturating_sub(1);
+            if frame.pins == 0 {
+                let bytes = frame.bytes;
+                let owner = frame.owner;
+                inner.pinned_bytes = inner.pinned_bytes.saturating_sub(bytes);
+                let lease = self.lease_mut(&mut inner, owner);
+                lease.pinned_bytes = lease.pinned_bytes.saturating_sub(bytes);
+            }
         }
         // Unpinning may finally allow an overdue eviction; a failure here
-        // only delays it until the next append/pin.
-        let _ = self.evict_to_capacity(&mut inner);
+        // only delays it until the next append/pin. Blocked pinners notice
+        // the freed headroom on their next admission poll.
+        let _ = self.evict_to_capacity(&mut inner, notify);
     }
 
-    /// Ensures `id` is resident, reading and decoding it from the spill file
-    /// if necessary (and possibly evicting something else to make room).
-    fn fault_in(&self, inner: &mut Inner, id: PageId) -> Result<()> {
+    fn lease_stats(&self, lease: u64) -> PagerStats {
+        self.inner
+            .lock()
+            .leases
+            .get(&lease)
+            .map(|l| l.stats)
+            .unwrap_or_default()
+    }
+
+    fn lease_spill_path(&self, lease: u64) -> Option<PathBuf> {
+        self.inner
+            .lock()
+            .leases
+            .get(&lease)
+            .and_then(|l| l.spill.as_ref().map(|s| s.path.clone()))
+    }
+
+    fn lease_resident_pages(&self, lease: u64) -> usize {
+        self.inner
+            .lock()
+            .leases
+            .get(&lease)
+            .map(|l| l.resident_pages)
+            .unwrap_or(0)
+    }
+
+    fn lease_mut<'a>(&self, inner: &'a mut PoolInner, lease: u64) -> &'a mut LeaseState {
+        inner.leases.entry(lease).or_default()
+    }
+
+    /// Ensures `id` is resident, reading and decoding it from its owner's
+    /// spill file if necessary (and possibly evicting something else to
+    /// make room).
+    fn fault_in(&self, inner: &mut PoolInner, id: PageId, notify: Notify<'_>) -> Result<()> {
         if inner.frames.contains_key(&id.0) {
             return Ok(());
         }
         let slot = *inner.disk.get(&id.0).ok_or_else(|| StorageError::Invalid {
             detail: format!("unknown page {id:?}"),
         })?;
-        let spill = inner.spill.as_mut().ok_or_else(|| StorageError::Invalid {
+        let lease = self.lease_mut(inner, slot.owner);
+        let spill = lease.spill.as_mut().ok_or_else(|| StorageError::Invalid {
             detail: "page is on disk but no spill file exists".into(),
         })?;
         let bytes = spill.read(slot)?;
-        inner.stats.spill_bytes_read += slot.len;
-        self.notify(PagerEvent::SpillRead { bytes: slot.len });
+        lease.stats.spill_bytes_read += slot.len;
+        if let Some(observer) = notify {
+            observer(PagerEvent::SpillRead { bytes: slot.len });
+        }
         let batch = codec::decode_batch(&bytes)?;
         let size = batch.approx_size_bytes().max(1);
         inner.frames.insert(
@@ -269,6 +523,7 @@ impl Pager {
             Frame {
                 batch: Arc::new(batch),
                 bytes: size,
+                owner: slot.owner,
                 // Already safely on disk; evicting it again costs no write.
                 dirty: false,
                 pins: 0,
@@ -277,20 +532,33 @@ impl Pager {
         );
         inner.clock.push(id.0);
         inner.resident_bytes += size;
-        inner.stats.peak_resident_pages = inner.stats.peak_resident_pages.max(inner.frames.len());
+        let state = self.lease_mut(inner, slot.owner);
+        state.resident_pages += 1;
+        state.resident_bytes += size;
         Ok(())
     }
 
-    /// Clock sweep: while over budget, evict the first unpinned page whose
-    /// reference bit is clear, clearing set bits along the way. Dirty
-    /// victims are encoded and appended to the spill file first. Gives up
-    /// (leaving the pool over budget) when every resident page is pinned.
-    fn evict_to_capacity(&self, inner: &mut Inner) -> Result<()> {
-        let Some(capacity) = self.capacity else {
+    /// Clock sweep: while the pool is over capacity or any lease is over
+    /// its quota, evict the first eligible unpinned page whose reference
+    /// bit is clear, clearing set bits along the way. When only a quota is
+    /// exceeded (the pool itself has room), eligibility is restricted to
+    /// the over-quota leases' own pages, so one query's small budget share
+    /// never evicts a neighbour's working set. Dirty victims are encoded
+    /// and appended to their owner's spill file first. Gives up (leaving
+    /// the bound soft) when every resident page is pinned.
+    fn evict_to_capacity(&self, inner: &mut PoolInner, notify: Notify<'_>) -> Result<()> {
+        if self.capacity.is_none() && inner.leases.values().all(|l| l.quota.is_none()) {
             return Ok(());
-        };
+        }
         let mut scanned_since_evict = 0;
-        while inner.resident_bytes > capacity && !inner.clock.is_empty() {
+        loop {
+            let global_over = self
+                .capacity
+                .is_some_and(|capacity| inner.resident_bytes > capacity);
+            let quota_over = inner.leases.values().any(LeaseState::over_quota);
+            if (!global_over && !quota_over) || inner.clock.is_empty() {
+                return Ok(());
+            }
             if scanned_since_evict > 2 * inner.clock.len() {
                 // Every page is pinned (or freshly referenced by a pinner):
                 // nothing can go. The budget is a soft bound.
@@ -306,6 +574,20 @@ impl Pager {
                 scanned_since_evict += 1;
                 continue;
             }
+            if !global_over
+                && !inner
+                    .leases
+                    .get(&frame.owner)
+                    .is_some_and(LeaseState::over_quota)
+            {
+                // Quota-only pressure, and this page's owner is within its
+                // share: not a candidate. Skip without touching its
+                // reference bit, so capacity eviction order is unaffected.
+                inner.hand += 1;
+                scanned_since_evict += 1;
+                continue;
+            }
+            let frame = inner.frames.get_mut(&id).expect("clock tracks frames");
             if frame.referenced {
                 frame.referenced = false;
                 inner.hand += 1;
@@ -315,35 +597,214 @@ impl Pager {
             // Victim found.
             if frame.dirty {
                 let encoded = codec::encode_batch(&frame.batch);
-                if inner.spill.is_none() {
-                    inner.spill = Some(SpillFile::create(&self.spill_dir)?);
+                let owner = frame.owner;
+                let lease = self.lease_mut(inner, owner);
+                if lease.spill.is_none() {
+                    lease.spill = Some(SpillFile::create(&self.spill_dir)?);
                 }
-                let spill = inner.spill.as_mut().expect("created above");
-                let slot = spill.append(&encoded)?;
-                inner.stats.pages_spilled += 1;
-                inner.stats.spill_bytes_written += slot.len;
+                let spill = lease.spill.as_mut().expect("created above");
+                let slot_raw = spill.append(&encoded)?;
+                let slot = DiskSlot {
+                    owner,
+                    offset: slot_raw.0,
+                    len: slot_raw.1,
+                };
+                lease.stats.pages_spilled += 1;
+                lease.stats.spill_bytes_written += slot.len;
                 inner.disk.insert(id, slot);
-                self.notify(PagerEvent::SpillWrite { bytes: slot.len });
+                if let Some(observer) = notify {
+                    observer(PagerEvent::SpillWrite { bytes: slot.len });
+                }
             }
             let frame = inner.frames.remove(&id).expect("still resident");
             inner.resident_bytes -= frame.bytes;
             inner.clock.remove(inner.hand);
-            inner.stats.pages_evicted += 1;
-            self.notify(PagerEvent::Evict);
+            let lease = self.lease_mut(inner, frame.owner);
+            lease.resident_pages -= 1;
+            lease.resident_bytes -= frame.bytes;
+            lease.stats.pages_evicted += 1;
+            if let Some(observer) = notify {
+                observer(PagerEvent::Evict);
+            }
             scanned_since_evict = 0;
         }
-        Ok(())
+    }
+
+    /// Samples high-water marks once an operation's eviction pass has
+    /// settled.
+    fn settle(&self, inner: &mut PoolInner) {
+        inner.peak_resident_bytes = inner.peak_resident_bytes.max(inner.resident_bytes);
+        for lease in inner.leases.values_mut() {
+            lease.stats.peak_resident_pages =
+                lease.stats.peak_resident_pages.max(lease.resident_pages);
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("resident_pages", &inner.frames.len())
+            .field("resident_bytes", &inner.resident_bytes)
+            .field("pinned_bytes", &inner.pinned_bytes)
+            .field("leases", &inner.leases.len())
+            .field("spilled_pages", &inner.disk.len())
+            .finish()
+    }
+}
+
+/// A query's lease on a [`BufferPool`]: the interface operators use to
+/// append, pin, read and free intermediate pages.
+///
+/// All methods take `&self`; the pager is shared across a query's worker
+/// threads behind an `Arc`. Dropping the last handle releases every page
+/// and spill file the lease owns — cancellation and error paths clean up
+/// for free.
+pub struct Pager {
+    pool: Arc<BufferPool>,
+    lease: u64,
+    /// Polled in blocking admission waits and at append/pin entry, so a
+    /// cancelled query stops spilling and pinning promptly.
+    cancel: RwLock<CancelToken>,
+    /// Optional event hook (kept outside the pool lock so installing one
+    /// never contends with pool operations). Receives events caused by
+    /// *this* lease's operations.
+    observer: RwLock<Option<PagerObserver>>,
+}
+
+impl Pager {
+    /// Creates a pager with its own private pool bounded by `budget` — the
+    /// standalone single-query configuration. No file is created until the
+    /// first eviction of a dirty page.
+    pub fn new(budget: &MemoryBudget) -> Self {
+        Pager::shared(&Arc::new(BufferPool::new(budget)))
+    }
+
+    /// Creates a new lease on an existing (typically global, shared) pool.
+    pub fn shared(pool: &Arc<BufferPool>) -> Self {
+        let lease = pool.register_lease();
+        Pager {
+            pool: Arc::clone(pool),
+            lease,
+            cancel: RwLock::new(CancelToken::new()),
+            observer: RwLock::new(None),
+        }
+    }
+
+    /// The pool this lease draws from.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Installs the cancellation token polled by this lease's blocking and
+    /// spill-adjacent operations. Replaces the default (never-cancelled)
+    /// token.
+    pub fn set_cancel_token(&self, token: CancelToken) {
+        *self.cancel.write() = token;
+    }
+
+    /// Installs (or clears, with `None`) the event observer. The callback
+    /// fires synchronously at each spill write, spill read and eviction
+    /// caused by this lease's operations; it runs under the pool lock, so
+    /// it must be cheap and must not re-enter the pager.
+    pub fn set_observer(&self, observer: Option<PagerObserver>) {
+        *self.observer.write() = observer;
+    }
+
+    /// Admits a new page owned by this lease, evicting older unpinned pages
+    /// if the pool is over budget. The page starts dirty (it exists nowhere
+    /// but the pool).
+    pub fn append_page(&self, batch: RecordBatch) -> Result<PageId> {
+        self.cancel.read().check()?;
+        let observer = self.observer.read().clone();
+        self.pool
+            .append_page(self.lease, batch, observer.as_deref())
+    }
+
+    /// Pins a page, faulting it back in from the spill file if it was
+    /// evicted, and returns a guard that unpins on drop. Pinned pages are
+    /// never evicted; when the pool's pinned bytes are at capacity the pin
+    /// waits for admission (see the [module docs](super)).
+    pub fn pin(self: &Arc<Self>, id: PageId) -> Result<PinnedPage> {
+        let cancel = self.cancel.read().clone();
+        cancel.check()?;
+        let observer = self.observer.read().clone();
+        let batch = self
+            .pool
+            .pin_blocking(self.lease, id, &cancel, observer.as_deref())?;
+        Ok(PinnedPage {
+            pager: Arc::clone(self),
+            id,
+            batch,
+        })
+    }
+
+    /// Reads a page without holding a pin: the returned `Arc` keeps the data
+    /// alive even if the frame is evicted afterwards, but the pool may
+    /// reclaim the frame's budget immediately.
+    pub fn read_page(&self, id: PageId) -> Result<Arc<RecordBatch>> {
+        let observer = self.observer.read().clone();
+        self.pool.read_page(id, observer.as_deref())
+    }
+
+    /// Drops a page from the pool and forgets its spill slot (the slot's
+    /// bytes are reclaimed when the lease's spill file is deleted).
+    ///
+    /// Freeing a pinned page is an invariant violation and errors.
+    pub fn free_page(&self, id: PageId) -> Result<()> {
+        self.pool.free_page(id)
+    }
+
+    /// Bounds this lease's resident bytes to `quota` (the query's budget
+    /// *share* of a larger shared pool): past it, the lease's own unpinned
+    /// pages are evicted — and spilled if dirty — even while the pool as a
+    /// whole has room. `None` removes the bound. The bound takes effect at
+    /// the lease's next pool operation.
+    pub fn set_quota(&self, quota: Option<usize>) {
+        let mut inner = self.pool.inner.lock();
+        self.pool.lease_mut(&mut inner, self.lease).quota = quota;
+    }
+
+    /// A snapshot of this lease's spill/eviction counters.
+    pub fn stats(&self) -> PagerStats {
+        self.pool.lease_stats(self.lease)
+    }
+
+    /// Bytes of decoded pages currently resident in the pool (all leases).
+    pub fn resident_bytes(&self) -> usize {
+        self.pool.resident_bytes()
+    }
+
+    /// Pages owned by this lease currently resident in the pool.
+    pub fn resident_pages(&self) -> usize {
+        self.pool.lease_resident_pages(self.lease)
+    }
+
+    /// The lease's spill file path, if one has been created.
+    pub fn spill_path(&self) -> Option<PathBuf> {
+        self.pool.lease_spill_path(self.lease)
+    }
+
+    fn unpin(&self, id: PageId) {
+        let observer = self.observer.read().clone();
+        self.pool.unpin(id, observer.as_deref());
+    }
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        self.pool.drop_lease(self.lease);
     }
 }
 
 impl std::fmt::Debug for Pager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("Pager")
-            .field("capacity", &self.capacity)
-            .field("resident_pages", &inner.frames.len())
-            .field("resident_bytes", &inner.resident_bytes)
-            .field("spilled_pages", &inner.disk.len())
+            .field("lease", &self.lease)
+            .field("resident_pages", &self.resident_pages())
+            .field("pool", &self.pool)
             .finish()
     }
 }
@@ -380,7 +841,7 @@ impl Drop for PinnedPage {
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// An append-only spill file, deleted from disk when dropped (drop also runs
-/// while unwinding, so error paths clean up too).
+/// while unwinding, so error and cancellation paths clean up too).
 struct SpillFile {
     file: File,
     path: PathBuf,
@@ -406,7 +867,8 @@ impl SpillFile {
         Ok(SpillFile { file, path, len: 0 })
     }
 
-    fn append(&mut self, bytes: &[u8]) -> Result<DiskSlot> {
+    /// Appends `bytes`, returning `(offset, len)`.
+    fn append(&mut self, bytes: &[u8]) -> Result<(u64, usize)> {
         let offset = self.len;
         self.file
             .seek(SeekFrom::Start(offset))
@@ -415,10 +877,7 @@ impl SpillFile {
                 detail: format!("spill write failed: {e}"),
             })?;
         self.len += bytes.len() as u64;
-        Ok(DiskSlot {
-            offset,
-            len: bytes.len(),
-        })
+        Ok((offset, bytes.len()))
     }
 
     fn read(&mut self, slot: DiskSlot) -> Result<Vec<u8>> {
@@ -495,6 +954,48 @@ mod tests {
         }
         assert!(pager.stats().spill_bytes_read > 0);
         assert!(pager.stats().peak_resident_pages >= 2);
+    }
+
+    #[test]
+    fn lease_quota_bounds_residency_inside_a_roomy_pool() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        // The pool itself has room for everything; only the quota binds.
+        let pool = Arc::new(BufferPool::new(&MemoryBudget::bytes(one_page * 100)));
+        let bounded = Arc::new(Pager::shared(&pool));
+        bounded.set_quota(Some(one_page * 2));
+        let free = Arc::new(Pager::shared(&pool));
+
+        let free_ids: Vec<_> = (0..6)
+            .map(|i| free.append_page(batch(100 + i, 50)).unwrap())
+            .collect();
+        let bounded_ids: Vec<_> = (0..6)
+            .map(|i| bounded.append_page(batch(i, 50)).unwrap())
+            .collect();
+
+        // The bounded lease spilled its overflow even though the pool has
+        // room; the unbounded neighbour's pages were left alone.
+        let stats = bounded.stats();
+        assert!(
+            stats.pages_spilled > 0,
+            "quota must force spilling: {stats:?}"
+        );
+        assert!(bounded.resident_pages() <= 3);
+        assert_eq!(free.resident_pages(), 6);
+        assert_eq!(free.stats().pages_evicted, 0);
+
+        // Everything still reads back byte-identical.
+        for (i, id) in bounded_ids.iter().enumerate() {
+            assert_eq!(
+                bounded.read_page(*id).unwrap().as_ref(),
+                &batch(i as i64, 50)
+            );
+        }
+        for (i, id) in free_ids.iter().enumerate() {
+            assert_eq!(
+                free.read_page(*id).unwrap().as_ref(),
+                &batch(100 + i as i64, 50)
+            );
+        }
     }
 
     #[test]
@@ -604,5 +1105,125 @@ mod tests {
         assert_eq!(pager.read_page(hot).unwrap().as_ref(), &batch(0, 50));
         assert_eq!(pager.read_page(cold).unwrap().as_ref(), &batch(1, 50));
         assert!(pager.stats().pages_evicted > 0);
+    }
+
+    #[test]
+    fn shared_leases_have_separate_spill_files_and_stats() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let dir = std::env::temp_dir();
+        let pool = Arc::new(BufferPool::new(
+            &MemoryBudget::bytes(one_page * 2).with_spill_dir(&dir),
+        ));
+        let a = Arc::new(Pager::shared(&pool));
+        let b = Arc::new(Pager::shared(&pool));
+
+        let a_ids: Vec<_> = (0..6)
+            .map(|i| a.append_page(batch(i, 50)).unwrap())
+            .collect();
+        let b_ids: Vec<_> = (0..6)
+            .map(|i| b.append_page(batch(100 + i, 50)).unwrap())
+            .collect();
+
+        assert!(a.stats().pages_spilled > 0);
+        assert!(b.stats().pages_spilled > 0);
+        let a_path = a.spill_path().unwrap();
+        let b_path = b.spill_path().unwrap();
+        assert_ne!(a_path, b_path, "one spill file per lease");
+        assert_eq!(pool.spill_file_count(), 2);
+
+        // Both leases read all their pages back byte-identical.
+        for (i, id) in a_ids.iter().enumerate() {
+            assert_eq!(a.read_page(*id).unwrap().as_ref(), &batch(i as i64, 50));
+        }
+        for (i, id) in b_ids.iter().enumerate() {
+            assert_eq!(
+                b.read_page(*id).unwrap().as_ref(),
+                &batch(100 + i as i64, 50)
+            );
+        }
+
+        // Dropping lease A releases its frames and deletes only its file.
+        drop(a);
+        assert!(!a_path.exists(), "lease drop must delete its spill file");
+        assert!(b_path.exists(), "other lease's file must survive");
+        assert_eq!(pool.lease_count(), 1);
+        // B's pages are untouched.
+        assert_eq!(b.read_page(b_ids[0]).unwrap().as_ref(), &batch(100, 50));
+        drop(b);
+        assert!(!b_path.exists());
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_pinners_cannot_jointly_exceed_budget_plus_one_page() {
+        // Seeds are offset so every page renders the same value widths:
+        // `one_page` is then exactly the size of ANY page, and the
+        // budget-plus-one-page bound is tight.
+        let one_page = batch(100, 50).approx_size_bytes();
+        assert_eq!(one_page, batch(205, 50).approx_size_bytes());
+        let capacity = one_page * 4;
+        let pool = Arc::new(BufferPool::new(&MemoryBudget::bytes(capacity)));
+
+        let mut handles = Vec::new();
+        for t in 0..2i64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let pager = Arc::new(Pager::shared(&pool));
+                let ids: Vec<_> = (0..6)
+                    .map(|i| pager.append_page(batch(100 + t * 100 + i, 50)).unwrap())
+                    .collect();
+                for _ in 0..10 {
+                    // Hold three pins at once — two threads naively would
+                    // pin 6 pages into a 4-page budget.
+                    let pins: Vec<_> = ids[..3].iter().map(|id| pager.pin(*id).unwrap()).collect();
+                    for (i, pin) in pins.iter().enumerate() {
+                        assert_eq!(&**pin, &batch(100 + t * 100 + i as i64, 50));
+                    }
+                    drop(pins);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            pool.peak_resident_bytes() <= capacity + one_page,
+            "peak {} must stay within budget {} + one page {}",
+            pool.peak_resident_bytes(),
+            capacity,
+            one_page
+        );
+        assert_eq!(pool.resident_pages(), 0, "all leases dropped");
+    }
+
+    #[test]
+    fn cancelled_token_stops_append_and_pin() {
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(1024)));
+        let id = pager.append_page(batch(0, 10)).unwrap();
+        let token = CancelToken::new();
+        pager.set_cancel_token(token.clone());
+        token.cancel();
+        assert_eq!(
+            pager.append_page(batch(1, 10)),
+            Err(StorageError::Cancelled)
+        );
+        assert!(matches!(pager.pin(id), Err(StorageError::Cancelled)));
+        // Reads still work: cancellation stops new work, not cleanup paths
+        // that may need to inspect state.
+        assert!(pager.read_page(id).is_ok());
+    }
+
+    #[test]
+    fn single_lease_never_blocks_on_admission() {
+        // A lone query may pin past capacity (soft bound) — this must not
+        // deadlock or wait.
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page)));
+        let ids: Vec<_> = (0..4)
+            .map(|i| pager.append_page(batch(i, 50)).unwrap())
+            .collect();
+        let pins: Vec<_> = ids.iter().map(|id| pager.pin(*id).unwrap()).collect();
+        assert_eq!(pins.len(), 4);
     }
 }

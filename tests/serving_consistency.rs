@@ -1,0 +1,394 @@
+//! Serving-layer system tests: concurrent multi-session execution over one
+//! shared engine, buffer pool and memory budget.
+//!
+//! Three properties, each asserted deterministically:
+//!
+//! 1. **Consistency** — every query a concurrent session runs returns bytes
+//!    identical to the same query run serially on a fresh deployment, across
+//!    the budget × parallelism matrix (`SDB_TEST_MEM_BUDGET`-style bounded
+//!    memory and multi-worker execution included).
+//! 2. **Cancellation hygiene** — a query cancelled at *any* poll point (scan
+//!    batches, oracle round trips, pager appends/pins — which covers
+//!    mid-spill) releases its buffer-pool frames and deletes its spill file,
+//!    and the server keeps serving byte-identical results afterwards.
+//! 3. **Admission control** — pool-hot submissions queue in strict FIFO
+//!    order (or run degraded with spilling plans), and no submission is
+//!    starved.
+
+use std::sync::Arc;
+
+use sdb_engine::MemoryBudget;
+use sdb_server::{AdmissionMode, CancelToken, SdbServer, ServerConfig, ServerError};
+use sdb_storage::{ColumnDef, DataType, Schema, Table, Value};
+
+/// Rows in the test table; sized so bounded-budget runs actually spill.
+const ROWS: i64 = 160;
+
+/// Deterministic mixed dataset: public ids/regions, sensitive amounts.
+fn orders_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("region", DataType::Varchar),
+        ColumnDef::sensitive("amount", DataType::Int),
+        ColumnDef::sensitive("qty", DataType::Int),
+    ]);
+    let mut table = Table::new("orders", schema);
+    for id in 0..ROWS {
+        let region = ["north", "south", "east", "west"][(id % 4) as usize];
+        // A seeded linear-congruential walk keeps the data deterministic
+        // without any RNG dependency.
+        let amount = (id * 7919 + 104_729) % 10_000;
+        let qty = (id * 6101 + 15_485) % 5_000;
+        table
+            .insert_row(vec![
+                Value::Int(id),
+                Value::Str(region.to_string()),
+                Value::Int(amount),
+                Value::Int(qty),
+            ])
+            .expect("insert");
+    }
+    table
+}
+
+/// The mixed workload: point lookups and analytic queries, several of which
+/// go through the comparison / grouping / ranking oracle protocols.
+fn mixed_queries() -> Vec<&'static str> {
+    vec![
+        "SELECT amount FROM orders WHERE id = 37",
+        "SELECT qty FROM orders WHERE id = 101",
+        "SELECT SUM(amount) AS total FROM orders",
+        "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM orders GROUP BY region ORDER BY region",
+        "SELECT id, amount FROM orders WHERE amount > qty ORDER BY id LIMIT 20",
+        "SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 10",
+    ]
+}
+
+fn build_server(
+    budget: MemoryBudget,
+    parallelism: usize,
+    max_concurrent: usize,
+    mode: AdmissionMode,
+) -> SdbServer {
+    let config = ServerConfig::test_profile()
+        .with_global_budget(budget)
+        .with_max_concurrent(max_concurrent)
+        .with_admission_mode(mode)
+        .with_parallelism(parallelism);
+    let mut server = SdbServer::new(config).expect("server");
+    server.stage_table(orders_table()).expect("stage");
+    server.upload_all().expect("upload");
+    server
+}
+
+/// The byte-identity fingerprint: the decrypted result batch, serialised.
+fn fingerprint(result: &sdb::QueryResult) -> String {
+    serde_json::to_string(&result.batch).expect("serialise batch")
+}
+
+/// The budget × parallelism matrix every property runs under.
+fn matrix() -> Vec<(MemoryBudget, usize)> {
+    vec![
+        (MemoryBudget::unlimited(), 1),
+        (MemoryBudget::unlimited(), 4),
+        (MemoryBudget::bytes(64 << 10), 1),
+        (MemoryBudget::bytes(64 << 10), 4),
+    ]
+}
+
+#[test]
+fn concurrent_sessions_match_serial_execution() {
+    let queries = mixed_queries();
+    for (config, (budget, parallelism)) in matrix().into_iter().enumerate() {
+        // Serial reference: a fresh deployment runs each query once.
+        let serial = build_server(budget.clone(), parallelism, 4, AdmissionMode::Queue);
+        let session = serial.connect();
+        let reference: Vec<String> = queries
+            .iter()
+            .map(|sql| fingerprint(&serial.execute(session, sql).expect("serial query")))
+            .collect();
+        drop(serial);
+
+        // The full session sweep runs on the first matrix point; the other
+        // points each take one session count, so every (budget,
+        // parallelism, N) combination is still covered without cubing the
+        // runtime.
+        let session_counts: &[usize] = if config == 0 {
+            &[2, 4, 8]
+        } else {
+            &[[4, 8, 2][config - 1]]
+        };
+        for &sessions in session_counts {
+            let server = Arc::new(build_server(
+                budget.clone(),
+                parallelism,
+                4,
+                AdmissionMode::Queue,
+            ));
+            let mut workers = Vec::new();
+            for worker in 0..sessions {
+                let server = Arc::clone(&server);
+                let queries = queries.clone();
+                let reference = reference.clone();
+                workers.push(std::thread::spawn(move || {
+                    let session = server.connect();
+                    // Each session walks the workload from a different
+                    // offset, so distinct queries overlap in time.
+                    for step in 0..queries.len() {
+                        let index = (worker + step) % queries.len();
+                        let result = server
+                            .execute(session, queries[index])
+                            .expect("concurrent query");
+                        assert_eq!(
+                            fingerprint(&result),
+                            reference[index],
+                            "session {worker} query {index} diverged from serial bytes"
+                        );
+                    }
+                    server.close(session).expect("close");
+                }));
+            }
+            for worker in workers {
+                worker.join().expect("session thread");
+            }
+            // Every lease was dropped: nothing stays resident, no spill
+            // files survive their query.
+            assert_eq!(server.pool().resident_pages(), 0);
+            assert_eq!(server.pool().spill_file_count(), 0);
+        }
+    }
+}
+
+#[test]
+fn cancellation_at_every_poll_point_leaves_server_clean() {
+    // Oracle comparisons + grouping + ordering + (under the bounded budget)
+    // spilling: the densest poll-point coverage one statement can have.
+    let sql = "SELECT region, SUM(amount) AS total FROM orders \
+               WHERE amount > qty GROUP BY region ORDER BY region";
+    for budget in [MemoryBudget::unlimited(), MemoryBudget::bytes(64 << 10)] {
+        let server = build_server(budget, 1, 4, AdmissionMode::Queue);
+        let session = server.connect();
+
+        // Probe run: counts the query's deterministic poll sequence and
+        // pins the reference bytes.
+        let probe = CancelToken::new();
+        let reference = server
+            .execute_with_token(session, sql, probe.clone())
+            .expect("probe query");
+        let reference = fingerprint(&reference);
+        let total_checks = probe.checks();
+        assert!(
+            total_checks >= 3,
+            "expected several poll points, saw {total_checks}"
+        );
+
+        // Cancel at every poll point (capped to keep runtime bounded, but
+        // always including the first and last).
+        let step = (total_checks / 10).max(1);
+        let mut fuses: Vec<u64> = (1..=total_checks).step_by(step as usize).collect();
+        if fuses.last() != Some(&total_checks) {
+            fuses.push(total_checks);
+        }
+        for fuse in fuses {
+            let cancel = CancelToken::cancel_after_checks(fuse);
+            let err = server
+                .execute_with_token(session, sql, cancel)
+                .expect_err("query should cancel");
+            assert!(
+                matches!(err, ServerError::Cancelled),
+                "fuse {fuse}: unexpected error {err}"
+            );
+            // The cancelled query's lease is gone: no resident frames, no
+            // spill file left on disk.
+            assert_eq!(
+                server.pool().resident_pages(),
+                0,
+                "fuse {fuse}: cancelled query left resident pages"
+            );
+            assert_eq!(
+                server.pool().spill_file_count(),
+                0,
+                "fuse {fuse}: cancelled query leaked a spill file"
+            );
+        }
+
+        // The server keeps serving, and the bytes are still identical.
+        let after = server.execute(session, sql).expect("post-cancel query");
+        assert_eq!(fingerprint(&after), reference);
+        let stats = server.session_stats(session).expect("stats");
+        assert!(stats.cancelled_queries >= 2);
+        assert_eq!(stats.failed_queries, 0);
+    }
+}
+
+#[test]
+fn mid_flight_cancel_from_another_thread_is_clean() {
+    // The asynchronous flavour: a cancel request arrives from another
+    // thread while the query holds pool pages. Timing decides *where* it
+    // lands, the assertions hold wherever that is.
+    let server = Arc::new(build_server(
+        MemoryBudget::bytes(64 << 10),
+        1,
+        4,
+        AdmissionMode::Queue,
+    ));
+    let session = server.connect();
+    let sql = "SELECT id, amount FROM orders WHERE amount > qty ORDER BY amount DESC";
+    let canceller = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            // Fire once the query is plausibly mid-flight; firing before it
+            // starts is also fine (the token trips at the first poll).
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            server.cancel(session).expect("cancel");
+        })
+    };
+    let outcome = server.execute(session, sql);
+    canceller.join().expect("canceller thread");
+    if let Err(err) = outcome {
+        assert!(matches!(err, ServerError::Cancelled), "unexpected {err}");
+    }
+    assert_eq!(server.pool().resident_pages(), 0);
+    assert_eq!(server.pool().spill_file_count(), 0);
+    // Session still serves after the cancellation.
+    let result = server
+        .execute(session, "SELECT SUM(amount) AS total FROM orders")
+        .expect("post-cancel query");
+    assert_eq!(result.rows().len(), 1);
+}
+
+#[test]
+fn pool_hot_submissions_queue_in_fifo_order() {
+    let server = Arc::new(build_server(
+        MemoryBudget::unlimited(),
+        1,
+        1,
+        AdmissionMode::Queue,
+    ));
+    // Hold the only admission slot directly, so every submission below is
+    // provably pool-hot before any of them can run.
+    let hold = server
+        .admission()
+        .admit(&CancelToken::new())
+        .expect("hold slot");
+
+    let mut workers = Vec::new();
+    for _ in 0..3 {
+        let waiters_before = server.admission().waiting();
+        let worker = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let session = server.connect();
+                let result = server
+                    .execute(session, "SELECT SUM(amount) AS total FROM orders")
+                    .expect("queued query");
+                assert_eq!(result.rows().len(), 1);
+                server.session_stats(session).expect("stats")
+            })
+        };
+        // Serialise ticket issue: wait until this submission is queued
+        // before spawning the next, so the FIFO order is known exactly.
+        while server.admission().waiting() <= waiters_before {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        workers.push(worker);
+    }
+
+    assert_eq!(server.admission().running(), 1);
+    drop(hold);
+    for worker in workers {
+        let stats = worker.join().expect("worker");
+        assert_eq!(stats.queued_admissions, 1);
+    }
+    // Ticket 0 is the held slot; the queued submissions ran in exactly the
+    // order they arrived.
+    assert_eq!(server.admission().admitted_order(), vec![0, 1, 2, 3]);
+    assert_eq!(server.admission().total_queued(), 3);
+}
+
+/// Public-only table whose sort runs span several buffer-pool pages, so a
+/// degraded budget share must spill. (It has to be all-public: a sensitive
+/// sort key moves the ORDER BY client-side and the SP plan collapses to a
+/// scan that never touches the pool.)
+fn wide_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("pad", DataType::Varchar),
+    ]);
+    let mut table = Table::new("wide", schema);
+    for id in 0..1280 {
+        table
+            .insert_row(vec![Value::Int(id), Value::Str(format!("{id:0>120}"))])
+            .expect("insert");
+    }
+    table
+}
+
+#[test]
+fn degraded_submissions_run_spilling_plans() {
+    let mut server = build_server(MemoryBudget::bytes(64 << 10), 1, 1, AdmissionMode::Degrade);
+    server.stage_table(wide_table()).expect("stage wide");
+    server.upload_all().expect("upload wide");
+    let session = server.connect();
+
+    // Reference bytes from a normal (non-degraded) run. The sort key is
+    // public, so the ORDER BY runs server-side through ExternalSort.
+    let sql = "SELECT id, pad FROM wide ORDER BY id DESC";
+    let reference = fingerprint(&server.execute(session, sql).expect("reference"));
+
+    // Hold the only slot: the next submission is pool-hot and, in Degrade
+    // mode, runs immediately on a quartered budget share.
+    let hold = server
+        .admission()
+        .admit(&CancelToken::new())
+        .expect("hold slot");
+    let result = server.execute(session, sql).expect("degraded query");
+    drop(hold);
+
+    assert_eq!(
+        fingerprint(&result),
+        reference,
+        "degraded run changed bytes"
+    );
+    let stats = server.session_stats(session).expect("stats");
+    assert_eq!(stats.degraded_admissions, 1);
+    assert!(
+        result.server_stats.pages_spilled > 0,
+        "degraded budget share should force spilling, stats: {:?}",
+        result.server_stats
+    );
+}
+
+#[test]
+fn no_submission_starves_under_sustained_load() {
+    let server = Arc::new(build_server(
+        MemoryBudget::unlimited(),
+        1,
+        1,
+        AdmissionMode::Queue,
+    ));
+    let mut workers = Vec::new();
+    for worker in 0..3 {
+        let server = Arc::clone(&server);
+        workers.push(std::thread::spawn(move || {
+            let session = server.connect();
+            for step in 0..8 {
+                let result = server
+                    .execute(session, "SELECT COUNT(*) AS n FROM orders")
+                    .expect("query");
+                assert_eq!(
+                    result.rows()[0][0].render(),
+                    ROWS.to_string(),
+                    "worker {worker} step {step}"
+                );
+            }
+        }));
+    }
+    // FIFO admission means every one of the 24 submissions runs; a livelock
+    // would hang the join (and the test harness timeout would catch it).
+    for worker in workers {
+        worker.join().expect("no submission starved");
+    }
+    assert_eq!(server.admission().running(), 0);
+    assert_eq!(server.admission().waiting(), 0);
+}
