@@ -1,0 +1,196 @@
+//! Metrics-registry overhead on the serving path: the same serial mixed
+//! round (point lookup, secure aggregation, oracle comparisons, spilling
+//! public sort) runs against a server with the registry enabled (the
+//! default), disabled, and enabled with slow-query capture at threshold 0
+//! (every query recorded, stats + trace attached). Results must be
+//! byte-identical across all three modes — observability may never change
+//! query output.
+//!
+//! Besides the criterion timings, the target writes a
+//! `BENCH_metrics_overhead.json` snapshot at the repository root: median
+//! wall-clock per mode over a fixed number of rounds, the registry-on
+//! overhead percentage (target: ≤ 2%), and the byte-identity verdict.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sdb_engine::MemoryBudget;
+use sdb_server::{AdmissionMode, SdbServer, ServerConfig};
+use sdb_storage::{ColumnDef, DataType, Schema, Table, Value};
+
+const ROWS: i64 = 160;
+const WIDE_ROWS: i64 = 1280;
+const BOUNDED_BUDGET: usize = 64 << 10;
+const SNAPSHOT_RUNS: usize = 9;
+
+/// The deterministic mixed dataset the serving tests and benches share.
+fn orders_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("region", DataType::Varchar),
+        ColumnDef::sensitive("amount", DataType::Int),
+        ColumnDef::sensitive("qty", DataType::Int),
+    ]);
+    let mut table = Table::new("orders", schema);
+    for id in 0..ROWS {
+        let region = ["north", "south", "east", "west"][(id % 4) as usize];
+        let amount = (id * 7919 + 104_729) % 10_000;
+        let qty = (id * 6101 + 15_485) % 5_000;
+        table
+            .insert_row(vec![
+                Value::Int(id),
+                Value::Str(region.to_string()),
+                Value::Int(amount),
+                Value::Int(qty),
+            ])
+            .expect("insert");
+    }
+    table
+}
+
+/// Public-only table whose server-side sort spills under the bounded budget,
+/// so the pager observer fires on the timed path.
+fn wide_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::public("id", DataType::Int),
+        ColumnDef::public("pad", DataType::Varchar),
+    ]);
+    let mut table = Table::new("wide", schema);
+    for id in 0..WIDE_ROWS {
+        table
+            .insert_row(vec![Value::Int(id), Value::Str(format!("{id:0>120}"))])
+            .expect("insert");
+    }
+    table
+}
+
+fn queries() -> [&'static str; 5] {
+    [
+        "SELECT amount FROM orders WHERE id = 37",
+        "SELECT SUM(amount) AS total FROM orders",
+        "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM orders GROUP BY region ORDER BY region",
+        "SELECT id, amount FROM orders WHERE amount > qty ORDER BY id LIMIT 20",
+        "SELECT id, pad FROM wide ORDER BY id DESC",
+    ]
+}
+
+/// Builds a serving deployment with the registry on or off, optionally with
+/// slow-query capture at threshold 0 (captures every query).
+fn build_server(metrics: bool, capture_all: bool) -> SdbServer {
+    let mut config = ServerConfig::test_profile()
+        .with_global_budget(MemoryBudget::bytes(BOUNDED_BUDGET))
+        .with_max_concurrent(4)
+        .with_admission_mode(AdmissionMode::Queue)
+        .with_parallelism(1)
+        .with_metrics(metrics);
+    if capture_all {
+        config = config.with_slow_query_ms(0);
+    }
+    let mut server = SdbServer::new(config).expect("server");
+    server.stage_table(orders_table()).expect("stage orders");
+    server.stage_table(wide_table()).expect("stage wide");
+    server.upload_all().expect("upload");
+    server
+}
+
+/// One serial round of the workload; returns every result row rendered, the
+/// cross-mode byte-identity fingerprint.
+fn run_round(server: &SdbServer, session: u64) -> Vec<Vec<String>> {
+    let mut rendered = Vec::new();
+    for sql in queries() {
+        let result = server.execute(session, sql).expect("query");
+        for row in result.rows() {
+            rendered.push(row.iter().map(|value| value.render()).collect());
+        }
+    }
+    rendered
+}
+
+/// Median wall-clock (µs) of `runs` serial rounds.
+fn median_micros(server: &SdbServer, session: u64, runs: usize) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            black_box(run_round(server, session).len());
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Writes the overhead snapshot checked in at the repo root.
+fn write_snapshot() {
+    let with_metrics = build_server(true, false);
+    let without_metrics = build_server(false, false);
+    let with_capture = build_server(true, true);
+    let on_session = with_metrics.connect();
+    let off_session = without_metrics.connect();
+    let capture_session = with_capture.connect();
+
+    // Observability must never change the bytes a query returns.
+    let reference = run_round(&without_metrics, off_session);
+    assert_eq!(
+        run_round(&with_metrics, on_session),
+        reference,
+        "metrics-on output must be byte-identical"
+    );
+    assert_eq!(
+        run_round(&with_capture, capture_session),
+        reference,
+        "slow-capture output must be byte-identical"
+    );
+
+    // The enabled registry saw the round; the disabled one recorded nothing;
+    // threshold 0 captured every query with its stats.
+    let on_snapshot = with_metrics.metrics_snapshot();
+    assert_eq!(on_snapshot.queries_executed, queries().len() as u64);
+    assert!(on_snapshot.pool_spill_pages > 0);
+    assert_eq!(without_metrics.metrics_snapshot().queries_executed, 0);
+    assert_eq!(with_capture.slow_queries().len(), queries().len());
+
+    let off_us = median_micros(&without_metrics, off_session, SNAPSHOT_RUNS);
+    let on_us = median_micros(&with_metrics, on_session, SNAPSHOT_RUNS);
+    let capture_us = median_micros(&with_capture, capture_session, SNAPSHOT_RUNS);
+    let overhead_pct = (on_us as f64 - off_us as f64) / off_us as f64 * 100.0;
+
+    let snapshot = format!(
+        "{{\n  \"bench\": \"metrics_overhead\",\n  \"queries_per_round\": {},\n  \"orders_rows\": {ROWS},\n  \"wide_rows\": {WIDE_ROWS},\n  \"bounded_budget_bytes\": {BOUNDED_BUDGET},\n  \"runs\": {SNAPSHOT_RUNS},\n  \"registry_off_median_us\": {off_us},\n  \"registry_on_median_us\": {on_us},\n  \"slow_capture_median_us\": {capture_us},\n  \"registry_overhead_pct\": {overhead_pct:.1},\n  \"overhead_target_pct\": 2.0,\n  \"byte_identical\": true\n}}\n",
+        queries().len(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_metrics_overhead.json"
+    );
+    std::fs::write(path, &snapshot).expect("snapshot write");
+    println!("{snapshot}");
+}
+
+fn metrics_overhead(c: &mut Criterion) {
+    write_snapshot();
+
+    let without_metrics = build_server(false, false);
+    let with_metrics = build_server(true, false);
+    let with_capture = build_server(true, true);
+    let off_session = without_metrics.connect();
+    let on_session = with_metrics.connect();
+    let capture_session = with_capture.connect();
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    group.bench_function("registry_off", |b| {
+        b.iter(|| black_box(run_round(&without_metrics, off_session).len()))
+    });
+    group.bench_function("registry_on", |b| {
+        b.iter(|| black_box(run_round(&with_metrics, on_session).len()))
+    });
+    group.bench_function("registry_on_slow_capture", |b| {
+        b.iter(|| black_box(run_round(&with_capture, capture_session).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, metrics_overhead);
+criterion_main!(benches);

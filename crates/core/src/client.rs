@@ -142,6 +142,9 @@ pub struct QueryResult {
     pub bytes_to_sp: usize,
     /// Bytes received from the SP for this query (encrypted result).
     pub bytes_from_sp: usize,
+    /// The per-operator execution trace, when tracing was on for this query
+    /// — rides along so the serving layer's slow-query log can capture it.
+    pub trace: Option<sdb_engine::trace::TraceReport>,
 }
 
 impl QueryResult {
@@ -430,6 +433,7 @@ impl SdbClient {
             server_stats: output.stats,
             bytes_to_sp,
             bytes_from_sp,
+            trace: output.trace,
         })
     }
 

@@ -437,11 +437,13 @@ pub(crate) fn fmt_us(us: u64) -> String {
 /// evictions become timestamped events on whichever span is executing.
 pub(crate) fn install_pager_observer(pager: &Arc<Pager>, trace: &Arc<QueryTrace>) {
     let trace = Arc::clone(trace);
-    pager.set_observer(Some(Arc::new(move |event: PagerEvent| match event {
+    // Appended rather than installed exclusively: the serving layer hangs
+    // its metrics observer on the same lease, and both must see every event.
+    pager.add_observer(Arc::new(move |event: PagerEvent| match event {
         PagerEvent::SpillWrite { bytes } => trace.event("spill_write", bytes, 0),
         PagerEvent::SpillRead { bytes } => trace.event("spill_read", bytes, 0),
         PagerEvent::Evict => trace.event("evict", 0, 0),
-    })));
+    }));
 }
 
 /// Wraps one physical operator, recording its lifecycle into one span of the

@@ -11,7 +11,7 @@
 //! Waiting is a cancel-aware sleep-poll loop (the workspace's `parking_lot`
 //! shim has no condvar), so a queued query can still be cancelled promptly.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -91,6 +91,7 @@ impl AdmissionController {
     /// [`AdmissionMode::Queue`]. Returns the grant carrying this query's
     /// budget share; dropping the grant frees the slot.
     pub fn admit(&self, cancel: &CancelToken) -> Result<AdmissionGrant<'_>> {
+        let submitted = Instant::now();
         let ticket = {
             let mut inner = self.inner.lock();
             let ticket = inner.next_ticket;
@@ -121,6 +122,7 @@ impl AdmissionController {
                             budget: self.share(degraded),
                             queued,
                             degraded,
+                            wait: submitted.elapsed(),
                         });
                     }
                 }
@@ -208,6 +210,7 @@ pub struct AdmissionGrant<'a> {
     budget: MemoryBudget,
     queued: bool,
     degraded: bool,
+    wait: Duration,
 }
 
 impl AdmissionGrant<'_> {
@@ -224,6 +227,13 @@ impl AdmissionGrant<'_> {
     /// Whether this submission runs on a degraded (spilling) share.
     pub fn degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// How long the submission waited between asking for a slot and being
+    /// admitted — measured by the controller itself, so the metrics
+    /// registry's wait histogram sees the true queueing delay.
+    pub fn wait(&self) -> Duration {
+        self.wait
     }
 }
 

@@ -13,6 +13,9 @@ pub enum ServerError {
     /// The request named a session id this server never issued (or one that
     /// has been closed).
     UnknownSession(u64),
+    /// The request named a query id that is not in flight (it finished,
+    /// was cancelled, or never existed).
+    UnknownQuery(u64),
     /// A framed request could not be decoded or parsed.
     Protocol(String),
     /// The underlying client (proxy rewrite, SP execution, decryption)
@@ -25,6 +28,7 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Cancelled => write!(f, "query cancelled"),
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::UnknownQuery(id) => write!(f, "unknown query {id}"),
             ServerError::Protocol(detail) => write!(f, "protocol error: {detail}"),
             ServerError::Client(err) => write!(f, "{err}"),
         }

@@ -19,6 +19,16 @@
 //!   are attributed and cleaned up per query while residency is bounded
 //!   globally.
 //!
+//! The server also observes itself as a system: a lock-free
+//! [`MetricsRegistry`] accumulates counters, gauges and latency histograms
+//! across queries, admission and the shared pool
+//! ([`SdbServer::metrics_snapshot`], Prometheus exposition via
+//! [`MetricsSnapshot::render_prometheus`]); [`SdbServer::list_queries`]
+//! introspects in-flight queries (cancellable by id through
+//! [`SdbServer::cancel_query`]); and queries meeting the `SDB_SLOW_QUERY_MS`
+//! threshold land in a ring-buffer slow-query log
+//! ([`SdbServer::slow_queries`]).
+//!
 //! Quickstart (runs under `cargo test` as a doc-test):
 //!
 //! ```
@@ -46,11 +56,16 @@
 
 pub mod admission;
 pub mod error;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmissionGrant, AdmissionMode};
 pub use error::{Result, ServerError};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, QueryInfo, QueryOutcome, QueryState, SlowQueryLog, SlowQueryRecord,
+};
 pub use protocol::{Request, Response};
 pub use sdb_storage::{BufferPool, CancelToken, MemoryBudget};
 pub use server::{SdbServer, ServerConfig, SessionStats};

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use sdb::{decode_frame, encode_frame, WireMessageKind};
 
 use crate::error::ServerError;
+use crate::metrics::{MetricsSnapshot, QueryInfo, SlowQueryRecord};
 use crate::server::{SdbServer, SessionStats};
 
 /// A client-to-server request.
@@ -37,6 +38,25 @@ pub enum Request {
         /// Target session id.
         session: u64,
     },
+    /// Fetch cumulative session statistics (explicit alias of
+    /// [`Request::Stats`]; both return [`Response::Stats`]).
+    SessionStats {
+        /// Target session id.
+        session: u64,
+    },
+    /// Fetch a point-in-time snapshot of every server-wide metric.
+    Metrics,
+    /// List every in-flight query (queued or running) with its session,
+    /// SQL, elapsed time, admission state and cancellation id.
+    ListQueries,
+    /// Cancel one in-flight query by the id [`Request::ListQueries`]
+    /// reported.
+    CancelQuery {
+        /// Target query id.
+        query: u64,
+    },
+    /// Fetch the captured slow queries, oldest first.
+    SlowQueries,
     /// Close a session.
     Close {
         /// Target session id.
@@ -45,6 +65,10 @@ pub enum Request {
 }
 
 /// A server-to-client response.
+// The metrics snapshot dominates the enum size, but a response is built
+// once per frame and immediately serialised — boxing it would only buy
+// an allocation on that cold path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Session opened.
@@ -68,6 +92,26 @@ pub enum Response {
     Stats {
         /// The statistics snapshot.
         stats: SessionStats,
+    },
+    /// Server-wide metrics.
+    Metrics {
+        /// The registry snapshot.
+        snapshot: MetricsSnapshot,
+    },
+    /// In-flight queries.
+    Queries {
+        /// One entry per queued or running query, in submission order.
+        queries: Vec<QueryInfo>,
+    },
+    /// Cancellation delivered to one in-flight query's token.
+    QueryCancelled {
+        /// The cancelled query id.
+        query: u64,
+    },
+    /// Captured slow queries.
+    SlowQueries {
+        /// The retained records, oldest first.
+        queries: Vec<SlowQueryRecord>,
     },
     /// Session closed.
     Closed {
@@ -135,11 +179,28 @@ impl SdbServer {
                     message: err.to_string(),
                 },
             },
-            Request::Stats { session } => match self.session_stats(session) {
-                Ok(stats) => Response::Stats { stats },
+            Request::Stats { session } | Request::SessionStats { session } => {
+                match self.session_stats(session) {
+                    Ok(stats) => Response::Stats { stats },
+                    Err(err) => Response::Error {
+                        message: err.to_string(),
+                    },
+                }
+            }
+            Request::Metrics => Response::Metrics {
+                snapshot: self.metrics_snapshot(),
+            },
+            Request::ListQueries => Response::Queries {
+                queries: self.list_queries(),
+            },
+            Request::CancelQuery { query } => match self.cancel_query(query) {
+                Ok(()) => Response::QueryCancelled { query },
                 Err(err) => Response::Error {
                     message: err.to_string(),
                 },
+            },
+            Request::SlowQueries => Response::SlowQueries {
+                queries: self.slow_queries(),
             },
             Request::Close { session } => match self.close(session) {
                 Ok(()) => Response::Closed { session },
@@ -232,5 +293,75 @@ mod tests {
                 .count_of_kind(WireMessageKind::SessionResponse)
                 >= 6
         );
+    }
+
+    #[test]
+    fn observability_frames_round_trip() {
+        let mut server = SdbServer::new(ServerConfig::test_profile()).unwrap();
+        server
+            .execute_ddl("CREATE TABLE t (id INT, v INT SENSITIVE)")
+            .unwrap();
+        server
+            .execute_ddl("INSERT INTO t VALUES (1, 5), (2, 7)")
+            .unwrap();
+        server.upload_all().unwrap();
+
+        let session = match unframe(&server.handle_frame(&frame(&Request::Connect))) {
+            Response::Connected { session } => session,
+            other => panic!("unexpected {other:?}"),
+        };
+        let response = unframe(&server.handle_frame(&frame(&Request::Execute {
+            session,
+            sql: "SELECT SUM(v) AS total FROM t".into(),
+        })));
+        assert!(matches!(response, Response::Rows { .. }));
+
+        // `SessionStats` is the explicit alias of `Stats`.
+        let response = unframe(&server.handle_frame(&frame(&Request::SessionStats { session })));
+        match response {
+            Response::Stats { stats } => assert_eq!(stats.queries, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The metrics frame reflects the executed query.
+        let response = unframe(&server.handle_frame(&frame(&Request::Metrics)));
+        match response {
+            Response::Metrics { snapshot } => {
+                assert_eq!(snapshot.queries_executed, 1);
+                assert_eq!(snapshot.query_latency.count, 1);
+                assert_eq!(snapshot.queries_in_flight, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Nothing is in flight between requests.
+        let response = unframe(&server.handle_frame(&frame(&Request::ListQueries)));
+        match response {
+            Response::Queries { queries } => assert!(queries.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The slow log decodes regardless of whether capture is on (the CI
+        // leg runs this suite with SDB_SLOW_QUERY_MS=0, capturing
+        // everything).
+        let response = unframe(&server.handle_frame(&frame(&Request::SlowQueries)));
+        match response {
+            Response::SlowQueries { queries } => {
+                if server.slow_query_threshold().is_some() {
+                    assert_eq!(queries.len(), 1);
+                    assert_eq!(queries[0].session, session);
+                } else {
+                    assert!(queries.is_empty());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Cancelling a finished (unknown) query is a framed error.
+        let response = unframe(&server.handle_frame(&frame(&Request::CancelQuery { query: 999 })));
+        match response {
+            Response::Error { message } => assert!(message.contains("unknown query")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,10 @@ use sdb_storage::{BufferPool, CancelToken, MemoryBudget, Pager};
 
 use crate::admission::{AdmissionController, AdmissionMode};
 use crate::error::{Result, ServerError};
+use crate::metrics::{
+    MetricsRegistry, MetricsSnapshot, QueryInfo, QueryOutcome, QueryState, SlowQueryLog,
+    SlowQueryRecord,
+};
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +51,14 @@ pub struct ServerConfig {
     /// Per-operator tracing per query (`None` inherits the engine default,
     /// which honours `SDB_TRACE`).
     pub tracing: Option<bool>,
+    /// Whether the server-wide [`MetricsRegistry`] records anything
+    /// (default on; the overhead bench turns it off for its baseline).
+    pub metrics: bool,
+    /// Slow-query capture threshold in milliseconds: queries at least this
+    /// slow land in the ring-buffer slow-query log, `0` captures every
+    /// query. `None` inherits `SDB_SLOW_QUERY_MS` (capture off when that is
+    /// unset too).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl ServerConfig {
@@ -59,6 +72,8 @@ impl ServerConfig {
             admission: AdmissionMode::Queue,
             parallelism: None,
             tracing: None,
+            metrics: true,
+            slow_query_ms: None,
         }
     }
 
@@ -91,6 +106,19 @@ impl ServerConfig {
         self.tracing = Some(tracing);
         self
     }
+
+    /// Turns the metrics registry on or off (default on).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Sets the slow-query capture threshold (milliseconds; `0` captures
+    /// every query), overriding `SDB_SLOW_QUERY_MS`.
+    pub fn with_slow_query_ms(mut self, threshold_ms: u64) -> Self {
+        self.slow_query_ms = Some(threshold_ms);
+        self
+    }
 }
 
 /// Cumulative per-session statistics, updated after every query.
@@ -114,12 +142,54 @@ pub struct SessionStats {
     pub failed_queries: usize,
 }
 
+impl SessionStats {
+    /// Adds a per-query delta into the cumulative stats. The execute path
+    /// builds exactly one delta per query and applies it both here and to
+    /// the server's [`MetricsRegistry`], so per-session and global counters
+    /// can never drift.
+    pub fn merge(&mut self, delta: &SessionStats) {
+        self.queries += delta.queries;
+        self.rows_returned += delta.rows_returned;
+        self.pages_spilled += delta.pages_spilled;
+        self.oracle_round_trips += delta.oracle_round_trips;
+        self.queued_admissions += delta.queued_admissions;
+        self.degraded_admissions += delta.degraded_admissions;
+        self.cancelled_queries += delta.cancelled_queries;
+        self.failed_queries += delta.failed_queries;
+    }
+}
+
 /// Per-session serving state.
 #[derive(Debug, Default)]
 struct SessionState {
     /// Cancel token of the in-flight (or most recent) query.
     cancel: Mutex<CancelToken>,
     stats: Mutex<SessionStats>,
+}
+
+/// One in-flight query, tracked from submission to completion for live
+/// introspection ([`SdbServer::list_queries`]) and by-id cancellation
+/// ([`SdbServer::cancel_query`]).
+#[derive(Debug)]
+struct InFlight {
+    session: u64,
+    sql: String,
+    started: Instant,
+    state: Mutex<QueryState>,
+    cancel: CancelToken,
+}
+
+/// Unregisters an in-flight query on every exit path (success, error,
+/// cancellation, panic) of [`SdbServer::execute_with_token`].
+struct InFlightGuard<'a> {
+    server: &'a SdbServer,
+    query: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.server.queries.lock().remove(&self.query);
+    }
 }
 
 /// A multi-session query server over one shared engine.
@@ -136,6 +206,11 @@ pub struct SdbServer {
     next_session: AtomicU64,
     parallelism: Option<usize>,
     tracing: Option<bool>,
+    metrics: Arc<MetricsRegistry>,
+    queries: Mutex<HashMap<u64, Arc<InFlight>>>,
+    next_query: AtomicU64,
+    slow_log: SlowQueryLog,
+    slow_threshold: Option<Duration>,
 }
 
 impl SdbServer {
@@ -149,6 +224,10 @@ impl SdbServer {
             config.admission,
             config.global_budget,
         );
+        let slow_threshold = config
+            .slow_query_ms
+            .or_else(|| std::env::var("SDB_SLOW_QUERY_MS").ok()?.trim().parse().ok())
+            .map(Duration::from_millis);
         Ok(SdbServer {
             client,
             pool,
@@ -157,6 +236,11 @@ impl SdbServer {
             next_session: AtomicU64::new(1),
             parallelism: config.parallelism,
             tracing: config.tracing,
+            metrics: Arc::new(MetricsRegistry::new(config.metrics)),
+            queries: Mutex::new(HashMap::new()),
+            next_query: AtomicU64::new(1),
+            slow_log: SlowQueryLog::default(),
+            slow_threshold,
         })
     }
 
@@ -214,16 +298,59 @@ impl SdbServer {
         let state = self.session(session)?;
         *state.cancel.lock() = cancel.clone();
 
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let inflight = Arc::new(InFlight {
+            session,
+            sql: sql.to_string(),
+            started,
+            state: Mutex::new(QueryState::Queued),
+            cancel: cancel.clone(),
+        });
+        self.queries.lock().insert(query_id, Arc::clone(&inflight));
+        // Declared before the grant and the lease, so the query stays
+        // listed until both are released.
+        let _inflight = InFlightGuard {
+            server: self,
+            query: query_id,
+        };
+
         let grant = match self.admission.admit(&cancel) {
             Ok(grant) => grant,
             Err(err) => {
-                let mut stats = state.stats.lock();
-                stats.queries += 1;
-                stats.cancelled_queries += 1;
+                let delta = SessionStats {
+                    queries: 1,
+                    cancelled_queries: 1,
+                    ..SessionStats::default()
+                };
+                state.stats.lock().merge(&delta);
+                self.metrics.record_admission_cancelled();
+                self.metrics.fold_query(&delta, started.elapsed(), None);
+                self.maybe_record_slow(
+                    query_id,
+                    session,
+                    sql,
+                    started.elapsed(),
+                    QueryOutcome::Cancelled,
+                    None,
+                );
                 return Err(err);
             }
         };
+        self.metrics.record_admission_wait(grant.wait());
+        *inflight.state.lock() = if grant.degraded() {
+            QueryState::Degraded
+        } else {
+            QueryState::Running
+        };
+
         let pager = Arc::new(Pager::shared(&self.pool));
+        if self.metrics.enabled() {
+            // Composes with the tracing observer the engine installs on the
+            // same lease (`Pager::add_observer` fans out to both).
+            let metrics = Arc::clone(&self.metrics);
+            pager.add_observer(Arc::new(move |event| metrics.observe_pager_event(event)));
+        }
         let mut opts = QueryOptions::default()
             .with_memory_budget(grant.budget().clone())
             .with_cancel_token(cancel.clone())
@@ -237,25 +364,48 @@ impl SdbServer {
 
         let result = self.client.query_with(sql, &opts);
         let pager_stats = pager.stats();
+        let elapsed = started.elapsed();
 
-        let mut stats = state.stats.lock();
-        stats.queries += 1;
-        stats.pages_spilled += pager_stats.pages_spilled;
+        // One delta per query, applied to the session and folded into the
+        // registry — the two can never drift.
+        let mut delta = SessionStats {
+            queries: 1,
+            pages_spilled: pager_stats.pages_spilled,
+            ..SessionStats::default()
+        };
         if grant.queued() {
-            stats.queued_admissions += 1;
+            delta.queued_admissions = 1;
         }
         if grant.degraded() {
-            stats.degraded_admissions += 1;
+            delta.degraded_admissions = 1;
         }
         match &result {
             Ok(result) => {
-                stats.rows_returned += result.rows().len();
-                stats.oracle_round_trips += result.server_stats.oracle_round_trips;
+                delta.rows_returned = result.rows().len();
+                delta.oracle_round_trips = result.server_stats.oracle_round_trips;
             }
-            Err(_) if cancel.is_cancelled() => stats.cancelled_queries += 1,
-            Err(_) => stats.failed_queries += 1,
+            Err(_) if cancel.is_cancelled() => delta.cancelled_queries = 1,
+            Err(_) => delta.failed_queries = 1,
         }
-        drop(stats);
+        state.stats.lock().merge(&delta);
+        self.metrics.fold_query(
+            &delta,
+            elapsed,
+            result.as_ref().ok().map(|r| &r.server_stats),
+        );
+        let outcome = match &result {
+            Ok(_) => QueryOutcome::Completed,
+            Err(_) if cancel.is_cancelled() => QueryOutcome::Cancelled,
+            Err(_) => QueryOutcome::Failed,
+        };
+        self.maybe_record_slow(
+            query_id,
+            session,
+            sql,
+            elapsed,
+            outcome,
+            result.as_ref().ok(),
+        );
 
         // Order matters for cleanup: the lease goes first (frees this
         // query's frames and deletes its spill file), then the grant frees
@@ -280,9 +430,114 @@ impl SdbServer {
         Ok(())
     }
 
+    /// Cancels one in-flight query by the id [`SdbServer::list_queries`]
+    /// reports — cooperative, like [`SdbServer::cancel`], but scoped to a
+    /// single query instead of whatever the session ran last.
+    pub fn cancel_query(&self, query: u64) -> Result<()> {
+        let token = self
+            .queries
+            .lock()
+            .get(&query)
+            .map(|q| q.cancel.clone())
+            .ok_or(ServerError::UnknownQuery(query))?;
+        token.cancel();
+        Ok(())
+    }
+
     /// Cumulative statistics for a session.
     pub fn session_stats(&self, session: u64) -> Result<SessionStats> {
         Ok(self.session(session)?.stats.lock().clone())
+    }
+
+    /// Every in-flight query (queued or running), ordered by query id —
+    /// submission order, since ids are handed out at submission.
+    pub fn list_queries(&self) -> Vec<QueryInfo> {
+        let mut queries: Vec<QueryInfo> = self
+            .queries
+            .lock()
+            .iter()
+            .map(|(&id, q)| QueryInfo {
+                query: id,
+                session: q.session,
+                sql: q.sql.clone(),
+                elapsed_us: q.started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                state: *q.state.lock(),
+            })
+            .collect();
+        queries.sort_by_key(|info| info.query);
+        queries
+    }
+
+    /// The server-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time view of every server metric. Counters and histograms
+    /// accumulate on the hot path; the instantaneous gauges (running /
+    /// in-flight queries, queue depth, pool residency) are refreshed here,
+    /// at snapshot time.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .queries_running
+            .set(self.admission.running() as u64);
+        self.metrics
+            .queries_in_flight
+            .set(self.queries.lock().len() as u64);
+        self.metrics
+            .admission_queue_depth
+            .set(self.admission.waiting() as u64);
+        self.metrics
+            .pool_resident_bytes
+            .set(self.pool.resident_bytes() as u64);
+        self.metrics
+            .pool_pinned_bytes
+            .set(self.pool.pinned_bytes() as u64);
+        self.metrics
+            .pool_capacity_bytes
+            .set(self.pool.capacity().unwrap_or(0) as u64);
+        self.metrics.snapshot()
+    }
+
+    /// The captured slow queries, oldest first (empty unless a threshold
+    /// is configured via [`ServerConfig::with_slow_query_ms`] or
+    /// `SDB_SLOW_QUERY_MS`).
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.slow_log.snapshot()
+    }
+
+    /// The slow-query threshold in effect, if capture is on.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.slow_threshold
+    }
+
+    /// Records the query in the slow log when capture is on and the query
+    /// met the threshold.
+    fn maybe_record_slow(
+        &self,
+        query: u64,
+        session: u64,
+        sql: &str,
+        elapsed: Duration,
+        outcome: QueryOutcome,
+        result: Option<&QueryResult>,
+    ) {
+        let Some(threshold) = self.slow_threshold else {
+            return;
+        };
+        if elapsed < threshold {
+            return;
+        }
+        self.metrics.record_slow_query();
+        self.slow_log.record(SlowQueryRecord {
+            query,
+            session,
+            sql: sql.to_string(),
+            elapsed_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+            outcome,
+            stats: result.map(|r| r.server_stats.clone()).unwrap_or_default(),
+            trace: result.and_then(|r| r.trace.clone()),
+        });
     }
 
     /// The shared buffer pool (tests assert on residency and spill files).

@@ -668,10 +668,12 @@ pub struct Pager {
     /// Polled in blocking admission waits and at append/pin entry, so a
     /// cancelled query stops spilling and pinning promptly.
     cancel: RwLock<CancelToken>,
-    /// Optional event hook (kept outside the pool lock so installing one
-    /// never contends with pool operations). Receives events caused by
-    /// *this* lease's operations.
-    observer: RwLock<Option<PagerObserver>>,
+    /// Event hooks (kept outside the pool lock so installing one never
+    /// contends with pool operations). Every installed observer receives
+    /// every event caused by *this* lease's operations, in installation
+    /// order — tracing and metrics hooks compose instead of replacing each
+    /// other.
+    observer: RwLock<Vec<PagerObserver>>,
 }
 
 impl Pager {
@@ -689,7 +691,7 @@ impl Pager {
             pool: Arc::clone(pool),
             lease,
             cancel: RwLock::new(CancelToken::new()),
-            observer: RwLock::new(None),
+            observer: RwLock::new(Vec::new()),
         }
     }
 
@@ -705,12 +707,46 @@ impl Pager {
         *self.cancel.write() = token;
     }
 
-    /// Installs (or clears, with `None`) the event observer. The callback
-    /// fires synchronously at each spill write, spill read and eviction
-    /// caused by this lease's operations; it runs under the pool lock, so
-    /// it must be cheap and must not re-enter the pager.
+    /// Replaces the whole observer set with `observer` (or clears it, with
+    /// `None`). Each callback fires synchronously at every spill write,
+    /// spill read and eviction caused by this lease's operations; it runs
+    /// under the pool lock, so it must be cheap and must not re-enter the
+    /// pager. Use [`Pager::add_observer`] to compose with observers already
+    /// installed instead of replacing them.
     pub fn set_observer(&self, observer: Option<PagerObserver>) {
-        *self.observer.write() = observer;
+        let mut observers = self.observer.write();
+        observers.clear();
+        if let Some(observer) = observer {
+            observers.push(observer);
+        }
+    }
+
+    /// Appends an observer to the set without disturbing the ones already
+    /// installed — the composition point that lets the engine's tracing
+    /// hook and the serving layer's metrics hook watch the same lease.
+    /// Observers fire in installation order.
+    pub fn add_observer(&self, observer: PagerObserver) {
+        self.observer.write().push(observer);
+    }
+
+    /// Snapshots the observer set and hands the borrowed fan-out callback
+    /// the pool internals expect to `f`. Zero observers pass `None` (no
+    /// per-event cost), one passes it directly, several fan out in
+    /// installation order.
+    fn with_observers<R>(&self, f: impl FnOnce(Notify<'_>) -> R) -> R {
+        let observers = self.observer.read().clone();
+        match observers.as_slice() {
+            [] => f(None),
+            [only] => f(Some(only.as_ref())),
+            many => {
+                let fan = |event: PagerEvent| {
+                    for observer in many {
+                        observer(event);
+                    }
+                };
+                f(Some(&fan))
+            }
+        }
     }
 
     /// Admits a new page owned by this lease, evicting older unpinned pages
@@ -718,9 +754,7 @@ impl Pager {
     /// but the pool).
     pub fn append_page(&self, batch: RecordBatch) -> Result<PageId> {
         self.cancel.read().check()?;
-        let observer = self.observer.read().clone();
-        self.pool
-            .append_page(self.lease, batch, observer.as_deref())
+        self.with_observers(|notify| self.pool.append_page(self.lease, batch, notify))
     }
 
     /// Pins a page, faulting it back in from the spill file if it was
@@ -730,10 +764,8 @@ impl Pager {
     pub fn pin(self: &Arc<Self>, id: PageId) -> Result<PinnedPage> {
         let cancel = self.cancel.read().clone();
         cancel.check()?;
-        let observer = self.observer.read().clone();
-        let batch = self
-            .pool
-            .pin_blocking(self.lease, id, &cancel, observer.as_deref())?;
+        let batch =
+            self.with_observers(|notify| self.pool.pin_blocking(self.lease, id, &cancel, notify))?;
         Ok(PinnedPage {
             pager: Arc::clone(self),
             id,
@@ -745,8 +777,7 @@ impl Pager {
     /// alive even if the frame is evicted afterwards, but the pool may
     /// reclaim the frame's budget immediately.
     pub fn read_page(&self, id: PageId) -> Result<Arc<RecordBatch>> {
-        let observer = self.observer.read().clone();
-        self.pool.read_page(id, observer.as_deref())
+        self.with_observers(|notify| self.pool.read_page(id, notify))
     }
 
     /// Drops a page from the pool and forgets its spill slot (the slot's
@@ -788,8 +819,7 @@ impl Pager {
     }
 
     fn unpin(&self, id: PageId) {
-        let observer = self.observer.read().clone();
-        self.pool.unpin(id, observer.as_deref());
+        self.with_observers(|notify| self.pool.unpin(id, notify));
     }
 }
 
@@ -1088,6 +1118,42 @@ mod tests {
             pager.append_page(batch(i, 50)).unwrap();
         }
         assert_eq!(events.lock().len(), before);
+    }
+
+    #[test]
+    fn added_observers_compose_instead_of_replacing() {
+        let one_page = batch(0, 50).approx_size_bytes();
+        let pager = Arc::new(Pager::new(&MemoryBudget::bytes(one_page * 2)));
+        let first = Arc::new(Mutex::new(Vec::new()));
+        let second = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&first);
+        pager.set_observer(Some(Arc::new(move |e| sink.lock().push(e))));
+        let sink = Arc::clone(&second);
+        pager.add_observer(Arc::new(move |e| sink.lock().push(e)));
+
+        for i in 0..6 {
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        let seen_first = first.lock().clone();
+        let seen_second = second.lock().clone();
+        assert!(!seen_first.is_empty(), "tiny budget must emit events");
+        assert_eq!(
+            seen_first, seen_second,
+            "every observer receives every event in the same order"
+        );
+
+        // `set_observer` still replaces the whole set: the first two stop
+        // receiving, the replacement starts.
+        let third = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&third);
+        pager.set_observer(Some(Arc::new(move |e| sink.lock().push(e))));
+        let (before_first, before_second) = (first.lock().len(), second.lock().len());
+        for i in 6..9 {
+            pager.append_page(batch(i, 50)).unwrap();
+        }
+        assert_eq!(first.lock().len(), before_first);
+        assert_eq!(second.lock().len(), before_second);
+        assert!(!third.lock().is_empty());
     }
 
     #[test]

@@ -18,7 +18,10 @@
 use std::sync::Arc;
 
 use sdb_engine::MemoryBudget;
-use sdb_server::{AdmissionMode, CancelToken, SdbServer, ServerConfig, ServerError};
+use sdb_server::{
+    AdmissionMode, CancelToken, HistogramSnapshot, QueryState, SdbServer, ServerConfig,
+    ServerError, SessionStats,
+};
 use sdb_storage::{ColumnDef, DataType, Schema, Table, Value};
 
 /// Rows in the test table; sized so bounded-budget runs actually spill.
@@ -357,6 +360,260 @@ fn degraded_submissions_run_spilling_plans() {
         "degraded budget share should force spilling, stats: {:?}",
         result.server_stats
     );
+}
+
+/// A latency histogram snapshot must be internally consistent no matter when
+/// it was taken: the count equals the per-bucket sum, and the quantiles are
+/// ordered and bounded by the observed max.
+fn assert_histogram_consistent(name: &str, hist: &HistogramSnapshot) {
+    let bucket_sum: u64 = hist.buckets.iter().map(|b| b.count).sum();
+    assert_eq!(
+        hist.count, bucket_sum,
+        "{name}: count diverges from bucket sum"
+    );
+    assert!(
+        hist.p50 <= hist.p90 && hist.p90 <= hist.p99,
+        "{name}: quantiles out of order ({} / {} / {})",
+        hist.p50,
+        hist.p90,
+        hist.p99
+    );
+    assert!(hist.p99 <= hist.max, "{name}: p99 exceeds observed max");
+    if hist.count > 0 {
+        assert!(hist.sum >= hist.max, "{name}: sum below max");
+    }
+}
+
+#[test]
+fn metrics_snapshot_accounts_for_the_mixed_workload() {
+    // The mixed concurrent workload from the consistency property, under the
+    // bounded budget so spilling and oracle traffic both happen — then the
+    // registry's snapshot must reconcile exactly with the per-session stats.
+    let queries = mixed_queries();
+    let sessions = 4;
+    let server = Arc::new(build_server(
+        MemoryBudget::bytes(64 << 10),
+        1,
+        4,
+        AdmissionMode::Queue,
+    ));
+    let mut workers = Vec::new();
+    for worker in 0..sessions {
+        let server = Arc::clone(&server);
+        let queries = queries.clone();
+        workers.push(std::thread::spawn(move || {
+            let session = server.connect();
+            for step in 0..queries.len() {
+                let index = (worker + step) % queries.len();
+                server
+                    .execute(session, queries[index])
+                    .expect("concurrent query");
+            }
+            server.session_stats(session).expect("stats")
+        }));
+    }
+    let mut summed = SessionStats::default();
+    for worker in workers {
+        summed.merge(&worker.join().expect("session thread"));
+    }
+
+    let snapshot = server.metrics_snapshot();
+    let total = (sessions * queries.len()) as u64;
+    assert_eq!(summed.queries as u64, total);
+
+    // Exact counter reconciliation against the summed session stats: the
+    // single-delta fold guarantees these can never drift.
+    assert_eq!(snapshot.queries_executed, total);
+    assert_eq!(snapshot.queries_cancelled, 0);
+    assert_eq!(snapshot.queries_failed, 0);
+    assert_eq!(snapshot.rows_returned, summed.rows_returned as u64);
+    assert_eq!(
+        snapshot.oracle_round_trips,
+        summed.oracle_round_trips as u64
+    );
+    assert_eq!(snapshot.admissions_queued, summed.queued_admissions as u64);
+    assert_eq!(
+        snapshot.admissions_degraded,
+        summed.degraded_admissions as u64
+    );
+    // The workload's analytic queries go through the oracle protocols.
+    assert!(snapshot.oracle_round_trips > 0);
+    assert!(snapshot.oracle_rows_shipped > 0);
+
+    // The latency histogram saw every query, and its buckets reconcile.
+    assert_eq!(snapshot.query_latency.count, total);
+    assert_histogram_consistent("query_latency", &snapshot.query_latency);
+    assert_histogram_consistent("admission_wait", &snapshot.admission_wait);
+    assert_histogram_consistent("oracle_rtt", &snapshot.oracle_rtt);
+    assert_eq!(snapshot.admission_wait.count, total);
+    // One RTT sample per query that made at least one oracle trip; the point
+    // lookups in the workload make none.
+    assert!(snapshot.oracle_rtt.count > 0);
+    assert!(snapshot.oracle_rtt.count <= total);
+
+    // Nothing is in flight after the workers joined, and the gauges say so.
+    assert_eq!(snapshot.queries_running, 0);
+    assert_eq!(snapshot.queries_in_flight, 0);
+    assert_eq!(snapshot.admission_queue_depth, 0);
+    assert_eq!(snapshot.pool_resident_bytes, 0);
+    assert_eq!(snapshot.pool_pinned_bytes, 0);
+    assert_eq!(snapshot.pool_capacity_bytes, 64 << 10);
+
+    // The bounded budget forced the pool observer to see spill traffic.
+    assert!(snapshot.pool_spill_pages > 0);
+    assert!(snapshot.pool_spill_bytes_written > 0);
+    assert_eq!(summed.pages_spilled as u64, snapshot.pool_spill_pages);
+}
+
+#[test]
+fn prometheus_exposition_parses_line_by_line() {
+    let server = build_server(MemoryBudget::bytes(64 << 10), 1, 4, AdmissionMode::Queue);
+    let session = server.connect();
+    for sql in mixed_queries() {
+        server.execute(session, sql).expect("query");
+    }
+
+    let text = server.metrics().render_prometheus();
+    let snapshot = server.metrics_snapshot();
+    let mut samples: Vec<(String, Option<String>, u64)> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# ") {
+            // Metadata: `# HELP <name> <text>` or `# TYPE <name> <kind>`.
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown metadata line: {line}"
+            );
+            let name = parts.next().expect("metric name");
+            assert!(name.starts_with("sdb_"), "unprefixed metric: {name}");
+            let tail = parts.next().expect("metadata payload");
+            if keyword == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&tail),
+                    "unknown metric type: {line}"
+                );
+            }
+            continue;
+        }
+        // Sample: `name value` or `name{le="..."} value`.
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: u64 = value.parse().unwrap_or_else(|_| {
+            panic!("non-integer sample value in line: {line}");
+        });
+        let (name, label) = match series.split_once('{') {
+            None => (series.to_string(), None),
+            Some((name, labels)) => {
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+                    .unwrap_or_else(|| panic!("malformed label set in line: {line}"));
+                (name.to_string(), Some(le.to_string()))
+            }
+        };
+        samples.push((name, label, value));
+    }
+
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|(n, label, _)| n == name && label.is_none())
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .2
+    };
+    assert_eq!(value_of("sdb_queries_executed_total"), 6);
+    assert_eq!(
+        value_of("sdb_oracle_round_trips_total"),
+        snapshot.oracle_round_trips
+    );
+    assert_eq!(value_of("sdb_queries_running"), 0);
+
+    // Histogram series: cumulative buckets are monotone, end in +Inf, and
+    // agree with the _count sample.
+    for hist in [
+        "sdb_query_latency_microseconds",
+        "sdb_admission_wait_microseconds",
+        "sdb_oracle_rtt_microseconds",
+    ] {
+        let buckets: Vec<&(String, Option<String>, u64)> = samples
+            .iter()
+            .filter(|(n, _, _)| n == &format!("{hist}_bucket"))
+            .collect();
+        assert!(!buckets.is_empty(), "{hist}: no bucket series");
+        let mut previous = 0;
+        for (_, le, cumulative) in &buckets {
+            assert!(le.is_some(), "{hist}: bucket without le label");
+            assert!(
+                *cumulative >= previous,
+                "{hist}: cumulative bucket counts decreased"
+            );
+            previous = *cumulative;
+        }
+        let (_, le, total) = buckets.last().unwrap();
+        assert_eq!(le.as_deref(), Some("+Inf"), "{hist}: last bucket not +Inf");
+        assert_eq!(*total, value_of(&format!("{hist}_count")));
+    }
+    // Every query leaves exactly one latency and one wait sample; the RTT
+    // histogram samples only queries that made oracle trips.
+    assert_eq!(value_of("sdb_query_latency_microseconds_count"), 6);
+    assert_eq!(value_of("sdb_admission_wait_microseconds_count"), 6);
+}
+
+#[test]
+fn list_queries_exposes_mid_flight_query_with_usable_cancel_id() {
+    let server = Arc::new(build_server(
+        MemoryBudget::unlimited(),
+        1,
+        1,
+        AdmissionMode::Queue,
+    ));
+    let session = server.connect();
+    let sql = "SELECT SUM(amount) AS total FROM orders";
+
+    // Hold the only admission slot so the submission below is provably
+    // observable: it stays queued until we let it through or cancel it.
+    let hold = server
+        .admission()
+        .admit(&CancelToken::new())
+        .expect("hold slot");
+
+    let worker = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.execute(session, sql))
+    };
+    // The query registers in the in-flight table before admission, so this
+    // poll terminates as soon as the worker thread reaches `admit`.
+    let info = loop {
+        let queries = server.list_queries();
+        if let Some(info) = queries.into_iter().next() {
+            break info;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    };
+    assert_eq!(info.session, session);
+    assert_eq!(info.sql, sql);
+    assert_eq!(info.state, QueryState::Queued);
+
+    // The reported id is usable: cancelling it aborts the queued wait.
+    server.cancel_query(info.query).expect("cancel by id");
+    let outcome = worker.join().expect("worker thread");
+    assert!(matches!(outcome, Err(ServerError::Cancelled)));
+    drop(hold);
+
+    // The in-flight table is empty again, and the registry recorded the
+    // admission-wait cancellation.
+    assert!(server.list_queries().is_empty());
+    let snapshot = server.metrics_snapshot();
+    assert_eq!(snapshot.queries_executed, 1);
+    assert_eq!(snapshot.queries_cancelled, 1);
+    assert_eq!(snapshot.admissions_cancelled, 1);
+    assert_eq!(snapshot.queries_in_flight, 0);
+
+    // The session (and the server) keep serving afterwards.
+    let result = server.execute(session, sql).expect("post-cancel query");
+    assert_eq!(result.rows().len(), 1);
+    assert_eq!(server.metrics_snapshot().queries_executed, 2);
 }
 
 #[test]
